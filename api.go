@@ -1,0 +1,340 @@
+package provio
+
+import (
+	"io"
+
+	"github.com/hpc-io/prov-io/internal/adios"
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/hdf5"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/mpi"
+	"github.com/hpc-io/prov-io/internal/posixio"
+	"github.com/hpc-io/prov-io/internal/provjson"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/simclock"
+	"github.com/hpc-io/prov-io/internal/sparql"
+	"github.com/hpc-io/prov-io/internal/vfs"
+	"github.com/hpc-io/prov-io/internal/viz"
+	"github.com/hpc-io/prov-io/internal/vol"
+)
+
+// ---- RDF layer ----
+
+// Term is one RDF term (IRI, blank node, or literal).
+type Term = rdf.Term
+
+// Triple is one RDF statement.
+type Triple = rdf.Triple
+
+// Graph is an in-memory indexed RDF graph.
+type Graph = rdf.Graph
+
+// Namespaces maps prefixes to IRI bases.
+type Namespaces = rdf.Namespaces
+
+// NewGraph returns an empty RDF graph.
+func NewGraph() *Graph { return rdf.NewGraph() }
+
+// Term constructors.
+var (
+	IRI          = rdf.IRI
+	Blank        = rdf.Blank
+	Literal      = rdf.Literal
+	TypedLiteral = rdf.TypedLiteral
+	Integer      = rdf.Integer
+	Double       = rdf.Double
+	Boolean      = rdf.Boolean
+)
+
+// WriteTurtle serializes a graph as Turtle.
+func WriteTurtle(w io.Writer, g *Graph, ns *Namespaces) error { return rdf.WriteTurtle(w, g, ns) }
+
+// ParseTurtle parses a Turtle document.
+func ParseTurtle(r io.Reader) (*Graph, *Namespaces, error) { return rdf.ParseTurtle(r) }
+
+// ---- PROV-IO model ----
+
+// Class is one PROV-IO model sub-class.
+type Class = model.Class
+
+// Relation is one PROV-IO model relation.
+type Relation = model.Relation
+
+// The Data Object (Entity) sub-classes.
+var (
+	ModelDirectory = model.Directory
+	ModelFile      = model.File
+	ModelGroup     = model.Group
+	ModelDataset   = model.Dataset
+	ModelAttribute = model.Attribute
+	ModelDatatype  = model.Datatype
+	ModelLink      = model.Link
+)
+
+// The I/O API (Activity) sub-classes.
+var (
+	ModelCreate = model.Create
+	ModelOpen   = model.Open
+	ModelRead   = model.Read
+	ModelWrite  = model.Write
+	ModelFsync  = model.Fsync
+	ModelRename = model.Rename
+)
+
+// The Agent sub-classes.
+var (
+	ModelUser    = model.User
+	ModelThread  = model.Thread
+	ModelProgram = model.Program
+)
+
+// The Extensible Class sub-classes.
+var (
+	ModelType          = model.Type
+	ModelConfiguration = model.Configuration
+	ModelMetrics       = model.Metrics
+)
+
+// ModelClasses returns every sub-class in Table 2 order.
+func ModelClasses() []Class { return model.AllClasses() }
+
+// ModelRelations returns the model's relations.
+func ModelRelations() []Relation { return model.AllRelations() }
+
+// ModelNamespaces returns the prov/provio/rdf/xsd prefix table.
+func ModelNamespaces() *Namespaces { return model.Namespaces() }
+
+// NodeIRI mints the GUID node IRI for a data object/agent identity.
+func NodeIRI(class Class, identity string) string { return model.NodeIRI(class, identity) }
+
+// ---- Core library: config, tracker, store ----
+
+// Config selects tracked sub-classes and store behavior.
+type Config = core.Config
+
+// Tracker is the per-process PROV-IO library instance.
+type Tracker = core.Tracker
+
+// Store is the provenance store (per-process sub-graph files + merge).
+type Store = core.Store
+
+// Backend abstracts provenance store placement.
+type Backend = core.Backend
+
+// VFSBackend stores provenance in the simulated PFS.
+type VFSBackend = core.VFSBackend
+
+// OSBackend stores provenance on the host filesystem.
+type OSBackend = core.OSBackend
+
+// Format selects the store serialization.
+type Format = core.Format
+
+// Store formats.
+const (
+	FormatTurtle   = core.FormatTurtle
+	FormatNTriples = core.FormatNTriples
+)
+
+// DefaultConfig enables every sub-class.
+func DefaultConfig() *Config { return core.DefaultConfig() }
+
+// ScenarioConfig enables exactly the listed sub-classes.
+func ScenarioConfig(duration bool, classes ...string) *Config {
+	return core.ScenarioConfig(duration, classes...)
+}
+
+// LoadConfig parses a PROV-IO configuration file.
+func LoadConfig(r io.Reader) (*Config, error) { return core.LoadConfig(r) }
+
+// NewStore creates a provenance store under dir.
+func NewStore(b Backend, dir string, f Format) (*Store, error) { return core.NewStore(b, dir, f) }
+
+// NewTracker creates the PROV-IO library instance for process pid.
+func NewTracker(cfg *Config, store *Store, pid int) *Tracker {
+	return core.NewTracker(cfg, store, pid)
+}
+
+// ReduceLineage extracts the provenance sub-graph within maxHops lineage
+// edges of the roots (provenance reduction; maxHops<=0 is unbounded).
+func ReduceLineage(g *Graph, roots []Term, maxHops int) *Graph {
+	return core.ReduceLineage(g, roots, maxHops)
+}
+
+// MergeStores unifies several runs' provenance stores into one graph
+// (cross-run provenance).
+func MergeStores(stores ...*Store) (*Graph, error) { return core.MergeStores(stores...) }
+
+// ---- ADIOS-style I/O library (second integrated library) ----
+
+// ADIOSEngine is a step-oriented I/O engine in the ADIOS style with
+// built-in PROV-IO integration.
+type ADIOSEngine = adios.Engine
+
+// ADIOSMode selects engine direction.
+type ADIOSMode = adios.Mode
+
+// ADIOS engine modes.
+const (
+	ADIOSWrite = adios.ModeWrite
+	ADIOSRead  = adios.ModeRead
+)
+
+// OpenADIOS opens an ADIOS-style engine on the simulated filesystem.
+func OpenADIOS(view *FSView, path string, mode ADIOSMode) (*ADIOSEngine, error) {
+	return adios.Open(view, path, mode)
+}
+
+// ---- Hierarchical data format (HDF5-analog) + VOL ----
+
+// H5File is an open hierarchical-format file.
+type H5File = hdf5.File
+
+// H5Group is a group handle.
+type H5Group = hdf5.Group
+
+// H5Dataset is a dataset handle.
+type H5Dataset = hdf5.Dataset
+
+// H5Datatype describes element types.
+type H5Datatype = hdf5.Datatype
+
+// H5Object is any attribute-bearing object.
+type H5Object = hdf5.Object
+
+// Predefined datatypes.
+var (
+	TypeInt32   = hdf5.TypeInt32
+	TypeInt64   = hdf5.TypeInt64
+	TypeUint8   = hdf5.TypeUint8
+	TypeFloat32 = hdf5.TypeFloat32
+	TypeFloat64 = hdf5.TypeFloat64
+	TypeString  = hdf5.TypeString
+)
+
+// Connector is the VOL plugin interface.
+type Connector = vol.Connector
+
+// Context carries the agents I/O is attributed to.
+type Context = vol.Context
+
+// NewNativeConnector returns the terminal VOL connector over a filesystem
+// view.
+func NewNativeConnector(view *FSView) *vol.Native { return vol.NewNative(view) }
+
+// NewProvConnector stacks the PROV-IO Lib Connector on next.
+func NewProvConnector(next Connector, t *Tracker, ctx Context, clock *Clock) *vol.ProvConnector {
+	return vol.NewProvConnector(next, t, ctx, clock)
+}
+
+// NewCostConnector stacks the experiment cost model on next.
+func NewCostConnector(next Connector, clock *Clock, cost CostModel, byteScale float64, ranks int) *vol.CostConnector {
+	return vol.NewCostConnector(next, clock, cost, byteScale, ranks)
+}
+
+// Attribute helpers on hierarchical objects.
+var (
+	SetStringAttribute  = hdf5.SetStringAttribute
+	GetStringAttribute  = hdf5.GetStringAttribute
+	SetInt64Attribute   = hdf5.SetInt64Attribute
+	GetInt64Attribute   = hdf5.GetInt64Attribute
+	SetFloat64Attribute = hdf5.SetFloat64Attribute
+	GetFloat64Attribute = hdf5.GetFloat64Attribute
+	ListAttributes      = hdf5.ListAttributes
+)
+
+// ---- POSIX wrapper ----
+
+// POSIXFS is the wrapped (interposed) POSIX filesystem.
+type POSIXFS = posixio.FS
+
+// POSIXFile is a wrapped open file.
+type POSIXFile = posixio.File
+
+// POSIXAgent identifies who performs wrapped I/O.
+type POSIXAgent = posixio.Agent
+
+// POSIXOptions configures the wrapper.
+type POSIXOptions = posixio.Options
+
+// WrapPOSIX splices the PROV-IO syscall wrapper in front of a view.
+func WrapPOSIX(view *FSView, t *Tracker, agent POSIXAgent, opts POSIXOptions) *POSIXFS {
+	return posixio.Wrap(view, t, agent, opts)
+}
+
+// DefaultPOSIXOptions tracks everything.
+func DefaultPOSIXOptions() POSIXOptions { return posixio.DefaultOptions() }
+
+// POSIX open flags.
+const (
+	O_RDONLY = vfs.O_RDONLY
+	O_WRONLY = vfs.O_WRONLY
+	O_RDWR   = vfs.O_RDWR
+	O_CREATE = vfs.O_CREATE
+	O_TRUNC  = vfs.O_TRUNC
+	O_APPEND = vfs.O_APPEND
+	O_EXCL   = vfs.O_EXCL
+)
+
+// ---- Simulation substrate ----
+
+// MemStore is the shared in-memory parallel-filesystem namespace.
+type MemStore = vfs.Store
+
+// FSView is a process-local handle on a MemStore.
+type FSView = vfs.View
+
+// Clock is a virtual clock.
+type Clock = simclock.Clock
+
+// CostModel holds the calibrated simulation constants.
+type CostModel = simclock.CostModel
+
+// NewMemStore returns an empty simulated filesystem.
+func NewMemStore() *MemStore { return vfs.NewStore() }
+
+// NewClock returns a virtual clock at zero.
+func NewClock() *Clock { return simclock.NewClock() }
+
+// DefaultCostModel returns the calibrated experiment cost model.
+func DefaultCostModel() CostModel { return simclock.Default() }
+
+// MPIRank is the per-rank context of the MPI simulator.
+type MPIRank = mpi.Rank
+
+// MPIRun executes fn on every rank and returns the simulated completion
+// time (max over rank clocks).
+var MPIRun = mpi.Run
+
+// ---- User engine: query + visualization ----
+
+// QueryResult is a SPARQL solution sequence.
+type QueryResult = sparql.Result
+
+// Binding maps variable names to terms.
+type Binding = sparql.Binding
+
+// Query parses and evaluates a SPARQL SELECT query against g, with the
+// PROV-IO namespaces pre-bound.
+func Query(g *Graph, query string) (*QueryResult, error) {
+	return sparql.Exec(g, query, model.Namespaces())
+}
+
+// ParseQuery parses a SPARQL SELECT query without evaluating it.
+func ParseQuery(query string) (*sparql.Query, error) {
+	return sparql.Parse(query, model.Namespaces())
+}
+
+// VizOptions controls DOT rendering.
+type VizOptions = viz.Options
+
+// WriteDOT renders a provenance graph as Graphviz DOT.
+func WriteDOT(w io.Writer, g *Graph, opts VizOptions) error { return viz.WriteDOT(w, g, opts) }
+
+// LineageHighlight computes the node set of a product's backward lineage.
+func LineageHighlight(g *Graph, product Term) map[string]bool {
+	return viz.LineageHighlight(g, product)
+}
+
+// ExportPROVJSON writes the graph as a W3C PROV-JSON interchange document.
+func ExportPROVJSON(w io.Writer, g *Graph) error { return provjson.ExportTo(w, g) }

@@ -1,0 +1,50 @@
+// Command provio-export converts a provenance store into a W3C PROV-JSON
+// interchange document, for consumption by PROV-compliant tools outside
+// this framework (the interoperability the paper's RDF/PROV-O choice buys).
+//
+// Usage:
+//
+//	provio-export -store ./prov > provenance.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	provio "github.com/hpc-io/prov-io"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "provenance store directory (required)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "provio-export: -store is required")
+		os.Exit(1)
+	}
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := store.Merge()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := provio.ExportPROVJSON(w, g); err != nil {
+		fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
+		os.Exit(1)
+	}
+}

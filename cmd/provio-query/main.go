@@ -1,0 +1,95 @@
+// Command provio-query is the PROV-IO user engine's SPARQL endpoint: it
+// merges the per-process sub-graphs of a provenance store and evaluates a
+// SPARQL SELECT query against the merged graph.
+//
+// Usage:
+//
+//	provio-query -store ./prov 'SELECT ?f WHERE { ?f a provio:File . }'
+//	provio-query -store ./prov -file query.rq
+//
+// The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
+// PREFIX declarations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	provio "github.com/hpc-io/prov-io"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "provenance store directory (required)")
+	queryFile := flag.String("file", "", "read the query from this file instead of argv")
+	format := flag.String("format", "tsv", "output format: tsv | json (W3C SPARQL results JSON)")
+	flag.Parse()
+
+	if *storeDir == "" {
+		fatalf("-store is required")
+	}
+	var query string
+	switch {
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		query = string(data)
+	case flag.NArg() == 1:
+		query = flag.Arg(0)
+	default:
+		fatalf("pass the query as the single argument or via -file")
+	}
+
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	if err != nil {
+		fatalf("open store: %v", err)
+	}
+	g, err := store.Merge()
+	if err != nil {
+		fatalf("merge: %v", err)
+	}
+	res, err := provio.Query(g, query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *format == "json" {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	ns := provio.ModelNamespaces()
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(res.Vars))
+		for i, v := range res.Vars {
+			if t, ok := row[v]; ok {
+				cells[i] = renderTerm(t, ns)
+			} else {
+				cells[i] = "-"
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples\n", len(res.Rows), g.Len())
+}
+
+func renderTerm(t provio.Term, ns *provio.Namespaces) string {
+	if t.IsIRI() {
+		if c, ok := ns.Shrink(t.Value); ok {
+			return c
+		}
+		return "<" + t.Value + ">"
+	}
+	return t.Value
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "provio-query: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command provio-stats derives I/O statistics from a provenance store — the
+// Darshan-style view of the paper's H5bench use case, answered entirely from
+// the provenance: operation counts per API, accumulated time per API
+// (bottleneck analysis, when the store was collected with duration
+// tracking), and the hottest data objects.
+//
+// Usage:
+//
+//	provio-stats -store ./prov
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/stats"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "provenance store directory (required)")
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "provio-stats: -store is required")
+		os.Exit(1)
+	}
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
+		os.Exit(1)
+	}
+	g, err := store.Merge()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
+		os.Exit(1)
+	}
+	if err := stats.Compute(g).WriteWithAgents(os.Stdout, g); err != nil {
+		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
+		os.Exit(1)
+	}
+}

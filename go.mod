@@ -1,0 +1,3 @@
+module github.com/hpc-io/prov-io
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package adios implements a second HPC I/O library in the style of ADIOS
+// (the step-oriented BP format): an Engine opened on a file, BeginStep /
+// Put / Get / EndStep, variables with shapes. The paper lists ADIOS
+// integration as future work (§1.5); this package demonstrates the claim
+// that the PROV-IO model extends to other I/O libraries — the engine
+// invokes the same PROV-IO Library used by the HDF5 VOL connector and the
+// POSIX wrapper, mapping Put/Get onto the Write/Read activity classes and
+// variables onto Dataset entities.
+//
+// The on-disk format is a real framed binary layout ("PBP1"): a sequence of
+// steps, each a block of named variable payloads, with a trailing index.
+package adios
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// Errors.
+var (
+	ErrBadMagic   = errors.New("adios: not a PBP file")
+	ErrClosed     = errors.New("adios: engine closed")
+	ErrNoStep     = errors.New("adios: no active step")
+	ErrStepOpen   = errors.New("adios: step already active")
+	ErrReadOnly   = errors.New("adios: engine opened for reading")
+	ErrWriteOnly  = errors.New("adios: engine opened for writing")
+	ErrNotFound   = errors.New("adios: variable not found")
+	ErrOutOfRange = errors.New("adios: step out of range")
+)
+
+const magic = "PBP1"
+
+// Mode selects engine direction.
+type Mode int
+
+// Engine modes.
+const (
+	ModeWrite Mode = iota
+	ModeRead
+)
+
+// variable is one Put within a step.
+type variable struct {
+	name string
+	dims []int
+	data []byte
+}
+
+// step is one completed step.
+type step struct {
+	vars map[string]*variable
+}
+
+// Engine is an open ADIOS-style engine.
+type Engine struct {
+	view    *vfs.View
+	path    string
+	mode    Mode
+	steps   []*step
+	current *step
+	closed  bool
+
+	// Provenance (optional).
+	tracker *core.Tracker
+	agent   rdf.Term
+	program rdf.Term
+	started func() time.Duration
+}
+
+// Open creates (ModeWrite) or loads (ModeRead) an engine on path.
+func Open(view *vfs.View, path string, mode Mode) (*Engine, error) {
+	e := &Engine{view: view, path: path, mode: mode, started: func() time.Duration { return 0 }}
+	if mode == ModeRead {
+		if err := e.load(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// WithProvenance attaches a PROV-IO tracker; subsequent operations emit
+// provenance records. agent is the acting Thread/Program agent; program is
+// the Program node objects are attributed to.
+func (e *Engine) WithProvenance(t *core.Tracker, agent, program rdf.Term) *Engine {
+	e.tracker = t
+	e.agent = agent
+	e.program = program
+	if e.tracker != nil {
+		// The engine-open itself is an I/O API event.
+		class, api := model.Open, "adios2_open"
+		creating := e.mode == ModeWrite
+		if creating {
+			class, api = model.Create, "adios2_open"
+		}
+		attributed := rdf.Term{}
+		if creating {
+			attributed = program
+		}
+		node := t.TrackDataObject(model.File, e.path, e.path, rdf.Term{}, attributed)
+		t.TrackIO(class, api, node, agent, e.started(), 0)
+	}
+	return e
+}
+
+// fileNode returns the engine file's node IRI (zero if File is untracked).
+func (e *Engine) fileNode() rdf.Term {
+	if e.tracker == nil || !e.tracker.Config().Enabled(model.File) {
+		return rdf.Term{}
+	}
+	return rdf.IRI(model.NodeIRI(model.File, e.path))
+}
+
+// varID is the data-object identity of a variable.
+func (e *Engine) varID(name string) string { return e.path + "/" + name }
+
+// trackVar mints the Dataset entity for a variable.
+func (e *Engine) trackVar(name string, creating bool) rdf.Term {
+	if e.tracker == nil {
+		return rdf.Term{}
+	}
+	if !e.tracker.Config().Enabled(model.Dataset) {
+		return e.fileNode()
+	}
+	attributed := rdf.Term{}
+	if creating {
+		attributed = e.program
+	}
+	return e.tracker.TrackDataObject(model.Dataset, e.varID(name), name, e.fileNode(), attributed)
+}
+
+// BeginStep starts a new output/input step.
+func (e *Engine) BeginStep() error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.current != nil {
+		return ErrStepOpen
+	}
+	e.current = &step{vars: map[string]*variable{}}
+	return nil
+}
+
+// Put stages a variable into the current step (ModeWrite only).
+func (e *Engine) Put(name string, dims []int, data []byte) error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.mode != ModeWrite {
+		return ErrReadOnly
+	}
+	if e.current == nil {
+		return ErrNoStep
+	}
+	_, existed := e.current.vars[name]
+	e.current.vars[name] = &variable{
+		name: name,
+		dims: append([]int(nil), dims...),
+		data: append([]byte(nil), data...),
+	}
+	if e.tracker != nil {
+		node := e.trackVar(name, !existed)
+		e.tracker.TrackIO(model.Write, "adios2_put", node, e.agent, e.started(), 0)
+	}
+	return nil
+}
+
+// Get reads a variable from step index (ModeRead only).
+func (e *Engine) Get(stepIdx int, name string) ([]byte, []int, error) {
+	if e.closed {
+		return nil, nil, ErrClosed
+	}
+	if e.mode != ModeRead {
+		return nil, nil, ErrWriteOnly
+	}
+	if stepIdx < 0 || stepIdx >= len(e.steps) {
+		return nil, nil, ErrOutOfRange
+	}
+	v, ok := e.steps[stepIdx].vars[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q in step %d", ErrNotFound, name, stepIdx)
+	}
+	if e.tracker != nil {
+		node := e.trackVar(name, false)
+		e.tracker.TrackIO(model.Read, "adios2_get", node, e.agent, e.started(), 0)
+	}
+	return append([]byte(nil), v.data...), append([]int(nil), v.dims...), nil
+}
+
+// EndStep commits the current step (write) or releases it (read).
+func (e *Engine) EndStep() error {
+	if e.closed {
+		return ErrClosed
+	}
+	if e.current == nil {
+		return ErrNoStep
+	}
+	if e.mode == ModeWrite {
+		e.steps = append(e.steps, e.current)
+	}
+	e.current = nil
+	return nil
+}
+
+// Steps returns the number of committed steps.
+func (e *Engine) Steps() int { return len(e.steps) }
+
+// Variables lists the variable names of a step, sorted.
+func (e *Engine) Variables(stepIdx int) ([]string, error) {
+	if stepIdx < 0 || stepIdx >= len(e.steps) {
+		return nil, ErrOutOfRange
+	}
+	var names []string
+	for n := range e.steps[stepIdx].vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close flushes (write mode) and closes the engine.
+func (e *Engine) Close() error {
+	if e.closed {
+		return ErrClosed
+	}
+	e.closed = true
+	if e.mode == ModeWrite {
+		if err := e.flush(); err != nil {
+			return err
+		}
+		if e.tracker != nil {
+			e.tracker.TrackIO(model.Fsync, "adios2_close", e.fileNode(), e.agent, e.started(), 0)
+		}
+	}
+	return nil
+}
+
+// flush serializes all steps.
+func (e *Engine) flush() error {
+	var buf []byte
+	buf = append(buf, magic...)
+	buf = appendU32(buf, uint32(len(e.steps)))
+	for _, s := range e.steps {
+		var names []string
+		for n := range s.vars {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		buf = appendU32(buf, uint32(len(names)))
+		for _, n := range names {
+			v := s.vars[n]
+			buf = appendStr(buf, v.name)
+			buf = appendU32(buf, uint32(len(v.dims)))
+			for _, d := range v.dims {
+				buf = appendU32(buf, uint32(d))
+			}
+			buf = appendU32(buf, uint32(len(v.data)))
+			buf = append(buf, v.data...)
+		}
+	}
+	return e.view.WriteFile(e.path, buf)
+}
+
+// load parses the file.
+func (e *Engine) load() error {
+	data, err := e.view.ReadFile(e.path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 8 || string(data[:4]) != magic {
+		return ErrBadMagic
+	}
+	pos := 4
+	nSteps, pos, err := readU32(data, pos)
+	if err != nil {
+		return err
+	}
+	for s := 0; s < int(nSteps); s++ {
+		st := &step{vars: map[string]*variable{}}
+		var nVars uint32
+		nVars, pos, err = readU32(data, pos)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < int(nVars); i++ {
+			var v variable
+			v.name, pos, err = readStr(data, pos)
+			if err != nil {
+				return err
+			}
+			var rank uint32
+			rank, pos, err = readU32(data, pos)
+			if err != nil {
+				return err
+			}
+			if rank > 64 {
+				return fmt.Errorf("adios: implausible rank %d", rank)
+			}
+			v.dims = make([]int, rank)
+			for d := range v.dims {
+				var x uint32
+				x, pos, err = readU32(data, pos)
+				if err != nil {
+					return err
+				}
+				v.dims[d] = int(x)
+			}
+			var n uint32
+			n, pos, err = readU32(data, pos)
+			if err != nil {
+				return err
+			}
+			if pos+int(n) > len(data) {
+				return errors.New("adios: truncated payload")
+			}
+			v.data = append([]byte(nil), data[pos:pos+int(n)]...)
+			pos += int(n)
+			st.vars[v.name] = &v
+		}
+		e.steps = append(e.steps, st)
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func readU32(data []byte, pos int) (uint32, int, error) {
+	if pos+4 > len(data) {
+		return 0, pos, errors.New("adios: truncated data")
+	}
+	return binary.LittleEndian.Uint32(data[pos:]), pos + 4, nil
+}
+
+func readStr(data []byte, pos int) (string, int, error) {
+	n, pos, err := readU32(data, pos)
+	if err != nil {
+		return "", pos, err
+	}
+	if pos+int(n) > len(data) {
+		return "", pos, errors.New("adios: truncated string")
+	}
+	return string(data[pos : pos+int(n)]), pos + int(n), nil
+}

@@ -1,0 +1,211 @@
+package adios
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	w, err := Open(view, "/sim.bp", ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		if err := w.BeginStep(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Put("temperature", []int{2, 2}, []byte{byte(s), 1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Put("pressure", []int{4}, []byte{4, 5, 6, byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.EndStep(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(view, "/sim.bp", ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 3 {
+		t.Fatalf("Steps = %d", r.Steps())
+	}
+	data, dims, err := r.Get(1, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{1, 1, 2, 3}) || dims[0] != 2 || dims[1] != 2 {
+		t.Errorf("Get = %v %v", data, dims)
+	}
+	names, err := r.Variables(0)
+	if err != nil || len(names) != 2 || names[0] != "pressure" {
+		t.Errorf("Variables = %v, %v", names, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	w, _ := Open(view, "/f.bp", ModeWrite)
+	w.BeginStep()
+	if _, _, err := w.Get(0, "x"); !errors.Is(err, ErrWriteOnly) {
+		t.Errorf("Get on writer err = %v", err)
+	}
+	w.Put("x", []int{1}, []byte{1})
+	w.EndStep()
+	w.Close()
+
+	r, _ := Open(view, "/f.bp", ModeRead)
+	r.BeginStep()
+	if err := r.Put("x", []int{1}, []byte{1}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put on reader err = %v", err)
+	}
+}
+
+func TestStepProtocol(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	w, _ := Open(view, "/f.bp", ModeWrite)
+	if err := w.Put("x", []int{1}, []byte{1}); !errors.Is(err, ErrNoStep) {
+		t.Errorf("Put without step err = %v", err)
+	}
+	if err := w.EndStep(); !errors.Is(err, ErrNoStep) {
+		t.Errorf("EndStep without step err = %v", err)
+	}
+	w.BeginStep()
+	if err := w.BeginStep(); !errors.Is(err, ErrStepOpen) {
+		t.Errorf("nested BeginStep err = %v", err)
+	}
+	w.EndStep()
+	w.Close()
+	if err := w.BeginStep(); !errors.Is(err, ErrClosed) {
+		t.Errorf("BeginStep after close err = %v", err)
+	}
+	if err := w.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close err = %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	view.WriteFile("/junk.bp", []byte("not a bp file at all"))
+	if _, err := Open(view, "/junk.bp", ModeRead); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := Open(view, "/missing.bp", ModeRead); err == nil {
+		t.Error("missing file opened")
+	}
+
+	w, _ := Open(view, "/f.bp", ModeWrite)
+	w.BeginStep()
+	w.Put("x", []int{1}, []byte{1})
+	w.EndStep()
+	w.Close()
+	r, _ := Open(view, "/f.bp", ModeRead)
+	if _, _, err := r.Get(5, "x"); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out-of-range step err = %v", err)
+	}
+	if _, _, err := r.Get(0, "nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing variable err = %v", err)
+	}
+	if _, err := r.Variables(9); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Variables range err = %v", err)
+	}
+}
+
+func TestTruncatedFileDetected(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	w, _ := Open(view, "/f.bp", ModeWrite)
+	w.BeginStep()
+	w.Put("x", []int{8}, make([]byte, 8))
+	w.EndStep()
+	w.Close()
+	raw, _ := view.ReadFile("/f.bp")
+	view.WriteFile("/f.bp", raw[:len(raw)-3])
+	if _, err := Open(view, "/f.bp", ModeRead); err == nil {
+		t.Error("truncated file loaded")
+	}
+}
+
+func TestProvenanceIntegration(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	tracker := core.NewTracker(core.DefaultConfig(), nil, 0)
+	user := tracker.RegisterUser("sim-user")
+	prog := tracker.RegisterProgram("xgc-a1", user)
+
+	w, err := Open(view, "/sim.bp", ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WithProvenance(tracker, prog, prog)
+	w.BeginStep()
+	w.Put("temperature", []int{4}, make([]byte, 4))
+	w.Put("temperature", []int{4}, make([]byte, 4)) // second Put, same var
+	w.EndStep()
+	w.Close()
+
+	r, _ := Open(view, "/sim.bp", ModeRead)
+	r.WithProvenance(tracker, prog, prog)
+	if _, _, err := r.Get(0, "temperature"); err != nil {
+		t.Fatal(err)
+	}
+
+	g := tracker.Graph()
+	varNode := rdf.IRI(model.NodeIRI(model.Dataset, "/sim.bp/temperature"))
+	if n := len(g.Find(varNode.Ptr(), model.WasWrittenBy.IRI().Ptr(), nil)); n != 2 {
+		t.Errorf("wasWrittenBy = %d, want 2", n)
+	}
+	if n := len(g.Find(varNode.Ptr(), model.WasReadBy.IRI().Ptr(), nil)); n != 1 {
+		t.Errorf("wasReadBy = %d, want 1", n)
+	}
+	fileNode := rdf.IRI(model.NodeIRI(model.File, "/sim.bp"))
+	if !g.Has(rdf.Triple{S: varNode, P: model.WasDerivedFrom.IRI(), O: fileNode}) {
+		t.Error("variable->file containment missing")
+	}
+	// Attribution: the writer program created the file.
+	if !g.Has(rdf.Triple{S: fileNode, P: model.WasAttributedTo.IRI(), O: prog}) {
+		t.Error("file attribution missing")
+	}
+	// Close emitted an Fsync activity.
+	if n := len(g.Find(fileNode.Ptr(), model.WasFlushedBy.IRI().Ptr(), nil)); n != 1 {
+		t.Errorf("wasFlushedBy = %d, want 1", n)
+	}
+}
+
+func TestProvenanceGranularityFallback(t *testing.T) {
+	// With only File enabled, Put attaches to the file node (the same
+	// granularity knob as the VOL connector).
+	view := vfs.NewStore().NewView()
+	cfg := core.ScenarioConfig(false, "Create", "Open", "Read", "Write", "Fsync", "Rename", "File", "Program")
+	tracker := core.NewTracker(cfg, nil, 0)
+	prog := tracker.RegisterProgram("p", rdf.Term{})
+
+	w, _ := Open(view, "/f.bp", ModeWrite)
+	w.WithProvenance(tracker, prog, prog)
+	w.BeginStep()
+	w.Put("x", []int{1}, []byte{1})
+	w.EndStep()
+	w.Close()
+
+	g := tracker.Graph()
+	fileNode := rdf.IRI(model.NodeIRI(model.File, "/f.bp"))
+	if n := len(g.Find(fileNode.Ptr(), model.WasWrittenBy.IRI().Ptr(), nil)); n != 1 {
+		t.Errorf("file-granularity wasWrittenBy = %d, want 1", n)
+	}
+	if n := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Dataset.IRI().Ptr())); n != 0 {
+		t.Errorf("dataset entities tracked despite disabled class: %d", n)
+	}
+}

@@ -1,0 +1,382 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id, ScaleSmall)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Errorf("report ID = %q, want %q", rep.ID, id)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return rep
+}
+
+// parsePercent parses "1.234%" into 1.234.
+func parsePercent(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent %q: %v", s, err)
+	}
+	return v
+}
+
+func parseNum(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad number %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryCoversEveryPaperExhibit(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "table5",
+		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e",
+		"fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig8", "fig9"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v", ids)
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, err := Run("nope", ScaleSmall); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig6aOverheadTinyAndShrinking(t *testing.T) {
+	rep := run(t, "fig6a")
+	var prev float64 = 1e9
+	for _, row := range rep.Rows {
+		ov := parsePercent(t, row[3])
+		if ov <= 0 {
+			t.Errorf("epochs=%s: overhead %.5f%% not positive", row[0], ov)
+		}
+		if ov > 0.5 {
+			t.Errorf("epochs=%s: overhead %.3f%% too large for Top Reco", row[0], ov)
+		}
+		if ov >= prev {
+			t.Errorf("overhead not decreasing with epochs: %.5f -> %.5f", prev, ov)
+		}
+		prev = ov
+	}
+}
+
+func TestFig6bAttrLineageCostsMost(t *testing.T) {
+	rep := run(t, "fig6b")
+	for _, row := range rep.Rows {
+		file := parsePercent(t, row[2])
+		attr := parsePercent(t, row[4])
+		if attr <= file {
+			t.Errorf("files=%s: attribute overhead %.2f%% <= file %.2f%%", row[0], attr, file)
+		}
+		if attr > 30 {
+			t.Errorf("files=%s: attribute overhead %.2f%% out of band", row[0], attr)
+		}
+		if file <= 0 {
+			t.Errorf("files=%s: file overhead %.2f%% not positive", row[0], file)
+		}
+	}
+}
+
+func TestFig6cOverheadBand(t *testing.T) {
+	rep := run(t, "fig6c")
+	for _, row := range rep.Rows {
+		for col := 2; col <= 4; col++ {
+			ov := parsePercent(t, row[col])
+			if ov <= 0 || ov > 10 {
+				t.Errorf("ranks=%s col=%d: overhead %.3f%% out of band", row[0], col, ov)
+			}
+		}
+	}
+}
+
+func TestFig6eAppendLowestOverhead(t *testing.T) {
+	we, err := Run("fig6c", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := Run("fig6e", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare scenario-1 overhead at the shared rank counts (2 and 4).
+	wrAt := map[string]float64{}
+	for _, row := range we.Rows {
+		wrAt[row[0]] = parsePercent(t, row[2])
+	}
+	for _, row := range ap.Rows {
+		if base, ok := wrAt[row[0]]; ok {
+			apOv := parsePercent(t, row[2])
+			if apOv >= base {
+				t.Errorf("ranks=%s: append overhead %.3f%% >= write+read %.3f%%", row[0], apOv, base)
+			}
+		}
+	}
+}
+
+func TestFig7aLinearGrowth(t *testing.T) {
+	rep := run(t, "fig7a")
+	var prevKB float64
+	for i, row := range rep.Rows {
+		kb := parseNum(t, row[1])
+		if kb <= prevKB {
+			t.Errorf("row %d: storage %.1fKB did not grow", i, kb)
+		}
+		prevKB = kb
+	}
+}
+
+func TestFig7bScenariosSimilarAndGrowing(t *testing.T) {
+	rep := run(t, "fig7b")
+	var prev float64
+	for _, row := range rep.Rows {
+		file := parseNum(t, row[1])
+		attr := parseNum(t, row[3])
+		if file <= prev {
+			t.Errorf("files=%s: storage %.2fMB did not grow", row[0], file)
+		}
+		prev = file
+		// Paper: scenarios are similar because I/O API dominates; attr is
+		// the largest but within ~2.5x.
+		if attr < file || attr > file*2.5 {
+			t.Errorf("files=%s: attr storage %.2f vs file %.2f diverges", row[0], attr, file)
+		}
+	}
+}
+
+func TestFig7dScenario2Largest(t *testing.T) {
+	rep := run(t, "fig7d")
+	for _, row := range rep.Rows {
+		s1 := parseNum(t, row[1])
+		s2 := parseNum(t, row[2])
+		if s2 <= s1 {
+			t.Errorf("ranks=%s: scenario-2 %.3fMB <= scenario-1 %.3fMB", row[0], s2, s1)
+		}
+	}
+}
+
+func TestFig7dLargerThanFig7c(t *testing.T) {
+	c, err := Run("fig7c", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Run("fig7d", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Rows {
+		cs := parseNum(t, c.Rows[i][2])
+		ds := parseNum(t, d.Rows[i][2])
+		if ds <= cs {
+			t.Errorf("ranks=%s: overwrite pattern storage %.3f <= write+read %.3f", c.Rows[i][0], ds, cs)
+		}
+	}
+}
+
+func TestFig8ProvIOWins(t *testing.T) {
+	rep := run(t, "fig8")
+	for _, row := range rep.Rows {
+		pio := parsePercent(t, row[2])
+		lake := parsePercent(t, row[3])
+		if pio <= 0 || lake <= 0 {
+			t.Errorf("configs=%s: non-positive overheads %v %v", row[0], pio, lake)
+		}
+		if pio > 1 || lake > 1 {
+			t.Errorf("configs=%s: overheads too large: %.3f%% %.3f%%", row[0], pio, lake)
+		}
+		if pio >= lake {
+			t.Errorf("configs=%s: PROV-IO overhead %.4f%% >= ProvLake %.4f%%", row[0], pio, lake)
+		}
+		pkb := parseNum(t, row[4])
+		lkb := parseNum(t, row[5])
+		if pkb >= lkb {
+			t.Errorf("configs=%s: PROV-IO storage %.1fKB >= ProvLake %.1fKB", row[0], pkb, lkb)
+		}
+	}
+}
+
+func TestTable5QueriesAnswerNeeds(t *testing.T) {
+	rep := run(t, "table5")
+	if len(rep.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rep.Rows))
+	}
+	wantStatements := []string{"3", "1", "2", "3", "2"}
+	for i, row := range rep.Rows {
+		if row[2] != wantStatements[i] {
+			t.Errorf("row %d statements = %s, want %s", i, row[2], wantStatements[i])
+		}
+		if n := parseNum(t, row[3]); n <= 0 {
+			t.Errorf("row %d returned no results", i)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		rep := run(t, id)
+		out := rep.Render()
+		if !strings.Contains(out, rep.Title) {
+			t.Errorf("%s: render lacks title", id)
+		}
+	}
+	t2 := run(t, "table2")
+	if len(t2.Rows) != 19+6 {
+		t.Errorf("table2 rows = %d, want 25 (19 classes + 6 provio relations)", len(t2.Rows))
+	}
+}
+
+func TestFig9EmitsDOT(t *testing.T) {
+	rep := run(t, "fig9")
+	if rep.ArtifactName != "fig9.dot" {
+		t.Errorf("artifact name = %q", rep.ArtifactName)
+	}
+	if !strings.HasPrefix(rep.Artifact, "digraph provenance {") {
+		t.Error("artifact is not DOT")
+	}
+	if !strings.Contains(rep.Artifact, "color=blue") {
+		t.Error("no lineage highlighted")
+	}
+	// The queried product and its producing program are present.
+	if !strings.Contains(rep.Artifact, "decimate") {
+		t.Error("decimate program missing from graph")
+	}
+}
+
+func TestReportRenderAlignment(t *testing.T) {
+	r := &Report{ID: "x", Title: "t", Columns: []string{"a", "long-column"}}
+	r.AddRow("1", "2")
+	r.AddRow("333333", "4")
+	out := r.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Error("separator missing")
+	}
+	if !strings.Contains(lines[1], "a       long-column") {
+		t.Errorf("header not aligned: %q", lines[1])
+	}
+}
+
+func TestScaleSweeps(t *testing.T) {
+	if len(ScalePaper.h5benchRankSweep()) != 6 || ScalePaper.h5benchRankSweep()[5] != 4096 {
+		t.Error("paper rank sweep wrong")
+	}
+	if len(ScalePaper.dassaFileSweep()) != 5 || ScalePaper.dassaFileSweep()[4] != 2048 {
+		t.Error("paper file sweep wrong")
+	}
+	if ScalePaper.String() != "paper" || ScaleSmall.String() != "small" {
+		t.Error("scale names wrong")
+	}
+	if len(ScaleSmall.fig8ConfigSweep()) != 3 {
+		t.Error("fig8 sweep must be 20/40/80")
+	}
+}
+
+func TestAblationFlushModes(t *testing.T) {
+	rep := run(t, "abl-flush")
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// More frequent flushing costs more.
+	last := parsePercent(t, rep.Rows[3][2])
+	mid := parsePercent(t, rep.Rows[1][2])
+	if last < mid {
+		t.Errorf("flush_every=16 overhead %.4f%% < flush_every=256 %.4f%%", last, mid)
+	}
+}
+
+func TestAblationGranularityMonotone(t *testing.T) {
+	rep := run(t, "abl-granularity")
+	var prevTriples float64
+	for i, row := range rep.Rows {
+		triples := parseNum(t, row[2])
+		if triples < prevTriples {
+			t.Errorf("row %d (%s): triples %v decreased", i, row[0], triples)
+		}
+		prevTriples = triples
+	}
+	first := parseNum(t, rep.Rows[0][3])
+	lastKB := parseNum(t, rep.Rows[len(rep.Rows)-1][3])
+	if lastKB <= first {
+		t.Error("storage did not grow with enabled classes")
+	}
+}
+
+func TestAblationFormatTurtleSmaller(t *testing.T) {
+	rep := run(t, "abl-format")
+	ratio := parseNum(t, rep.Rows[1][2])
+	if ratio <= 1 {
+		t.Errorf("N-Triples/Turtle ratio = %.2f, want > 1", ratio)
+	}
+}
+
+func TestAblationGUIDDedup(t *testing.T) {
+	rep := run(t, "abl-guid")
+	for _, row := range rep.Rows {
+		sum := parseNum(t, row[1])
+		merged := parseNum(t, row[2])
+		if merged >= sum {
+			t.Errorf("procs=%s: merge did not deduplicate (%v >= %v)", row[0], merged, sum)
+		}
+	}
+	// Dedup percentage grows with process count (more shared nodes).
+	first := parseNum(t, strings.TrimSuffix(rep.Rows[0][3], "%"))
+	last := parseNum(t, strings.TrimSuffix(rep.Rows[len(rep.Rows)-1][3], "%"))
+	if last <= first {
+		t.Errorf("dedup should grow with processes: %.1f%% -> %.1f%%", first, last)
+	}
+}
+
+func TestChartRendersNumericSeries(t *testing.T) {
+	r := &Report{ID: "x", Title: "demo", Columns: []string{"ranks", "ovh", "size(MB)"}}
+	r.AddRow("128", "1.5%", "10.0")
+	r.AddRow("256", "3.0%", "20.0")
+	out := r.Chart()
+	if out == "" {
+		t.Fatal("no chart produced")
+	}
+	if !strings.Contains(out, "█") {
+		t.Error("no bars drawn")
+	}
+	if !strings.Contains(out, "ovh") || !strings.Contains(out, "size(MB)") {
+		t.Error("series names missing")
+	}
+	// The 3.0 bar must be longer than the 1.5 bar.
+	lines := strings.Split(out, "\n")
+	var short, long int
+	for _, l := range lines {
+		if strings.Contains(l, "1.5") && strings.Contains(l, "ovh") {
+			short = strings.Count(l, "█")
+		}
+		if strings.Contains(l, " 3\n") || (strings.Contains(l, "ovh") && strings.Contains(l, " 3")) {
+			long = strings.Count(l, "█")
+		}
+	}
+	if long <= short {
+		t.Errorf("bar lengths not proportional: %d vs %d", short, long)
+	}
+}
+
+func TestChartEmptyForDescriptiveTables(t *testing.T) {
+	rep := run(t, "table1")
+	if rep.Chart() != "" {
+		t.Error("descriptive table produced a chart")
+	}
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Chart renders the report's numeric columns as horizontal ASCII bars, one
+// group per row — a terminal rendition of the paper's bar figures. Columns
+// whose cells parse as numbers (percent signs allowed) become series; the
+// first column provides the group labels. Reports without numeric columns
+// (the descriptive tables) return "".
+func (r *Report) Chart() string {
+	type series struct {
+		name string
+		vals []float64
+	}
+	var plots []series
+	for c := 1; c < len(r.Columns); c++ {
+		vals := make([]float64, 0, len(r.Rows))
+		ok := true
+		for _, row := range r.Rows {
+			if c >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "%"), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals = append(vals, v)
+		}
+		if ok && len(vals) > 0 {
+			plots = append(plots, series{name: r.Columns[c], vals: vals})
+		}
+	}
+	if len(plots) == 0 {
+		return ""
+	}
+
+	var maxV float64
+	for _, p := range plots {
+		for _, v := range p.vals {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	const width = 46
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (bar = value, full scale %.3g)\n", r.Title, maxV)
+	nameW := 0
+	for _, p := range plots {
+		if len(p.name) > nameW {
+			nameW = len(p.name)
+		}
+	}
+	for i, row := range r.Rows {
+		fmt.Fprintf(&b, "%s\n", row[0])
+		for _, p := range plots {
+			n := int(p.vals[i] / maxV * width)
+			if n < 1 && p.vals[i] > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.4g\n", nameW, p.name, strings.Repeat("█", n), p.vals[i])
+		}
+	}
+	return b.String()
+}

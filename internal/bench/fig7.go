@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/hpc-io/prov-io/internal/workloads/dassa"
+	"github.com/hpc-io/prov-io/internal/workloads/h5bench"
+	"github.com/hpc-io/prov-io/internal/workloads/topreco"
+)
+
+// Fig7a reproduces Figure 7(a): Top Reco provenance size vs epochs (paper:
+// negligible KBs, linear in epochs).
+func Fig7a(s Scale) (*Report, error) {
+	r := &Report{
+		ID:      "fig7a",
+		Title:   "Top Reco provenance storage",
+		Columns: []string{"epochs", "provenance(KB)", "records"},
+		Notes:   []string{"paper: negligible size, scales linearly with epochs"},
+	}
+	for _, epochs := range s.topRecoEpochSweep() {
+		res, err := topreco.Run(topreco.Config{Epochs: epochs, Events: s.topRecoEvents(),
+			Instrument: topreco.InstrumentProvIO, Version: 1})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(itoa(epochs), fmtKB(res.ProvBytes), fmt.Sprintf("%d", res.Records))
+	}
+	return r, nil
+}
+
+// Fig7b reproduces Figure 7(b): DASSA provenance size vs input files for
+// the three lineage granularities (paper: ~40 MB at 128 files to ~800 MB at
+// 2048 files, linear; the three scenarios are similar because I/O API
+// records dominate).
+func Fig7b(s Scale) (*Report, error) {
+	r := &Report{
+		ID:      "fig7b",
+		Title:   "DASSA provenance storage",
+		Columns: []string{"files", "file(MB)", "dataset(MB)", "attribute(MB)"},
+		Notes: []string{
+			"paper: 40MB@128 files to ~800MB@2048, linear; scenarios similar (I/O API dominates)",
+		},
+	}
+	for _, files := range s.dassaFileSweep() {
+		cfg := dassa.Config{Files: files, Ranks: s.dassaRanks()}
+		row := []string{itoa(files)}
+		for _, l := range []dassa.Lineage{dassa.FileLineage, dassa.DatasetLineage, dassa.AttrLineage} {
+			res, err := runDassaOnce(cfg, l)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMB(res.ProvBytes))
+		}
+		r.AddRow(row...)
+	}
+	return r, nil
+}
+
+// fig7H5bench renders one of Figures 7(c)(d)(e).
+func fig7H5bench(id string, pattern h5bench.Pattern, ranks []int, note string) (*Report, error) {
+	r := &Report{
+		ID:      id,
+		Title:   fmt.Sprintf("H5bench %s provenance storage", pattern),
+		Columns: []string{"ranks", "scenario-1(MB)", "scenario-2(MB)", "scenario-3(MB)"},
+		Notes:   []string{note},
+	}
+	for _, n := range ranks {
+		row := []string{itoa(n)}
+		for _, sc := range []h5bench.Scenario{h5bench.Scenario1, h5bench.Scenario2, h5bench.Scenario3} {
+			res, err := h5bench.Run(h5bench.Config{Ranks: n, Pattern: pattern, Scenario: sc})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtMB(res.ProvBytes))
+		}
+		r.AddRow(row...)
+	}
+	return r, nil
+}
+
+// Fig7c reproduces Figure 7(c): write+read storage.
+func Fig7c(s Scale) (*Report, error) {
+	return fig7H5bench("fig7c", h5bench.WriteRead, s.h5benchRankSweep(),
+		"paper: KBs to 168MB across patterns, linear in ranks")
+}
+
+// Fig7d reproduces Figure 7(d): write+overwrite+read storage (paper:
+// highest storage overall, scenario-2 highest within it).
+func Fig7d(s Scale) (*Report, error) {
+	return fig7H5bench("fig7d", h5bench.WriteOverwriteRead, s.h5benchRankSweep(),
+		"paper: highest storage of the three patterns; scenario-2 (durations) largest")
+}
+
+// Fig7e reproduces Figure 7(e): write+append+read storage at reduced ranks.
+func Fig7e(s Scale) (*Report, error) {
+	return fig7H5bench("fig7e", h5bench.WriteAppendRead, s.h5benchAppendRankSweep(),
+		"paper: smallest pattern (few ranks contribute)")
+}

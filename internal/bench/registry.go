@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a scale.
+type Runner func(Scale) (*Report, error)
+
+// registry maps experiment IDs to runners, in paper order.
+var registry = map[string]Runner{
+	"table1": Table1,
+	"table2": Table2,
+	"table3": Table3,
+	"table4": Table4,
+	"table5": Table5,
+	"fig6a":  Fig6a,
+	"fig6b":  Fig6b,
+	"fig6c":  Fig6c,
+	"fig6d":  Fig6d,
+	"fig6e":  Fig6e,
+	"fig7a":  Fig7a,
+	"fig7b":  Fig7b,
+	"fig7c":  Fig7c,
+	"fig7d":  Fig7d,
+	"fig7e":  Fig7e,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+
+	// Ablations of DESIGN.md's called-out design choices (not paper
+	// exhibits; excluded from 'all').
+	"abl-flush":       AblationFlush,
+	"abl-granularity": AblationGranularity,
+	"abl-format":      AblationFormat,
+	"abl-guid":        AblationGUIDMerge,
+}
+
+// order lists experiment IDs in presentation order.
+var order = []string{
+	"table1", "table2", "table3", "table4",
+	"fig6a", "fig6b", "fig6c", "fig6d", "fig6e",
+	"fig7a", "fig7b", "fig7c", "fig7d", "fig7e",
+	"fig8", "table5", "fig9",
+}
+
+// IDs returns every experiment ID in presentation order.
+func IDs() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// Run executes one experiment by ID.
+func Run(id string, s Scale) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("bench: unknown experiment %q (known: %v)", id, known)
+	}
+	return r(s)
+}
+
+// RunAll executes every experiment in order, returning the reports.
+func RunAll(s Scale) ([]*Report, error) {
+	var out []*Report
+	for _, id := range order {
+		rep, err := Run(id, s)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+// Package bench is the experiment harness: one runner per table and figure
+// of the paper's evaluation (§6), each returning a Report whose rows mirror
+// the series the paper plots. cmd/provio-bench and the repository-root
+// benchmarks drive these runners.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Report is the rendered result of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Columns and Rows form the data table.
+	Columns []string
+	Rows    [][]string
+	// Notes carry the paper's expected shape and any caveats.
+	Notes []string
+	// Artifact is an optional generated document (e.g. Figure 9's DOT).
+	Artifact string
+	// ArtifactName names the artifact file.
+	ArtifactName string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Formatting helpers shared by the runners.
+
+func fmtSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+func fmtPercent(base, tracked time.Duration) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f%%", 100*float64(tracked-base)/float64(base))
+}
+
+func fmtKB(b int64) string {
+	return fmt.Sprintf("%.1f", float64(b)/1024)
+}
+
+func fmtMB(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/(1<<20))
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

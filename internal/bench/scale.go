@@ -1,0 +1,83 @@
+package bench
+
+// Scale selects the experiment size. ScalePaper sweeps the paper's full
+// parameter ranges (128–4096 ranks, 128–2048 files, 50–800 epochs);
+// ScaleSmall shrinks every axis for unit tests and quick runs while keeping
+// the same number of series so every code path is exercised.
+type Scale int
+
+// Scales.
+const (
+	ScaleSmall Scale = iota
+	ScalePaper
+)
+
+// String names the scale.
+func (s Scale) String() string {
+	if s == ScalePaper {
+		return "paper"
+	}
+	return "small"
+}
+
+// topRecoEpochSweep is Figure 6(a)/7(a)'s x-axis.
+func (s Scale) topRecoEpochSweep() []int {
+	if s == ScalePaper {
+		return []int{50, 100, 200, 400, 800}
+	}
+	return []int{5, 10, 20}
+}
+
+// dassaFileSweep is Figure 6(b)/7(b)'s x-axis.
+func (s Scale) dassaFileSweep() []int {
+	if s == ScalePaper {
+		return []int{128, 256, 512, 1024, 2048}
+	}
+	return []int{8, 16, 32}
+}
+
+// dassaRanks is the paper's 32 compute nodes.
+func (s Scale) dassaRanks() int {
+	if s == ScalePaper {
+		return 32
+	}
+	return 4
+}
+
+// h5benchRankSweep is Figures 6/7 (c)(d)'s x-axis.
+func (s Scale) h5benchRankSweep() []int {
+	if s == ScalePaper {
+		return []int{128, 256, 512, 1024, 2048, 4096}
+	}
+	return []int{2, 4, 8}
+}
+
+// h5benchAppendRankSweep is Figures 6/7 (e)'s reduced x-axis (appends OOM at
+// high rank counts, per the paper).
+func (s Scale) h5benchAppendRankSweep() []int {
+	if s == ScalePaper {
+		return []int{2, 4, 8, 16, 32, 64}
+	}
+	return []int{2, 4}
+}
+
+// fig8ConfigSweep is Figure 8's x-axis.
+func (s Scale) fig8ConfigSweep() []int {
+	return []int{20, 40, 80}
+}
+
+// fig8Epochs is the training length used for the ProvLake comparison.
+func (s Scale) fig8Epochs() int {
+	if s == ScalePaper {
+		return 100
+	}
+	return 20
+}
+
+// topRecoEvents sizes the synthetic dataset.
+func (s Scale) topRecoEvents() int {
+	if s == ScalePaper {
+		return 4000
+	}
+	return 400
+}

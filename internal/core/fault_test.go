@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// faultBackend injects failures into store operations, exercising the
+// error paths a Lustre outage would hit mid-run.
+type faultBackend struct {
+	inner      Backend
+	failWrites bool
+	failReads  bool
+	failList   bool
+	writeCount int
+	// failAfterN fails writes only after N successful ones (partial-flush
+	// scenarios). -1 disables.
+	failAfterN int
+}
+
+var errInjected = errors.New("injected I/O error (OST down)")
+
+func newFaultBackend(view *vfs.View) *faultBackend {
+	return &faultBackend{inner: VFSBackend{View: view}, failAfterN: -1}
+}
+
+func (b *faultBackend) MkdirAll(dir string) error { return b.inner.MkdirAll(dir) }
+
+func (b *faultBackend) WriteFile(path string, data []byte) error {
+	b.writeCount++
+	if b.failWrites || (b.failAfterN >= 0 && b.writeCount > b.failAfterN) {
+		return fmt.Errorf("write %s: %w", path, errInjected)
+	}
+	return b.inner.WriteFile(path, data)
+}
+
+func (b *faultBackend) ReadFile(path string) ([]byte, error) {
+	if b.failReads {
+		return nil, errInjected
+	}
+	return b.inner.ReadFile(path)
+}
+
+func (b *faultBackend) List(dir string) ([]string, error) {
+	if b.failList {
+		return nil, errInjected
+	}
+	return b.inner.List(dir)
+}
+
+func (b *faultBackend) Remove(path string) error { return b.inner.Remove(path) }
+
+func TestFlushPropagatesWriteFailure(t *testing.T) {
+	fb := newFaultBackend(vfs.NewStore().NewView())
+	store, err := NewStore(fb, "/prov", FormatTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(DefaultConfig(), store, 0)
+	tr.RegisterUser("u")
+	fb.failWrites = true
+	if err := tr.Flush(); !errors.Is(err, errInjected) {
+		t.Errorf("Flush err = %v, want injected", err)
+	}
+	if err := tr.Close(); !errors.Is(err, errInjected) {
+		t.Errorf("Close err = %v, want injected", err)
+	}
+	// Recovery: once the backend heals, a retry succeeds and the graph is
+	// intact (nothing was lost from memory).
+	fb.failWrites = false
+	if err := tr.Flush(); err != nil {
+		t.Errorf("Flush after recovery: %v", err)
+	}
+	n, err := store.TotalBytes()
+	if err != nil || n == 0 {
+		t.Errorf("provenance not persisted after recovery: %d, %v", n, err)
+	}
+}
+
+func TestMergePropagatesReadFailure(t *testing.T) {
+	fb := newFaultBackend(vfs.NewStore().NewView())
+	store, _ := NewStore(fb, "/prov", FormatTurtle)
+	tr := NewTracker(DefaultConfig(), store, 0)
+	tr.RegisterUser("u")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fb.failReads = true
+	if _, err := store.Merge(); !errors.Is(err, errInjected) {
+		t.Errorf("Merge err = %v, want injected", err)
+	}
+	fb.failReads = false
+	fb.failList = true
+	if _, err := store.Merge(); !errors.Is(err, errInjected) {
+		t.Errorf("Merge with list failure err = %v", err)
+	}
+	if _, err := store.TotalBytes(); !errors.Is(err, errInjected) {
+		t.Errorf("TotalBytes with list failure err = %v", err)
+	}
+}
+
+func TestMergeRejectsCorruptSubgraph(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	store, _ := NewStore(VFSBackend{View: view}, "/prov", FormatTurtle)
+	tr := NewTracker(DefaultConfig(), store, 0)
+	tr.RegisterUser("u")
+	tr.Close()
+	// Corrupt the flushed file.
+	view.WriteFile("/prov/prov_p000000.ttl", []byte("@prefix broken <oops"))
+	if _, err := store.Merge(); err == nil {
+		t.Error("corrupt sub-graph merged without error")
+	}
+}
+
+func TestPeriodicFlushSurvivesTransientFailure(t *testing.T) {
+	// A failing periodic flush must not corrupt the in-memory graph; the
+	// final Close (after recovery) persists everything.
+	fb := newFaultBackend(vfs.NewStore().NewView())
+	store, _ := NewStore(fb, "/prov", FormatTurtle)
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 5
+	tr := NewTracker(cfg, store, 0)
+	fb.failWrites = true
+	for i := 0; i < 20; i++ {
+		tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, 0, 0)
+	}
+	fb.failWrites = false
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())
+	if len(acts) != 20 {
+		t.Errorf("activities persisted = %d, want 20", len(acts))
+	}
+}
+
+func TestPartialFlushThenFinalClose(t *testing.T) {
+	fb := newFaultBackend(vfs.NewStore().NewView())
+	fb.failAfterN = 1 // first flush succeeds, later ones fail
+	store, _ := NewStore(fb, "/prov", FormatTurtle)
+	tr := NewTracker(DefaultConfig(), store, 0)
+	tr.RegisterUser("u")
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr.RegisterProgram("p", rdf.Term{})
+	if err := tr.Flush(); !errors.Is(err, errInjected) {
+		t.Fatalf("second flush err = %v", err)
+	}
+	// The store still holds the first flush's consistent snapshot.
+	fb.failReads = false
+	g, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := rdf.IRI(model.NodeIRI(model.User, "u"))
+	if len(g.Find(user.Ptr(), nil, nil)) == 0 {
+		t.Error("first flush's snapshot lost")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// ReduceLineage extracts the provenance sub-graph relevant to the given
+// root nodes: every node reachable from a root within maxHops relation
+// edges (traversed in both directions), together with the kept nodes'
+// annotation triples (rdf:type, provio:name, memberships, properties).
+//
+// This is the provenance-reduction optimization the paper's related-work
+// section points at (§7): full workflow provenance can reach millions of
+// triples, but a lineage question touches a small neighborhood. Reducing
+// before visualization keeps Figure-9-style renderings readable, and
+// reducing before repeated querying shrinks the search space.
+//
+// maxHops <= 0 means unbounded (full connected component).
+func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
+	keep := map[rdf.Term]int{}
+	frontier := make([]rdf.Term, 0, len(roots))
+	for _, r := range roots {
+		if r.IsZero() {
+			continue
+		}
+		keep[r] = 0
+		frontier = append(frontier, r)
+	}
+
+	// Traversal follows lineage relations only. prov:wasMemberOf is
+	// classification, not lineage — following it would connect every
+	// entity through the shared super-class nodes; it is kept as an
+	// annotation of retained nodes instead.
+	relations := map[rdf.Term]bool{}
+	for _, rel := range model.AllRelations() {
+		if rel.IRI() == model.WasMemberOf.IRI() {
+			continue
+		}
+		relations[rel.IRI()] = true
+	}
+	for _, rel := range []model.Relation{model.PropType, model.PropConfig, model.PropMetric} {
+		relations[rel.IRI()] = true
+	}
+
+	for len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		depth := keep[node]
+		if maxHops > 0 && depth >= maxHops {
+			continue
+		}
+		visit := func(next rdf.Term) {
+			if !next.IsIRI() && !next.IsBlank() {
+				return
+			}
+			if _, seen := keep[next]; seen {
+				return
+			}
+			keep[next] = depth + 1
+			frontier = append(frontier, next)
+		}
+		n := node
+		g.ForEachMatch(&n, nil, nil, func(t rdf.Triple) bool {
+			if relations[t.P] {
+				visit(t.O)
+			}
+			return true
+		})
+		g.ForEachMatch(nil, nil, &n, func(t rdf.Triple) bool {
+			if relations[t.P] {
+				visit(t.S)
+			}
+			return true
+		})
+	}
+
+	out := rdf.NewGraph()
+	g.ForEachMatch(nil, nil, nil, func(t rdf.Triple) bool {
+		_, sKept := keep[t.S]
+		if !sKept {
+			return true
+		}
+		if relations[t.P] {
+			// Relation edges only between kept nodes.
+			if _, oKept := keep[t.O]; oKept {
+				out.Add(t)
+			}
+			return true
+		}
+		// Annotation triples (type, name, literals) of kept nodes.
+		out.Add(t)
+		return true
+	})
+	return out
+}
+
+// MergeStores merges the sub-graphs of several provenance stores — the
+// cross-run / cross-workflow provenance the paper's conclusion calls for
+// (§8): each run keeps its own store, and GUID-based node identity unifies
+// the shared agents, data objects, and configuration records at merge time.
+func MergeStores(stores ...*Store) (*rdf.Graph, error) {
+	merged := rdf.NewGraph()
+	for _, s := range stores {
+		g, err := s.Merge()
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(g)
+	}
+	return merged, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// chainTracker builds a lineage chain f0 <- f1 <- ... <- fN plus an
+// unrelated island.
+func chainTracker(n int) (*Tracker, []rdf.Term) {
+	tr := NewTracker(DefaultConfig(), nil, 0)
+	prog := tr.RegisterProgram("p", rdf.Term{})
+	nodes := make([]rdf.Term, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = tr.TrackDataObject(model.File, fmt.Sprintf("/f%d", i), "", rdf.Term{}, prog)
+		if i > 0 {
+			tr.TrackDerivation(nodes[i], nodes[i-1])
+		}
+	}
+	// Unrelated island.
+	island := tr.TrackDataObject(model.File, "/island", "", rdf.Term{}, rdf.Term{})
+	tr.TrackIO(model.Write, "write", island, rdf.Term{}, 0, 0)
+	return tr, nodes
+}
+
+func TestReduceLineageKeepsComponent(t *testing.T) {
+	tr, nodes := chainTracker(5)
+	g := tr.Graph()
+	reduced := ReduceLineage(g, []rdf.Term{nodes[4]}, 0)
+	if reduced.Len() >= g.Len() {
+		t.Errorf("reduction did not shrink: %d >= %d", reduced.Len(), g.Len())
+	}
+	// The whole chain is kept.
+	for i, n := range nodes {
+		if len(reduced.Find(n.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), nil)) != 1 {
+			t.Errorf("chain node %d lost", i)
+		}
+	}
+	// The island is gone.
+	island := rdf.IRI(model.NodeIRI(model.File, "/island"))
+	if len(reduced.Find(island.Ptr(), nil, nil)) != 0 {
+		t.Error("island survived reduction")
+	}
+}
+
+func TestReduceLineageHopBound(t *testing.T) {
+	// A pure derivation chain (no shared agent hub that would shortcut
+	// the hop count).
+	tr := NewTracker(DefaultConfig(), nil, 0)
+	nodes := make([]rdf.Term, 6)
+	for i := range nodes {
+		nodes[i] = tr.TrackDataObject(model.File, fmt.Sprintf("/c%d", i), "", rdf.Term{}, rdf.Term{})
+		if i > 0 {
+			tr.TrackDerivation(nodes[i], nodes[i-1])
+		}
+	}
+	reduced := ReduceLineage(tr.Graph(), []rdf.Term{nodes[5]}, 2)
+	// Nodes 5, 4, 3 kept (2 hops); node 0 dropped.
+	if len(reduced.Find(nodes[3].Ptr(), nil, nil)) == 0 {
+		t.Error("2-hop node dropped")
+	}
+	if len(reduced.Find(nodes[0].Ptr(), rdf.IRI(rdf.RDFType).Ptr(), nil)) != 0 {
+		t.Error("far node survived hop bound")
+	}
+}
+
+func TestReduceLineageAnnotationsKept(t *testing.T) {
+	tr, nodes := chainTracker(2)
+	reduced := ReduceLineage(tr.Graph(), []rdf.Term{nodes[1]}, 0)
+	if len(reduced.Find(nodes[1].Ptr(), model.PropName.IRI().Ptr(), nil)) != 1 {
+		t.Error("name annotation lost")
+	}
+}
+
+func TestReduceLineageEmptyRoots(t *testing.T) {
+	tr, _ := chainTracker(3)
+	reduced := ReduceLineage(tr.Graph(), nil, 0)
+	if reduced.Len() != 0 {
+		t.Errorf("no roots should keep nothing, got %d", reduced.Len())
+	}
+	reduced = ReduceLineage(tr.Graph(), []rdf.Term{{}}, 0)
+	if reduced.Len() != 0 {
+		t.Errorf("zero-term root kept %d triples", reduced.Len())
+	}
+}
+
+func TestMergeStoresCrossRun(t *testing.T) {
+	// Two runs of the "same workflow" write to separate stores; the merged
+	// graph unifies the program node and keeps both configuration versions
+	// — the cross-run provenance of the paper's future-work section.
+	view := vfs.NewStore().NewView()
+	var stores []*Store
+	for run := 0; run < 2; run++ {
+		store, err := NewStore(VFSBackend{View: view}, fmt.Sprintf("/prov/run%d", run), FormatTurtle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := NewTracker(DefaultConfig(), store, 0)
+		prog := tr.RegisterProgram("topreco", rdf.Term{})
+		tr.TrackConfigurationAccuracy(prog, "learning_rate",
+			rdf.Double(0.01*float64(run+1)), run, 0.8+0.05*float64(run))
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, store)
+	}
+	merged, err := MergeStores(stores...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One program node.
+	prog := rdf.IRI(model.NodeIRI(model.Program, "topreco"))
+	if n := len(merged.Find(prog.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), nil)); n != 1 {
+		t.Errorf("program nodes = %d, want 1 (GUID merge)", n)
+	}
+	// Two accuracy-bearing configuration versions.
+	if n := len(merged.Find(nil, model.PropAccuracy.IRI().Ptr(), nil)); n != 2 {
+		t.Errorf("accuracy records = %d, want 2", n)
+	}
+}

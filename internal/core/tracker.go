@@ -1,0 +1,293 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/simclock"
+)
+
+// Tracker is the PROV-IO Library instance owned by one process: it builds
+// the in-memory provenance sub-graph, applies the Config's sub-class
+// switches, charges modeled tracking cost to the process's virtual clock,
+// and flushes to the Provenance Store.
+//
+// A Tracker is safe for concurrent use by the threads (simulated MPI ranks /
+// OpenMP workers) of its process.
+type Tracker struct {
+	cfg   *Config
+	store *Store
+	pid   int
+
+	mu      sync.Mutex
+	graph   *rdf.Graph
+	seq     map[string]int // per-API invocation counters
+	records int            // records since last flush
+	closed  bool
+
+	clock *simclock.Clock
+	cost  simclock.CostModel
+	// charge gates virtual-time accounting.
+	charge bool
+
+	// stats
+	nRecords int64
+	nTriples int64
+}
+
+// NewTracker creates a tracker for process pid writing to store. A nil
+// store is allowed (in-memory only, flush becomes a no-op).
+func NewTracker(cfg *Config, store *Store, pid int) *Tracker {
+	return &Tracker{
+		cfg:   cfg,
+		store: store,
+		pid:   pid,
+		graph: rdf.NewGraph(),
+		seq:   make(map[string]int),
+	}
+}
+
+// WithClock attaches a virtual clock so tracking operations charge modeled
+// cost, and returns the tracker for chaining. The one-time provenance
+// library initialization cost (store setup, Redland-analog startup) is
+// charged immediately.
+func (t *Tracker) WithClock(clock *simclock.Clock, cost simclock.CostModel) *Tracker {
+	t.clock = clock
+	t.cost = cost
+	t.charge = clock != nil
+	if t.charge {
+		clock.Advance(cost.TrackerInit)
+	}
+	return t
+}
+
+// Config returns the tracker's configuration.
+func (t *Tracker) Config() *Config { return t.cfg }
+
+// PID returns the tracked process ID.
+func (t *Tracker) PID() int { return t.pid }
+
+// Graph returns the live in-memory sub-graph. Callers must treat it as
+// read-only.
+func (t *Tracker) Graph() *rdf.Graph { return t.graph }
+
+// Stats returns the number of records and triples tracked so far.
+func (t *Tracker) Stats() (records, triples int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nRecords, t.nTriples
+}
+
+// addRecord inserts a record's triples, charges its cost, and handles
+// periodic flushing. Caller passes the triples already built.
+func (t *Tracker) addRecord(triples []rdf.Triple) {
+	t.mu.Lock()
+	for _, tr := range triples {
+		t.graph.Add(tr)
+	}
+	graphSize := t.graph.Len()
+	t.nRecords++
+	t.nTriples += int64(len(triples))
+	t.records++
+	needFlush := t.cfg.Mode == ModePeriodic && t.records >= t.cfg.FlushEvery
+	if needFlush {
+		t.records = 0
+	}
+	t.mu.Unlock()
+
+	if t.charge {
+		t.clock.Advance(t.cost.TrackCostAt(len(triples), graphSize))
+	}
+	if needFlush {
+		// Periodic serialization is asynchronous in the paper's prototype;
+		// we run it inline but charge only the (small) async handoff cost,
+		// while the serialization itself is charged via SerializeCost at
+		// flush (representing the overlap-visible fraction).
+		t.flush(true)
+	}
+}
+
+// RegisterUser records a User agent and returns its node.
+func (t *Tracker) RegisterUser(name string) rdf.Term {
+	if !t.cfg.Enabled(model.User) {
+		return rdf.Term{}
+	}
+	rec := model.AgentRecord{Class: model.User, ID: name, Rank: -1}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// RegisterProgram records a Program agent (optionally on behalf of a user)
+// and returns its node.
+func (t *Tracker) RegisterProgram(name string, user rdf.Term) rdf.Term {
+	if !t.cfg.Enabled(model.Program) {
+		return rdf.Term{}
+	}
+	rec := model.AgentRecord{Class: model.Program, ID: name, Rank: -1}
+	if !user.IsZero() {
+		rec.OnBehalfOf = user.Value
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// RegisterThread records a Thread agent with its MPI rank (optionally on
+// behalf of a program) and returns its node.
+func (t *Tracker) RegisterThread(rank int, program rdf.Term) rdf.Term {
+	if !t.cfg.Enabled(model.Thread) {
+		return rdf.Term{}
+	}
+	rec := model.AgentRecord{
+		Class: model.Thread,
+		ID:    fmt.Sprintf("MPI_rank_%d", rank),
+		Rank:  rank,
+	}
+	if !program.IsZero() {
+		rec.OnBehalfOf = program.Value
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackDataObject records an Entity node of the given Data Object sub-class
+// and returns its node. container and attributedTo may be zero.
+func (t *Tracker) TrackDataObject(class model.Class, id, name string, container, attributedTo rdf.Term) rdf.Term {
+	if !t.cfg.Enabled(class) {
+		return rdf.Term{}
+	}
+	rec := model.DataObjectRecord{Class: class, ID: id, Name: name}
+	if !container.IsZero() {
+		rec.Container = container.Value
+	}
+	if !attributedTo.IsZero() {
+		rec.AttributedTo = attributedTo.Value
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackIO records one I/O API invocation of the given Activity sub-class.
+// The object/agent may be zero terms when their classes are disabled.
+// Returns the activity node (zero when the class is disabled).
+func (t *Tracker) TrackIO(class model.Class, apiName string, object, agent rdf.Term, started, elapsed time.Duration) rdf.Term {
+	if !t.cfg.Enabled(class) {
+		return rdf.Term{}
+	}
+	t.mu.Lock()
+	t.seq[apiName]++
+	seq := t.seq[apiName]
+	t.mu.Unlock()
+	rec := model.IOActivityRecord{
+		Class: class, API: apiName, PID: t.pid, Seq: seq,
+		Object: object, Agent: agent,
+		Started: started, Elapsed: elapsed,
+		TrackDuration: t.cfg.Duration,
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackDerivation records prov:wasDerivedFrom between two entities —
+// the backward-lineage edge of the DASSA use case.
+func (t *Tracker) TrackDerivation(product, source rdf.Term) {
+	if product.IsZero() || source.IsZero() {
+		return
+	}
+	t.addRecord([]rdf.Triple{{S: product, P: model.WasDerivedFrom.IRI(), O: source}})
+}
+
+// TrackType records the workflow Type extensible record.
+func (t *Tracker) TrackType(owner rdf.Term, workflowType string) rdf.Term {
+	if !t.cfg.Enabled(model.Type) {
+		return rdf.Term{}
+	}
+	rec := model.ExtensibleRecord{
+		Class: model.Type, Owner: owner.Value, Key: "type",
+		Value: rdf.Literal(workflowType), Version: -1,
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackConfiguration records one Configuration key/value at a version.
+func (t *Tracker) TrackConfiguration(owner rdf.Term, key string, value rdf.Term, version int) rdf.Term {
+	if !t.cfg.Enabled(model.Configuration) {
+		return rdf.Term{}
+	}
+	rec := model.ExtensibleRecord{
+		Class: model.Configuration, Owner: owner.Value, Key: key,
+		Value: value, Version: version,
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackConfigurationAccuracy records a Configuration version annotated with
+// the training accuracy it produced (the Top Reco mapping need).
+func (t *Tracker) TrackConfigurationAccuracy(owner rdf.Term, key string, value rdf.Term, version int, accuracy float64) rdf.Term {
+	if !t.cfg.Enabled(model.Configuration) {
+		return rdf.Term{}
+	}
+	rec := model.ExtensibleRecord{
+		Class: model.Configuration, Owner: owner.Value, Key: key,
+		Value: value, Version: version,
+		Accuracy: accuracy, HasAccuracy: true,
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// TrackMetric records one Metrics key/value (e.g. training accuracy per
+// epoch) at a version.
+func (t *Tracker) TrackMetric(owner rdf.Term, key string, value rdf.Term, version int) rdf.Term {
+	if !t.cfg.Enabled(model.Metrics) {
+		return rdf.Term{}
+	}
+	rec := model.ExtensibleRecord{
+		Class: model.Metrics, Owner: owner.Value, Key: key,
+		Value: value, Version: version,
+	}
+	t.addRecord(rec.Triples())
+	return rec.IRI()
+}
+
+// Flush serializes the current sub-graph to the store synchronously.
+func (t *Tracker) Flush() error {
+	return t.flush(false)
+}
+
+func (t *Tracker) flush(periodic bool) error {
+	if t.store == nil {
+		return nil
+	}
+	// The graph is internally synchronized; serialization snapshots it via
+	// SortedTriples without cloning (cloning would double peak memory when
+	// thousands of rank trackers flush together).
+	if t.charge {
+		cost := t.cost.SerializeCost(t.graph.Len())
+		if periodic {
+			// The paper overlaps periodic serialization with computation;
+			// only a fraction of the cost lands on the critical path.
+			cost /= 8
+		}
+		t.clock.Advance(cost)
+	}
+	return t.store.WriteSubgraph(t.pid, t.graph)
+}
+
+// Close flushes and marks the tracker closed. Further tracking calls still
+// work (the paper's library tolerates trailing records) but Close should be
+// the last call.
+func (t *Tracker) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.Flush()
+}

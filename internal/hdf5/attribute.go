@@ -1,0 +1,174 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AttrHost is any object that can carry attributes: groups, datasets, and
+// named datatypes (matching HDF5, where attributes attach to any object).
+type AttrHost interface {
+	host() *object
+	hfile() *File
+	hpath() string
+}
+
+// Object is any addressable object in a file: it hosts attributes and has a
+// path. The Virtual Object Layer (internal/vol) intercepts operations in
+// terms of this interface.
+type Object interface {
+	AttrHost
+	Path() string
+	File() *File
+}
+
+// Statically assert the three hosts.
+var (
+	_ Object = (*Group)(nil)
+	_ Object = (*Dataset)(nil)
+	_ Object = (*NamedDatatype)(nil)
+)
+
+// CreateAttribute attaches a typed attribute to an object (H5Acreate +
+// H5Awrite). An existing attribute of the same name is replaced.
+func CreateAttribute(h AttrHost, name string, dt Datatype, dims []int, value []byte) error {
+	f := h.hfile()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkWritable(); err != nil {
+		return err
+	}
+	if !validName(name) {
+		return ErrBadName
+	}
+	if !dt.Valid() {
+		return ErrTypeMismatch
+	}
+	n, err := elemCount(dims)
+	if err != nil {
+		return err
+	}
+	if int64(len(value)) != n*int64(dt.Size) {
+		return ErrShape
+	}
+	h.host().attrs[name] = &attribute{
+		name: name, dtype: dt, dims: append([]int(nil), dims...),
+		value: append([]byte(nil), value...),
+	}
+	f.dirty = true
+	return nil
+}
+
+// AttrInfo describes an attribute.
+type AttrInfo struct {
+	Name     string
+	Datatype Datatype
+	Dims     []int
+}
+
+// ReadAttribute reads an attribute's raw value (H5Aopen + H5Aread).
+func ReadAttribute(h AttrHost, name string) ([]byte, AttrInfo, error) {
+	f := h.hfile()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, AttrInfo{}, ErrClosed
+	}
+	a, ok := h.host().attrs[name]
+	if !ok {
+		return nil, AttrInfo{}, ErrAttrNotExist
+	}
+	info := AttrInfo{Name: a.name, Datatype: a.dtype, Dims: append([]int(nil), a.dims...)}
+	return append([]byte(nil), a.value...), info, nil
+}
+
+// DeleteAttribute removes an attribute (H5Adelete).
+func DeleteAttribute(h AttrHost, name string) error {
+	f := h.hfile()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkWritable(); err != nil {
+		return err
+	}
+	if _, ok := h.host().attrs[name]; !ok {
+		return ErrAttrNotExist
+	}
+	delete(h.host().attrs, name)
+	f.dirty = true
+	return nil
+}
+
+// ListAttributes returns the object's attribute names, sorted.
+func ListAttributes(h AttrHost) []string {
+	f := h.hfile()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return h.host().attrNames()
+}
+
+// Typed convenience helpers, mirroring common H5LT usage.
+
+// SetStringAttribute stores a string attribute (fixed-size string type).
+func SetStringAttribute(h AttrHost, name, value string) error {
+	n := len(value)
+	if n == 0 {
+		n = 1
+	}
+	buf := make([]byte, n)
+	copy(buf, value)
+	return CreateAttribute(h, name, TypeString(n), []int{1}, buf)
+}
+
+// GetStringAttribute reads a string attribute, trimming NUL padding.
+func GetStringAttribute(h AttrHost, name string) (string, error) {
+	raw, info, err := ReadAttribute(h, name)
+	if err != nil {
+		return "", err
+	}
+	if info.Datatype.Class != ClassString {
+		return "", ErrTypeMismatch
+	}
+	end := len(raw)
+	for end > 0 && raw[end-1] == 0 {
+		end--
+	}
+	return string(raw[:end]), nil
+}
+
+// SetInt64Attribute stores a scalar int64 attribute.
+func SetInt64Attribute(h AttrHost, name string, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return CreateAttribute(h, name, TypeInt64, []int{1}, buf[:])
+}
+
+// GetInt64Attribute reads a scalar int64 attribute.
+func GetInt64Attribute(h AttrHost, name string) (int64, error) {
+	raw, info, err := ReadAttribute(h, name)
+	if err != nil {
+		return 0, err
+	}
+	if info.Datatype != TypeInt64 || len(raw) != 8 {
+		return 0, ErrTypeMismatch
+	}
+	return int64(binary.LittleEndian.Uint64(raw)), nil
+}
+
+// SetFloat64Attribute stores a scalar float64 attribute.
+func SetFloat64Attribute(h AttrHost, name string, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	return CreateAttribute(h, name, TypeFloat64, []int{1}, buf[:])
+}
+
+// GetFloat64Attribute reads a scalar float64 attribute.
+func GetFloat64Attribute(h AttrHost, name string) (float64, error) {
+	raw, info, err := ReadAttribute(h, name)
+	if err != nil {
+		return 0, err
+	}
+	if info.Datatype != TypeFloat64 || len(raw) != 8 {
+		return 0, ErrTypeMismatch
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(raw)), nil
+}

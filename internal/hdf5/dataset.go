@@ -1,0 +1,241 @@
+package hdf5
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+)
+
+// Dataset is a handle on a dataset object.
+type Dataset struct {
+	file *File
+	obj  *object
+	path string
+}
+
+// Path returns the dataset's absolute path within the file.
+func (d *Dataset) Path() string { return d.path }
+
+// File returns the owning file.
+func (d *Dataset) File() *File { return d.file }
+
+// Datatype returns the element type.
+func (d *Dataset) Datatype() Datatype {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	return d.obj.dtype
+}
+
+// Dims returns the current extent.
+func (d *Dataset) Dims() []int {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	return append([]int(nil), d.obj.dims...)
+}
+
+// ByteSize returns the logical dataset size in bytes.
+func (d *Dataset) ByteSize() int64 {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	return d.obj.byteSize()
+}
+
+// Deflate reports whether the compression filter is enabled.
+func (d *Dataset) Deflate() bool {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	return d.obj.deflate
+}
+
+// StoredBytes returns the summed on-disk size of the dataset's segments
+// (compressed size under the deflate filter).
+func (d *Dataset) StoredBytes() int64 {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	var n int64
+	for _, s := range d.obj.segments {
+		n += s.length
+	}
+	return n
+}
+
+// Versions returns the number of raw segments recorded for the dataset —
+// each overwrite/append adds one, which is how the H5bench workflow observes
+// "multiple versions of a dataset".
+func (d *Dataset) Versions() int {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	return len(d.obj.segments)
+}
+
+// Write replaces the dataset's full contents (H5Dwrite over the whole
+// dataspace). len(data) must equal the dataset's byte size.
+func (d *Dataset) Write(data []byte) error {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	if err := d.file.checkWritable(); err != nil {
+		return err
+	}
+	if int64(len(data)) != d.obj.byteSize() {
+		return ErrShape
+	}
+	return d.writeRowsLocked(0, int64(d.obj.dims[0]), data)
+}
+
+// WriteRows overwrites rows [start, start+count) of dimension 0 (H5Dwrite
+// with a hyperslab selection). data must contain count full rows.
+func (d *Dataset) WriteRows(start, count int, data []byte) error {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	if err := d.file.checkWritable(); err != nil {
+		return err
+	}
+	if start < 0 || count < 0 || start+count > d.obj.dims[0] {
+		return ErrBounds
+	}
+	if int64(len(data)) != int64(count)*d.obj.rowSize() {
+		return ErrShape
+	}
+	return d.writeRowsLocked(int64(start), int64(count), data)
+}
+
+// writeRowsLocked appends a raw-data segment covering the row range and
+// records it in the dataset's segment list. With the deflate filter enabled
+// the segment is stored compressed (the H5Pset_deflate analog).
+func (d *Dataset) writeRowsLocked(rowStart, rowCount int64, data []byte) error {
+	stored := data
+	var rawLength int64
+	if d.obj.deflate {
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+		if err != nil {
+			return err
+		}
+		if _, err := zw.Write(data); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		stored = buf.Bytes()
+		rawLength = int64(len(data))
+	}
+	off := d.file.allocate(int64(len(stored)))
+	if _, err := d.file.f.WriteAt(stored, off); err != nil {
+		return err
+	}
+	d.obj.segments = append(d.obj.segments, segment{
+		rowStart: rowStart, rowCount: rowCount, offset: off,
+		length: int64(len(stored)), rawLength: rawLength,
+	})
+	d.file.dirty = true
+	return nil
+}
+
+// segmentData loads (and, for filtered segments, decompresses) a segment's
+// full raw contents.
+func (d *Dataset) segmentData(s segment) ([]byte, error) {
+	stored := make([]byte, s.length)
+	if s.length > 0 {
+		if _, err := d.file.f.ReadAt(stored, s.offset); err != nil {
+			return nil, err
+		}
+	}
+	if s.rawLength == 0 {
+		return stored, nil
+	}
+	zr := flate.NewReader(bytes.NewReader(stored))
+	defer zr.Close()
+	raw := make([]byte, s.rawLength)
+	if _, err := io.ReadFull(zr, raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Append extends dimension 0 by rows additional rows and writes data into
+// the new region (the H5bench 'append' operation). data must contain rows
+// full rows.
+func (d *Dataset) Append(rows int, data []byte) error {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	if err := d.file.checkWritable(); err != nil {
+		return err
+	}
+	if rows <= 0 {
+		return ErrShape
+	}
+	if int64(len(data)) != int64(rows)*d.obj.rowSize() {
+		return ErrShape
+	}
+	start := int64(d.obj.dims[0])
+	d.obj.dims[0] += rows
+	return d.writeRowsLocked(start, int64(rows), data)
+}
+
+// Read returns the dataset's full logical contents, reconstructed by
+// replaying the segment list (later segments shadow earlier ones).
+func (d *Dataset) Read() ([]byte, error) {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	if d.file.closed {
+		return nil, ErrClosed
+	}
+	return d.readRowsLocked(0, int64(d.obj.dims[0]))
+}
+
+// ReadRows reads rows [start, start+count) of dimension 0 (H5Dread with a
+// hyperslab selection).
+func (d *Dataset) ReadRows(start, count int) ([]byte, error) {
+	d.file.mu.Lock()
+	defer d.file.mu.Unlock()
+	if d.file.closed {
+		return nil, ErrClosed
+	}
+	if start < 0 || count < 0 || start+count > d.obj.dims[0] {
+		return nil, ErrBounds
+	}
+	return d.readRowsLocked(int64(start), int64(count))
+}
+
+func (d *Dataset) readRowsLocked(rowStart, rowCount int64) ([]byte, error) {
+	rowSize := d.obj.rowSize()
+	out := make([]byte, rowCount*rowSize)
+	reqEnd := rowStart + rowCount
+	for _, s := range d.obj.segments {
+		segEnd := s.rowStart + s.rowCount
+		// Intersect [s.rowStart, segEnd) with [rowStart, reqEnd).
+		lo, hi := s.rowStart, segEnd
+		if lo < rowStart {
+			lo = rowStart
+		}
+		if hi > reqEnd {
+			hi = reqEnd
+		}
+		if lo >= hi {
+			continue
+		}
+		dstOff := (lo - rowStart) * rowSize
+		n := (hi - lo) * rowSize
+		if s.rawLength == 0 {
+			// Unfiltered segments support partial reads directly.
+			srcOff := s.offset + (lo-s.rowStart)*rowSize
+			if _, err := d.file.f.ReadAt(out[dstOff:dstOff+n], srcOff); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Filtered segments decompress as a whole (like HDF5 chunks).
+		raw, err := d.segmentData(s)
+		if err != nil {
+			return nil, err
+		}
+		srcOff := (lo - s.rowStart) * rowSize
+		copy(out[dstOff:dstOff+n], raw[srcOff:srcOff+n])
+	}
+	return out, nil
+}
+
+func (d *Dataset) host() *object { return d.obj }
+func (d *Dataset) hfile() *File  { return d.file }
+func (d *Dataset) hpath() string { return d.path }

@@ -1,0 +1,115 @@
+// Package hdf5 implements a from-scratch hierarchical data format with the
+// object model the PROV-IO paper depends on: files containing groups,
+// datasets, attributes, named datatypes, and links, with chunk-versioned
+// dataset storage that supports the H5bench 'overwrite' and 'append'
+// operations. The on-disk representation is a real binary format persisted
+// through the vfs substrate (superblock + raw data segments + serialized
+// metadata block), so storage sizes and I/O volumes are genuine.
+//
+// The package replaces the HDF5 C library in this reproduction; see
+// internal/vol for the Virtual Object Layer that intercepts the API calls.
+package hdf5
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the hdf5 package.
+var (
+	ErrBadMagic     = errors.New("hdf5: not a PH5F file")
+	ErrBadVersion   = errors.New("hdf5: unsupported format version")
+	ErrCorrupt      = errors.New("hdf5: corrupt metadata")
+	ErrExist        = errors.New("hdf5: object already exists")
+	ErrNotExist     = errors.New("hdf5: object does not exist")
+	ErrNotGroup     = errors.New("hdf5: object is not a group")
+	ErrNotDataset   = errors.New("hdf5: object is not a dataset")
+	ErrNotDatatype  = errors.New("hdf5: object is not a named datatype")
+	ErrClosed       = errors.New("hdf5: file is closed")
+	ErrReadOnly     = errors.New("hdf5: file opened read-only")
+	ErrShape        = errors.New("hdf5: shape mismatch")
+	ErrBounds       = errors.New("hdf5: selection out of bounds")
+	ErrBadName      = errors.New("hdf5: invalid object name")
+	ErrLinkDangling = errors.New("hdf5: dangling link")
+	ErrAttrNotExist = errors.New("hdf5: attribute does not exist")
+	ErrTypeMismatch = errors.New("hdf5: datatype mismatch")
+)
+
+// TypeClass enumerates the supported element classes.
+type TypeClass uint8
+
+// Type classes.
+const (
+	ClassInt TypeClass = iota + 1
+	ClassUint
+	ClassFloat
+	ClassString // fixed-size, NUL-padded
+)
+
+// Datatype describes dataset/attribute element types.
+type Datatype struct {
+	Class TypeClass
+	// Size is the element size in bytes (for ClassString, the fixed
+	// string length).
+	Size int
+}
+
+// Predefined datatypes mirroring the HDF5 native types.
+var (
+	TypeInt8    = Datatype{ClassInt, 1}
+	TypeInt32   = Datatype{ClassInt, 4}
+	TypeInt64   = Datatype{ClassInt, 8}
+	TypeUint8   = Datatype{ClassUint, 1}
+	TypeUint32  = Datatype{ClassUint, 4}
+	TypeUint64  = Datatype{ClassUint, 8}
+	TypeFloat32 = Datatype{ClassFloat, 4}
+	TypeFloat64 = Datatype{ClassFloat, 8}
+)
+
+// TypeString returns a fixed-size string datatype of n bytes.
+func TypeString(n int) Datatype { return Datatype{ClassString, n} }
+
+// Valid reports whether the datatype is well-formed.
+func (t Datatype) Valid() bool {
+	switch t.Class {
+	case ClassInt, ClassUint:
+		return t.Size == 1 || t.Size == 2 || t.Size == 4 || t.Size == 8
+	case ClassFloat:
+		return t.Size == 4 || t.Size == 8
+	case ClassString:
+		return t.Size > 0 && t.Size <= 1<<16
+	}
+	return false
+}
+
+// String renders the type like "int64" or "string16".
+func (t Datatype) String() string {
+	switch t.Class {
+	case ClassInt:
+		return fmt.Sprintf("int%d", t.Size*8)
+	case ClassUint:
+		return fmt.Sprintf("uint%d", t.Size*8)
+	case ClassFloat:
+		return fmt.Sprintf("float%d", t.Size*8)
+	case ClassString:
+		return fmt.Sprintf("string%d", t.Size)
+	default:
+		return "invalid"
+	}
+}
+
+// elemCount returns the number of elements for dims, or an error on
+// non-positive extents.
+func elemCount(dims []int) (int64, error) {
+	if len(dims) == 0 {
+		return 0, ErrShape
+	}
+	n := int64(1)
+	for _, d := range dims {
+		if d < 0 {
+			return 0, ErrShape
+		}
+		n *= int64(d)
+	}
+	return n, nil
+}

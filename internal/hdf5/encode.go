@@ -1,0 +1,382 @@
+package hdf5
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary metadata encoding. All integers are little-endian. Strings and byte
+// blobs are u32-length-prefixed. The metadata block is the serialized root
+// group; each object is encoded recursively.
+
+const (
+	magic         = "PH5F"
+	formatVersion = 1
+	superblockLen = 4 + 4 + 8 + 8 + 8 // magic, version, metaOff, metaLen, nextID
+)
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (e *encoder) u8(v uint8) { e.buf.WriteByte(v) }
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf.Write(b[:])
+}
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) blob(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf.Write(b)
+}
+
+func (e *encoder) dims(dims []int) {
+	e.u32(uint32(len(dims)))
+	for _, d := range dims {
+		e.i64(int64(d))
+	}
+}
+
+func (e *encoder) datatype(t Datatype) {
+	e.u8(uint8(t.Class))
+	e.u32(uint32(t.Size))
+}
+
+func (e *encoder) attribute(a *attribute) {
+	e.str(a.name)
+	e.datatype(a.dtype)
+	e.dims(a.dims)
+	e.blob(a.value)
+}
+
+// object encodes o under the given directory-entry name. Objects reached a
+// second time through a hard-link alias are encoded as a hard-link stub
+// carrying only the target ID, so shared objects are stored once.
+func (e *encoder) object(name string, o *object, seen map[uint64]bool) {
+	if o.kind != kindSoftLink && o.kind != kindHardLink && seen[o.id] {
+		e.u8(uint8(kindHardLink))
+		e.u64(0)
+		e.str(name)
+		e.u32(0) // no attributes on the stub
+		e.u64(o.id)
+		return
+	}
+	if o.kind != kindSoftLink && o.kind != kindHardLink {
+		seen[o.id] = true
+	}
+	e.u8(uint8(o.kind))
+	e.u64(o.id)
+	e.str(name)
+	// Attributes (sorted for determinism).
+	e.u32(uint32(len(o.attrs)))
+	for _, an := range o.attrNames() {
+		e.attribute(o.attrs[an])
+	}
+	switch o.kind {
+	case kindGroup:
+		e.u32(uint32(len(o.children)))
+		for _, cn := range o.childNames() {
+			e.object(cn, o.children[cn], seen)
+		}
+	case kindDataset:
+		e.datatype(o.dtype)
+		e.dims(o.dims)
+		var flags uint8
+		if o.deflate {
+			flags |= 1
+		}
+		e.u8(flags)
+		e.u32(uint32(len(o.segments)))
+		for _, s := range o.segments {
+			e.i64(s.rowStart)
+			e.i64(s.rowCount)
+			e.i64(s.offset)
+			e.i64(s.length)
+			e.i64(s.rawLength)
+		}
+	case kindDatatype:
+		e.datatype(o.dtype)
+	case kindSoftLink:
+		e.str(o.target)
+	case kindHardLink:
+		e.u64(o.targetID)
+	}
+}
+
+// encodeMetadata serializes the root group.
+func encodeMetadata(root *object) []byte {
+	var e encoder
+	e.object("/", root, make(map[uint64]bool))
+	return e.buf.Bytes()
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) fail(what string) error {
+	return fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, d.pos)
+}
+
+func (d *decoder) u8() (uint8, error) {
+	if d.pos+1 > len(d.data) {
+		return 0, d.fail("u8")
+	}
+	v := d.data[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, d.fail("u32")
+	}
+	v := binary.LittleEndian.Uint32(d.data[d.pos:])
+	d.pos += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.data) {
+		return 0, d.fail("u64")
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return "", d.fail("string")
+	}
+	s := string(d.data[d.pos : d.pos+int(n)])
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) blob() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+int(n) > len(d.data) {
+		return nil, d.fail("blob")
+	}
+	b := append([]byte(nil), d.data[d.pos:d.pos+int(n)]...)
+	d.pos += int(n)
+	return b, nil
+}
+
+func (d *decoder) dims() ([]int, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, d.fail("rank")
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := d.i64()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func (d *decoder) datatype() (Datatype, error) {
+	cls, err := d.u8()
+	if err != nil {
+		return Datatype{}, err
+	}
+	size, err := d.u32()
+	if err != nil {
+		return Datatype{}, err
+	}
+	t := Datatype{Class: TypeClass(cls), Size: int(size)}
+	if !t.Valid() {
+		return Datatype{}, fmt.Errorf("%w: invalid datatype %d/%d", ErrCorrupt, cls, size)
+	}
+	return t, nil
+}
+
+func (d *decoder) attribute() (*attribute, error) {
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := d.datatype()
+	if err != nil {
+		return nil, err
+	}
+	dims, err := d.dims()
+	if err != nil {
+		return nil, err
+	}
+	val, err := d.blob()
+	if err != nil {
+		return nil, err
+	}
+	return &attribute{name: name, dtype: dt, dims: dims, value: val}, nil
+}
+
+func (d *decoder) object() (*object, error) {
+	kind, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	id, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	name, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	o := &object{kind: objKind(kind), id: id, name: name, attrs: make(map[string]*attribute)}
+	nAttrs, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nAttrs); i++ {
+		a, err := d.attribute()
+		if err != nil {
+			return nil, err
+		}
+		o.attrs[a.name] = a
+	}
+	switch o.kind {
+	case kindGroup:
+		o.children = make(map[string]*object)
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(n); i++ {
+			child, err := d.object()
+			if err != nil {
+				return nil, err
+			}
+			o.children[child.name] = child
+		}
+	case kindDataset:
+		if o.dtype, err = d.datatype(); err != nil {
+			return nil, err
+		}
+		if o.dims, err = d.dims(); err != nil {
+			return nil, err
+		}
+		flags, err := d.u8()
+		if err != nil {
+			return nil, err
+		}
+		o.deflate = flags&1 != 0
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(n); i++ {
+			var s segment
+			if s.rowStart, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if s.rowCount, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if s.offset, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if s.length, err = d.i64(); err != nil {
+				return nil, err
+			}
+			if s.rawLength, err = d.i64(); err != nil {
+				return nil, err
+			}
+			o.segments = append(o.segments, s)
+		}
+	case kindDatatype:
+		if o.dtype, err = d.datatype(); err != nil {
+			return nil, err
+		}
+	case kindSoftLink:
+		if o.target, err = d.str(); err != nil {
+			return nil, err
+		}
+	case kindHardLink:
+		if o.targetID, err = d.u64(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown object kind %d", ErrCorrupt, kind)
+	}
+	return o, nil
+}
+
+// decodeMetadata parses a metadata block into the root group and resolves
+// hard-link stubs back into shared object pointers.
+func decodeMetadata(data []byte) (*object, error) {
+	d := &decoder{data: data}
+	root, err := d.object()
+	if err != nil {
+		return nil, err
+	}
+	if root.kind != kindGroup {
+		return nil, fmt.Errorf("%w: root is not a group", ErrCorrupt)
+	}
+	byID := make(map[uint64]*object)
+	indexObjects(root, byID)
+	resolveStubs(root, byID)
+	return root, nil
+}
+
+func indexObjects(o *object, byID map[uint64]*object) {
+	if o.kind == kindSoftLink || o.kind == kindHardLink {
+		return
+	}
+	byID[o.id] = o
+	if o.kind == kindGroup {
+		for _, c := range o.children {
+			indexObjects(c, byID)
+		}
+	}
+}
+
+func resolveStubs(o *object, byID map[uint64]*object) {
+	if o.kind != kindGroup {
+		return
+	}
+	for name, c := range o.children {
+		if c.kind == kindHardLink {
+			if target, ok := byID[c.targetID]; ok {
+				o.children[name] = target
+			}
+			continue
+		}
+		resolveStubs(c, byID)
+	}
+}

@@ -1,0 +1,261 @@
+package hdf5
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// File is an open PH5F file: a superblock, raw dataset segments, and a
+// metadata block holding the serialized object tree.
+type File struct {
+	mu       sync.Mutex
+	view     *vfs.View
+	f        *vfs.File
+	path     string
+	root     *object
+	nextID   uint64
+	writable bool
+	closed   bool
+	dirty    bool
+	// alloc is the next free byte offset for raw data segments.
+	alloc int64
+}
+
+// Create creates (or truncates) a PH5F file at path.
+func Create(view *vfs.View, path string) (*File, error) {
+	f, err := view.OpenFile(path, vfs.O_RDWR|vfs.O_CREATE|vfs.O_TRUNC)
+	if err != nil {
+		return nil, err
+	}
+	h := &File{
+		view: view, f: f, path: path,
+		root:     newGroup("/", 1),
+		nextID:   2,
+		writable: true,
+		alloc:    superblockLen,
+		dirty:    true,
+	}
+	if err := h.writeSuperblock(0, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// Open opens an existing PH5F file. readonly guards against modification.
+func Open(view *vfs.View, path string, readonly bool) (*File, error) {
+	flag := vfs.O_RDWR
+	if readonly {
+		flag = vfs.O_RDONLY
+	}
+	f, err := view.OpenFile(path, flag)
+	if err != nil {
+		return nil, err
+	}
+	var sb [superblockLen]byte
+	if _, err := f.ReadAt(sb[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: cannot read superblock (%v)", ErrBadMagic, err)
+	}
+	if string(sb[:4]) != magic {
+		f.Close()
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(sb[4:8]); v != formatVersion {
+		f.Close()
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, v)
+	}
+	metaOff := int64(binary.LittleEndian.Uint64(sb[8:16]))
+	metaLen := int64(binary.LittleEndian.Uint64(sb[16:24]))
+	nextID := binary.LittleEndian.Uint64(sb[24:32])
+
+	h := &File{view: view, f: f, path: path, writable: !readonly, nextID: nextID}
+	if metaLen == 0 {
+		// Freshly created, never-flushed file.
+		h.root = newGroup("/", 1)
+		h.alloc = superblockLen
+		if h.nextID < 2 {
+			h.nextID = 2
+		}
+		return h, nil
+	}
+	meta := make([]byte, metaLen)
+	if _, err := f.ReadAt(meta, metaOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: metadata read failed (%v)", ErrCorrupt, err)
+	}
+	root, err := decodeMetadata(meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	h.root = root
+	// New raw data goes after the old metadata block; the old block
+	// becomes garbage that the next flush supersedes (log-structured).
+	h.alloc = metaOff + metaLen
+	return h, nil
+}
+
+// IsPH5F reports whether the file at path looks like a PH5F file.
+func IsPH5F(view *vfs.View, path string) bool {
+	f, err := view.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [4]byte
+	if _, err := f.ReadAt(m[:], 0); err != nil {
+		return false
+	}
+	return string(m[:]) == magic
+}
+
+func (h *File) writeSuperblock(metaOff, metaLen int64) error {
+	var sb [superblockLen]byte
+	copy(sb[:4], magic)
+	binary.LittleEndian.PutUint32(sb[4:8], formatVersion)
+	binary.LittleEndian.PutUint64(sb[8:16], uint64(metaOff))
+	binary.LittleEndian.PutUint64(sb[16:24], uint64(metaLen))
+	binary.LittleEndian.PutUint64(sb[24:32], h.nextID)
+	_, err := h.f.WriteAt(sb[:], 0)
+	return err
+}
+
+// Path returns the file's path in the vfs namespace.
+func (h *File) Path() string { return h.path }
+
+// Root returns the root group.
+func (h *File) Root() *Group {
+	return &Group{file: h, obj: h.root, path: "/"}
+}
+
+// Flush serializes metadata and updates the superblock (H5Fflush).
+func (h *File) Flush() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.flushLocked()
+}
+
+func (h *File) flushLocked() error {
+	if h.closed {
+		return ErrClosed
+	}
+	if !h.writable {
+		return nil // read-only flush is a no-op, like HDF5
+	}
+	meta := encodeMetadata(h.root)
+	off := h.alloc
+	if _, err := h.f.WriteAt(meta, off); err != nil {
+		return err
+	}
+	h.alloc = off + int64(len(meta))
+	if err := h.writeSuperblock(off, int64(len(meta))); err != nil {
+		return err
+	}
+	if err := h.f.Sync(); err != nil {
+		return err
+	}
+	h.dirty = false
+	return nil
+}
+
+// Close flushes (when writable) and closes the file.
+func (h *File) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrClosed
+	}
+	if h.writable && h.dirty {
+		if err := h.flushLocked(); err != nil {
+			return err
+		}
+	}
+	h.closed = true
+	return h.f.Close()
+}
+
+// allocate reserves n bytes of raw-data space and returns the offset.
+func (h *File) allocate(n int64) int64 {
+	off := h.alloc
+	h.alloc += n
+	return off
+}
+
+func (h *File) newID() uint64 {
+	id := h.nextID
+	h.nextID++
+	return id
+}
+
+// resolveObject walks an absolute or group-relative path to an object,
+// following soft and hard links.
+func (h *File) resolveObject(start *object, p string, depth int) (*object, error) {
+	if depth > 16 {
+		return nil, ErrLinkDangling
+	}
+	cur := start
+	if strings.HasPrefix(p, "/") {
+		cur = h.root
+	}
+	parts := strings.Split(strings.Trim(p, "/"), "/")
+	if len(parts) == 1 && parts[0] == "" {
+		return cur, nil
+	}
+	for i, part := range parts {
+		if cur.kind != kindGroup {
+			return nil, ErrNotGroup
+		}
+		child, ok := cur.children[part]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		switch child.kind {
+		case kindSoftLink:
+			rest := strings.Join(parts[i+1:], "/")
+			target := child.target
+			if rest != "" {
+				target = strings.TrimSuffix(target, "/") + "/" + rest
+			}
+			base := cur
+			return h.resolveObject(base, target, depth+1)
+		case kindHardLink:
+			resolved := h.findByID(h.root, child.targetID)
+			if resolved == nil {
+				return nil, ErrLinkDangling
+			}
+			child = resolved
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// findByID locates an object by ID (hard link resolution).
+func (h *File) findByID(o *object, id uint64) *object {
+	if o.id == id && o.kind != kindHardLink && o.kind != kindSoftLink {
+		return o
+	}
+	if o.kind == kindGroup {
+		for _, c := range o.children {
+			if found := h.findByID(c, id); found != nil {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+func (h *File) checkWritable() error {
+	if h.closed {
+		return ErrClosed
+	}
+	if !h.writable {
+		return ErrReadOnly
+	}
+	return nil
+}

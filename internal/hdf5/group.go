@@ -1,0 +1,292 @@
+package hdf5
+
+import (
+	"path"
+)
+
+// Group is a handle on a group object.
+type Group struct {
+	file *File
+	obj  *object
+	path string
+}
+
+// Path returns the group's absolute path within the file.
+func (g *Group) Path() string { return g.path }
+
+// File returns the owning file.
+func (g *Group) File() *File { return g.file }
+
+// CreateGroup creates a child group (H5Gcreate).
+func (g *Group) CreateGroup(name string) (*Group, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return nil, err
+	}
+	if !validName(name) {
+		return nil, ErrBadName
+	}
+	if _, ok := g.obj.children[name]; ok {
+		return nil, ErrExist
+	}
+	child := newGroup(name, g.file.newID())
+	g.obj.children[name] = child
+	g.file.dirty = true
+	return &Group{file: g.file, obj: child, path: path.Join(g.path, name)}, nil
+}
+
+// OpenGroup opens a child group by (possibly nested) path (H5Gopen).
+func (g *Group) OpenGroup(p string) (*Group, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if g.file.closed {
+		return nil, ErrClosed
+	}
+	o, err := g.file.resolveObject(g.obj, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	if o.kind != kindGroup {
+		return nil, ErrNotGroup
+	}
+	return &Group{file: g.file, obj: o, path: joinPath(g.path, p)}, nil
+}
+
+// Members returns the sorted names of the group's children (H5Literate).
+func (g *Group) Members() []string {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	return g.obj.childNames()
+}
+
+// Exists reports whether a child path resolves.
+func (g *Group) Exists(p string) bool {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	_, err := g.file.resolveObject(g.obj, p, 0)
+	return err == nil
+}
+
+// Delete removes a direct child (group, dataset, datatype, or link). Like
+// H5Ldelete it removes the name; hard-linked objects stay reachable via
+// other names.
+func (g *Group) Delete(name string) error {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return err
+	}
+	if _, ok := g.obj.children[name]; !ok {
+		return ErrNotExist
+	}
+	delete(g.obj.children, name)
+	g.file.dirty = true
+	return nil
+}
+
+// DatasetOptions selects optional dataset creation properties (the H5P
+// property-list analog).
+type DatasetOptions struct {
+	// Deflate stores raw segments compressed (H5Pset_deflate).
+	Deflate bool
+}
+
+// CreateDatasetWith creates a child dataset with explicit options.
+func (g *Group) CreateDatasetWith(name string, dt Datatype, dims []int, opts DatasetOptions) (*Dataset, error) {
+	ds, err := g.CreateDataset(name, dt, dims)
+	if err != nil {
+		return nil, err
+	}
+	g.file.mu.Lock()
+	ds.obj.deflate = opts.Deflate
+	g.file.mu.Unlock()
+	return ds, nil
+}
+
+// CreateDataset creates a child dataset (H5Dcreate).
+func (g *Group) CreateDataset(name string, dt Datatype, dims []int) (*Dataset, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return nil, err
+	}
+	if !validName(name) {
+		return nil, ErrBadName
+	}
+	if !dt.Valid() {
+		return nil, ErrTypeMismatch
+	}
+	if _, err := elemCount(dims); err != nil {
+		return nil, err
+	}
+	if _, ok := g.obj.children[name]; ok {
+		return nil, ErrExist
+	}
+	ds := newDataset(name, g.file.newID(), dt, dims)
+	g.obj.children[name] = ds
+	g.file.dirty = true
+	return &Dataset{file: g.file, obj: ds, path: path.Join(g.path, name)}, nil
+}
+
+// OpenDataset opens a dataset by path (H5Dopen).
+func (g *Group) OpenDataset(p string) (*Dataset, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if g.file.closed {
+		return nil, ErrClosed
+	}
+	o, err := g.file.resolveObject(g.obj, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	if o.kind != kindDataset {
+		return nil, ErrNotDataset
+	}
+	return &Dataset{file: g.file, obj: o, path: joinPath(g.path, p)}, nil
+}
+
+// CommitDatatype stores a named datatype (H5Tcommit).
+func (g *Group) CommitDatatype(name string, dt Datatype) (*NamedDatatype, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return nil, err
+	}
+	if !validName(name) {
+		return nil, ErrBadName
+	}
+	if !dt.Valid() {
+		return nil, ErrTypeMismatch
+	}
+	if _, ok := g.obj.children[name]; ok {
+		return nil, ErrExist
+	}
+	o := &object{kind: kindDatatype, id: g.file.newID(), name: name, dtype: dt,
+		attrs: make(map[string]*attribute)}
+	g.obj.children[name] = o
+	g.file.dirty = true
+	return &NamedDatatype{file: g.file, obj: o, path: path.Join(g.path, name)}, nil
+}
+
+// OpenDatatype opens a named datatype (H5Topen).
+func (g *Group) OpenDatatype(p string) (*NamedDatatype, error) {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if g.file.closed {
+		return nil, ErrClosed
+	}
+	o, err := g.file.resolveObject(g.obj, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	if o.kind != kindDatatype {
+		return nil, ErrNotDatatype
+	}
+	return &NamedDatatype{file: g.file, obj: o, path: joinPath(g.path, p)}, nil
+}
+
+// CreateSoftLink creates a soft link child pointing at target (H5Lcreate_soft).
+func (g *Group) CreateSoftLink(name, target string) error {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return err
+	}
+	if !validName(name) {
+		return ErrBadName
+	}
+	if _, ok := g.obj.children[name]; ok {
+		return ErrExist
+	}
+	g.obj.children[name] = &object{kind: kindSoftLink, id: g.file.newID(), name: name,
+		target: target, attrs: make(map[string]*attribute)}
+	g.file.dirty = true
+	return nil
+}
+
+// CreateHardLink creates a hard link child to the object at target
+// (H5Lcreate_hard).
+func (g *Group) CreateHardLink(name, target string) error {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	if err := g.file.checkWritable(); err != nil {
+		return err
+	}
+	if !validName(name) {
+		return ErrBadName
+	}
+	if _, ok := g.obj.children[name]; ok {
+		return ErrExist
+	}
+	o, err := g.file.resolveObject(g.obj, target, 0)
+	if err != nil {
+		return err
+	}
+	// Hard links alias the object itself (HDF5 object headers are owned by
+	// the file, not by any one name); the metadata encoder stores shared
+	// objects once and aliases as ID stubs.
+	g.obj.children[name] = o
+	g.file.dirty = true
+	return nil
+}
+
+// LinkInfo describes a link child.
+type LinkInfo struct {
+	Name   string
+	Soft   bool
+	Target string
+}
+
+// Links returns the group's link children.
+func (g *Group) Links() []LinkInfo {
+	g.file.mu.Lock()
+	defer g.file.mu.Unlock()
+	var out []LinkInfo
+	for _, name := range g.obj.childNames() {
+		c := g.obj.children[name]
+		switch c.kind {
+		case kindSoftLink:
+			out = append(out, LinkInfo{Name: name, Soft: true, Target: c.target})
+		case kindHardLink:
+			out = append(out, LinkInfo{Name: name, Soft: false})
+		}
+	}
+	return out
+}
+
+// attrHost exposes the shared attribute API on groups.
+func (g *Group) host() *object { return g.obj }
+func (g *Group) hfile() *File  { return g.file }
+func (g *Group) hpath() string { return g.path }
+
+// NamedDatatype is a handle on a committed datatype.
+type NamedDatatype struct {
+	file *File
+	obj  *object
+	path string
+}
+
+// Datatype returns the committed type definition (H5Tread analog).
+func (t *NamedDatatype) Datatype() Datatype {
+	t.file.mu.Lock()
+	defer t.file.mu.Unlock()
+	return t.obj.dtype
+}
+
+// Path returns the named datatype's path.
+func (t *NamedDatatype) Path() string { return t.path }
+
+// File returns the owning file.
+func (t *NamedDatatype) File() *File { return t.file }
+
+func (t *NamedDatatype) host() *object { return t.obj }
+func (t *NamedDatatype) hfile() *File  { return t.file }
+func (t *NamedDatatype) hpath() string { return t.path }
+
+func joinPath(base, p string) string {
+	if len(p) > 0 && p[0] == '/' {
+		return path.Clean(p)
+	}
+	return path.Join(base, p)
+}

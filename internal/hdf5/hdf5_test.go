@@ -1,0 +1,769 @@
+package hdf5
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+func newView() *vfs.View { return vfs.NewStore().NewView() }
+
+func mustCreate(t *testing.T, v *vfs.View, path string) *File {
+	t.Helper()
+	f, err := Create(v, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestCreateCloseReopen(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/data.h5")
+	if _, err := f.Root().CreateGroup("Timestep_0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrClosed) {
+		t.Errorf("double close err = %v", err)
+	}
+
+	f2, err := Open(v, "/data.h5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if !f2.Root().Exists("Timestep_0") {
+		t.Error("group lost across reopen")
+	}
+}
+
+func TestOpenRejectsNonPH5F(t *testing.T) {
+	v := newView()
+	v.WriteFile("/plain.txt", []byte("this is not a PH5F file at all........"))
+	if _, err := Open(v, "/plain.txt", true); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+	if IsPH5F(v, "/plain.txt") {
+		t.Error("IsPH5F accepted plain file")
+	}
+	f := mustCreate(t, v, "/real.h5")
+	f.Close()
+	if !IsPH5F(v, "/real.h5") {
+		t.Error("IsPH5F rejected real file")
+	}
+}
+
+func TestOpenRejectsBadVersion(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	f.Close()
+	raw, _ := v.ReadFile("/f.h5")
+	binary.LittleEndian.PutUint32(raw[4:8], 99)
+	v.WriteFile("/f.h5", raw)
+	if _, err := Open(v, "/f.h5", true); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestCorruptMetadataDetected(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	f.Root().CreateGroup("g")
+	f.Close()
+	raw, _ := v.ReadFile("/f.h5")
+	// Truncate the metadata region.
+	metaOff := int64(binary.LittleEndian.Uint64(raw[8:16]))
+	v.WriteFile("/f.h5", raw[:metaOff+3])
+	if _, err := Open(v, "/f.h5", true); err == nil {
+		t.Error("corrupt file opened without error")
+	}
+}
+
+func TestGroupHierarchy(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	root := f.Root()
+	g1, err := root.CreateGroup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g1.CreateGroup("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Nested open by path, absolute and relative.
+	if _, err := root.OpenGroup("a/b"); err != nil {
+		t.Errorf("relative nested open: %v", err)
+	}
+	if _, err := g1.OpenGroup("/a/b"); err != nil {
+		t.Errorf("absolute open from subgroup: %v", err)
+	}
+	if _, err := root.CreateGroup("a"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate group err = %v", err)
+	}
+	if _, err := root.OpenGroup("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing group err = %v", err)
+	}
+	for _, bad := range []string{"", ".", "..", "a/b"} {
+		if _, err := root.CreateGroup(bad); !errors.Is(err, ErrBadName) {
+			t.Errorf("CreateGroup(%q) err = %v", bad, err)
+		}
+	}
+	members := root.Members()
+	if len(members) != 1 || members[0] != "a" {
+		t.Errorf("Members = %v", members)
+	}
+}
+
+func TestDatasetWriteReadRoundTrip(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, err := f.Root().CreateDataset("x", TypeFloat64, []int{4, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4*2*8)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := ds.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read != written")
+	}
+	f.Close()
+
+	// Survives reopen.
+	f2, err := Open(v, "/f.h5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	ds2, err := f2.Root().OpenDataset("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := ds2.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Error("read after reopen != written")
+	}
+	if dims := ds2.Dims(); dims[0] != 4 || dims[1] != 2 {
+		t.Errorf("dims = %v", dims)
+	}
+	if ds2.Datatype() != TypeFloat64 {
+		t.Errorf("datatype = %v", ds2.Datatype())
+	}
+}
+
+func TestDatasetShapeValidation(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	ds, _ := f.Root().CreateDataset("x", TypeInt32, []int{4})
+	if err := ds.Write(make([]byte, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("short write err = %v", err)
+	}
+	if _, err := f.Root().CreateDataset("bad", TypeInt32, []int{-1}); !errors.Is(err, ErrShape) {
+		t.Errorf("negative dims err = %v", err)
+	}
+	if _, err := f.Root().CreateDataset("bad2", Datatype{ClassInt, 3}, []int{1}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("invalid datatype err = %v", err)
+	}
+	if _, err := f.Root().CreateDataset("x", TypeInt32, []int{1}); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate dataset err = %v", err)
+	}
+}
+
+func TestOverwriteCreatesVersions(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{10})
+	base := bytes.Repeat([]byte{1}, 10)
+	ds.Write(base)
+	// Overwrite middle rows.
+	if err := ds.WriteRows(3, 4, bytes.Repeat([]byte{2}, 4)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ds.Read()
+	want := []byte{1, 1, 1, 2, 2, 2, 2, 1, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+	if ds.Versions() != 2 {
+		t.Errorf("Versions = %d, want 2", ds.Versions())
+	}
+	if err := ds.WriteRows(8, 5, make([]byte, 5)); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-bounds overwrite err = %v", err)
+	}
+	if err := ds.WriteRows(0, 2, make([]byte, 5)); !errors.Is(err, ErrShape) {
+		t.Errorf("mis-sized overwrite err = %v", err)
+	}
+}
+
+func TestAppendExtendsDim0(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("x", TypeInt32, []int{2, 3})
+	row := make([]byte, 3*4)
+	ds.Write(make([]byte, 2*3*4))
+	if err := ds.Append(1, row); err != nil {
+		t.Fatal(err)
+	}
+	if dims := ds.Dims(); dims[0] != 3 {
+		t.Errorf("dims after append = %v", dims)
+	}
+	if err := ds.Append(0, nil); !errors.Is(err, ErrShape) {
+		t.Errorf("zero-row append err = %v", err)
+	}
+	if err := ds.Append(2, row); !errors.Is(err, ErrShape) {
+		t.Errorf("mis-sized append err = %v", err)
+	}
+	f.Close()
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	ds2, _ := f2.Root().OpenDataset("x")
+	if dims := ds2.Dims(); dims[0] != 3 {
+		t.Errorf("dims after reopen = %v", dims)
+	}
+	data, err := ds2.Read()
+	if err != nil || len(data) != 3*3*4 {
+		t.Errorf("read after append: %d bytes, %v", len(data), err)
+	}
+}
+
+func TestReadRows(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{6})
+	ds.Write([]byte{0, 1, 2, 3, 4, 5})
+	got, err := ds.ReadRows(2, 3)
+	if err != nil || !bytes.Equal(got, []byte{2, 3, 4}) {
+		t.Errorf("ReadRows = %v, %v", got, err)
+	}
+	if _, err := ds.ReadRows(4, 5); !errors.Is(err, ErrBounds) {
+		t.Errorf("out-of-bounds read err = %v", err)
+	}
+}
+
+func TestSparseDatasetReadsZeros(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{8})
+	// Only write rows 2..4; the rest must read as zero.
+	ds.WriteRows(2, 2, []byte{7, 8})
+	got, _ := ds.Read()
+	want := []byte{0, 0, 7, 8, 0, 0, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestAttributesOnAllHosts(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	g, _ := f.Root().CreateGroup("g")
+	ds, _ := g.CreateDataset("d", TypeInt32, []int{1})
+	nt, _ := g.CommitDatatype("t", TypeFloat32)
+
+	hosts := []struct {
+		name string
+		h    AttrHost
+	}{{"group", g}, {"dataset", ds}, {"datatype", nt}}
+	for _, hc := range hosts {
+		t.Run(hc.name, func(t *testing.T) {
+			if err := SetStringAttribute(hc.h, "units", "m/s"); err != nil {
+				t.Fatal(err)
+			}
+			if err := SetInt64Attribute(hc.h, "count", 42); err != nil {
+				t.Fatal(err)
+			}
+			if err := SetFloat64Attribute(hc.h, "scale", 0.5); err != nil {
+				t.Fatal(err)
+			}
+			s, err := GetStringAttribute(hc.h, "units")
+			if err != nil || s != "m/s" {
+				t.Errorf("string attr = %q, %v", s, err)
+			}
+			i, err := GetInt64Attribute(hc.h, "count")
+			if err != nil || i != 42 {
+				t.Errorf("int attr = %d, %v", i, err)
+			}
+			fv, err := GetFloat64Attribute(hc.h, "scale")
+			if err != nil || fv != 0.5 {
+				t.Errorf("float attr = %g, %v", fv, err)
+			}
+			names := ListAttributes(hc.h)
+			if len(names) != 3 {
+				t.Errorf("ListAttributes = %v", names)
+			}
+		})
+	}
+	f.Close()
+
+	// Attributes persist.
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	g2, _ := f2.Root().OpenGroup("g")
+	s, err := GetStringAttribute(g2, "units")
+	if err != nil || s != "m/s" {
+		t.Errorf("persisted attr = %q, %v", s, err)
+	}
+}
+
+func TestAttributeErrors(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	g := f.Root()
+	if _, _, err := ReadAttribute(g, "nope"); !errors.Is(err, ErrAttrNotExist) {
+		t.Errorf("missing attr err = %v", err)
+	}
+	if err := CreateAttribute(g, "bad/name", TypeInt64, []int{1}, make([]byte, 8)); !errors.Is(err, ErrBadName) {
+		t.Errorf("bad name err = %v", err)
+	}
+	if err := CreateAttribute(g, "x", TypeInt64, []int{2}, make([]byte, 8)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch err = %v", err)
+	}
+	if err := DeleteAttribute(g, "nope"); !errors.Is(err, ErrAttrNotExist) {
+		t.Errorf("delete missing err = %v", err)
+	}
+	SetInt64Attribute(g, "k", 1)
+	if err := DeleteAttribute(g, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GetInt64Attribute(g, "k"); !errors.Is(err, ErrAttrNotExist) {
+		t.Errorf("read after delete err = %v", err)
+	}
+	// Type-mismatched reads.
+	SetStringAttribute(g, "s", "str")
+	if _, err := GetInt64Attribute(g, "s"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("int read of string err = %v", err)
+	}
+	if _, err := GetFloat64Attribute(g, "s"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("float read of string err = %v", err)
+	}
+	SetInt64Attribute(g, "i", 1)
+	if _, err := GetStringAttribute(g, "i"); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("string read of int err = %v", err)
+	}
+}
+
+func TestNamedDatatype(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	if _, err := f.Root().CommitDatatype("particle_id", TypeUint64); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	nt, err := f2.Root().OpenDatatype("particle_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Datatype() != TypeUint64 {
+		t.Errorf("datatype = %v", nt.Datatype())
+	}
+	if _, err := f2.Root().OpenDatatype("missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing datatype err = %v", err)
+	}
+	if _, err := f2.Root().OpenGroup("particle_id"); !errors.Is(err, ErrNotGroup) {
+		t.Errorf("open datatype as group err = %v", err)
+	}
+}
+
+func TestSoftLink(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	g, _ := f.Root().CreateGroup("data")
+	ds, _ := g.CreateDataset("v1", TypeUint8, []int{3})
+	ds.Write([]byte{1, 2, 3})
+	if err := f.Root().CreateSoftLink("latest", "/data/v1"); err != nil {
+		t.Fatal(err)
+	}
+	via, err := f.Root().OpenDataset("latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := via.Read()
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("read via link = %v", got)
+	}
+	links := f.Root().Links()
+	if len(links) != 1 || !links[0].Soft || links[0].Target != "/data/v1" {
+		t.Errorf("Links = %+v", links)
+	}
+	// Dangling link.
+	f.Root().CreateSoftLink("broken", "/nope")
+	if _, err := f.Root().OpenDataset("broken"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("dangling link err = %v", err)
+	}
+}
+
+func TestHardLink(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("orig", TypeUint8, []int{2})
+	ds.Write([]byte{9, 9})
+	if err := f.Root().CreateHardLink("alias", "/orig"); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the original name; alias still resolves (hard link semantics).
+	f.Root().Delete("orig")
+	via, err := f.Root().OpenDataset("alias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := via.Read()
+	if !bytes.Equal(got, []byte{9, 9}) {
+		t.Errorf("read via hard link = %v", got)
+	}
+	f.Close()
+	// Hard link survives reopen: the aliased object is encoded under the
+	// surviving name.
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	via2, err := f2.Root().OpenDataset("alias")
+	if err != nil {
+		t.Fatalf("hard link lost across reopen: %v", err)
+	}
+	got2, _ := via2.Read()
+	if !bytes.Equal(got2, []byte{9, 9}) {
+		t.Errorf("read via hard link after reopen = %v", got2)
+	}
+}
+
+func TestHardLinkSharedAcrossReopen(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("a", TypeUint8, []int{1})
+	ds.Write([]byte{1})
+	f.Root().CreateHardLink("b", "/a")
+	f.Close()
+
+	f2, _ := Open(v, "/f.h5", false)
+	dsA, _ := f2.Root().OpenDataset("a")
+	dsB, err := f2.Root().OpenDataset("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write through one name, observe through the other: still one object.
+	if err := dsA.Write([]byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dsB.Read()
+	if !bytes.Equal(got, []byte{7}) {
+		t.Errorf("aliases diverged after reopen: %v", got)
+	}
+	f2.Close()
+}
+
+func TestSoftLinkLoopTerminates(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	f.Root().CreateSoftLink("a", "/b")
+	f.Root().CreateSoftLink("b", "/a")
+	if _, err := f.Root().OpenGroup("a"); err == nil {
+		t.Error("symlink loop resolved without error")
+	}
+}
+
+func TestReadOnlyEnforced(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{1})
+	ds.Write([]byte{1})
+	f.Close()
+
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	if _, err := f2.Root().CreateGroup("g"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("create group on RO file err = %v", err)
+	}
+	ds2, _ := f2.Root().OpenDataset("x")
+	if err := ds2.Write([]byte{2}); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("write on RO file err = %v", err)
+	}
+	if err := SetInt64Attribute(f2.Root(), "a", 1); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("attr on RO file err = %v", err)
+	}
+}
+
+func TestFlushMakesDataVisibleToReaders(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{3})
+	ds.Write([]byte{5, 6, 7})
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Another handle opened read-only mid-run sees the flushed state.
+	f2, err := Open(v, "/f.h5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := f2.Root().OpenDataset("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ds2.Read()
+	if !bytes.Equal(got, []byte{5, 6, 7}) {
+		t.Errorf("reader sees %v", got)
+	}
+	f2.Close()
+	f.Close()
+}
+
+func TestMultipleFlushesLogStructured(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{1})
+	for i := 0; i < 5; i++ {
+		ds.Write([]byte{byte(i)})
+		if err := f.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	f2, _ := Open(v, "/f.h5", true)
+	defer f2.Close()
+	ds2, _ := f2.Root().OpenDataset("x")
+	got, _ := ds2.Read()
+	if !bytes.Equal(got, []byte{4}) {
+		t.Errorf("latest version = %v, want [4]", got)
+	}
+	if ds2.Versions() != 5 {
+		t.Errorf("versions = %d, want 5", ds2.Versions())
+	}
+}
+
+func TestReopenAppendAfterClose(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, _ := f.Root().CreateDataset("x", TypeUint8, []int{2})
+	ds.Write([]byte{1, 2})
+	f.Close()
+
+	f2, err := Open(v, "/f.h5", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, _ := f2.Root().OpenDataset("x")
+	if err := ds2.Append(2, []byte{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+
+	f3, _ := Open(v, "/f.h5", true)
+	defer f3.Close()
+	ds3, _ := f3.Root().OpenDataset("x")
+	got, _ := ds3.Read()
+	if !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Errorf("after reopen+append = %v", got)
+	}
+}
+
+func TestDatatypeValidity(t *testing.T) {
+	valid := []Datatype{TypeInt8, TypeInt32, TypeInt64, TypeUint8, TypeUint32,
+		TypeUint64, TypeFloat32, TypeFloat64, TypeString(16)}
+	for _, dt := range valid {
+		if !dt.Valid() {
+			t.Errorf("%v should be valid", dt)
+		}
+	}
+	invalid := []Datatype{{}, {ClassInt, 3}, {ClassFloat, 2}, {ClassString, 0}, {TypeClass(9), 4}}
+	for _, dt := range invalid {
+		if dt.Valid() {
+			t.Errorf("%v should be invalid", dt)
+		}
+	}
+	if TypeInt64.String() != "int64" || TypeString(8).String() != "string8" ||
+		TypeFloat32.String() != "float32" || TypeUint8.String() != "uint8" {
+		t.Error("Datatype.String rendering wrong")
+	}
+}
+
+func TestMetadataEncodeDecodeProperty(t *testing.T) {
+	// Property: any tree built from a bounded script round-trips through
+	// the binary metadata encoding.
+	f := func(script []uint8) bool {
+		root := newGroup("/", 1)
+		id := uint64(2)
+		cur := root
+		for _, op := range script {
+			switch op % 4 {
+			case 0:
+				name := fmt.Sprintf("g%d", id)
+				child := newGroup(name, id)
+				cur.children[name] = child
+				cur = child
+			case 1:
+				name := fmt.Sprintf("d%d", id)
+				ds := newDataset(name, id, TypeFloat64, []int{int(op%7) + 1, 2})
+				ds.segments = append(ds.segments, segment{rowStart: 0, rowCount: int64(op % 7), offset: 64, length: 128})
+				cur.children[name] = ds
+			case 2:
+				cur.attrs[fmt.Sprintf("a%d", id)] = &attribute{
+					name: fmt.Sprintf("a%d", id), dtype: TypeUint8,
+					dims: []int{int(op%3) + 1}, value: make([]byte, int(op%3)+1),
+				}
+			case 3:
+				cur = root
+			}
+			id++
+		}
+		enc := encodeMetadata(root)
+		dec, err := decodeMetadata(enc)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(encodeMetadata(dec), enc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	root := newGroup("/", 1)
+	g := newGroup("g", 2)
+	root.children["g"] = g
+	ds := newDataset("d", 3, TypeInt32, []int{4})
+	g.children["d"] = ds
+	enc := encodeMetadata(root)
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, err := decodeMetadata(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestChargedIOAdvancesClock(t *testing.T) {
+	store := vfs.NewStore()
+	clock := newClockForTest()
+	v := store.NewChargedView(clock, defaultCostForTest())
+	f, err := Create(v, "/f.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := f.Root().CreateDataset("x", TypeFloat64, []int{1 << 12})
+	before := clock.Now()
+	ds.Write(make([]byte, (1<<12)*8))
+	if clock.Now() <= before {
+		t.Error("dataset write charged no virtual time")
+	}
+	f.Close()
+}
+
+func TestDeflateDatasetRoundTrip(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	ds, err := f.Root().CreateDatasetWith("z", TypeUint8, []int{1 << 12}, DatasetOptions{Deflate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Deflate() {
+		t.Fatal("deflate flag not set")
+	}
+	// Highly compressible payload.
+	data := bytes.Repeat([]byte{7}, 1<<12)
+	if err := ds.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if ds.StoredBytes() >= int64(len(data))/4 {
+		t.Errorf("deflate ineffective: stored %d of %d raw bytes", ds.StoredBytes(), len(data))
+	}
+	got, err := ds.Read()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back mismatch: %v", err)
+	}
+	// Partial reads through the filter.
+	part, err := ds.ReadRows(100, 50)
+	if err != nil || !bytes.Equal(part, data[100:150]) {
+		t.Fatalf("partial filtered read: %v", err)
+	}
+	f.Close()
+
+	// Flag and data survive reopen.
+	f2, err := Open(v, "/f.h5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	ds2, err := f2.Root().OpenDataset("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds2.Deflate() {
+		t.Error("deflate flag lost across reopen")
+	}
+	got2, err := ds2.Read()
+	if err != nil || !bytes.Equal(got2, data) {
+		t.Fatalf("read after reopen: %v", err)
+	}
+}
+
+func TestDeflateOverwriteAndAppend(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	ds, _ := f.Root().CreateDatasetWith("z", TypeUint8, []int{8}, DatasetOptions{Deflate: true})
+	ds.Write(bytes.Repeat([]byte{1}, 8))
+	if err := ds.WriteRows(2, 3, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Append(2, []byte{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{1, 1, 9, 9, 9, 1, 1, 1, 5, 5}
+	if !bytes.Equal(got, want) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestDeflateMixedWithPlainDataset(t *testing.T) {
+	v := newView()
+	f := mustCreate(t, v, "/f.h5")
+	defer f.Close()
+	plain, _ := f.Root().CreateDataset("p", TypeUint8, []int{64})
+	comp, _ := f.Root().CreateDatasetWith("c", TypeUint8, []int{64}, DatasetOptions{Deflate: true})
+	payload := bytes.Repeat([]byte{3}, 64)
+	plain.Write(payload)
+	comp.Write(payload)
+	if plain.Deflate() {
+		t.Error("plain dataset reports deflate")
+	}
+	if comp.StoredBytes() >= plain.StoredBytes() {
+		t.Errorf("compressed (%d) not smaller than plain (%d)", comp.StoredBytes(), plain.StoredBytes())
+	}
+	a, _ := plain.Read()
+	b, _ := comp.Read()
+	if !bytes.Equal(a, b) {
+		t.Error("filtered and plain contents diverge")
+	}
+}

@@ -1,0 +1,6 @@
+package hdf5
+
+import "github.com/hpc-io/prov-io/internal/simclock"
+
+func newClockForTest() *simclock.Clock       { return simclock.NewClock() }
+func defaultCostForTest() simclock.CostModel { return simclock.Default() }

@@ -1,0 +1,120 @@
+package hdf5
+
+import (
+	"sort"
+	"strings"
+)
+
+// objKind discriminates the metadata object kinds.
+type objKind uint8
+
+const (
+	kindGroup objKind = iota + 1
+	kindDataset
+	kindDatatype
+	kindSoftLink
+	kindHardLink
+)
+
+// object is the in-memory metadata node. The whole metadata tree is held in
+// memory while a file is open (like the HDF5 object header cache) and
+// serialized to the metadata block on flush/close.
+type object struct {
+	kind objKind
+	id   uint64 // object ID, stable across hard links
+	name string
+
+	// group
+	children map[string]*object
+
+	// dataset
+	dtype    Datatype
+	dims     []int     // current extent; dims[0] may grow via Append
+	segments []segment // raw-data versions, applied in order
+	// deflate enables the gzip-style compression filter on raw segments
+	// (the H5Pset_deflate analog).
+	deflate bool
+
+	// attributes (groups, datasets, named datatypes)
+	attrs map[string]*attribute
+
+	// links
+	target   string // soft link target path
+	targetID uint64 // hard link target object ID
+}
+
+// segment is one contiguous raw-data extent in the file covering rows
+// [rowStart, rowStart+rowCount) of dimension 0. Later segments shadow
+// earlier ones, which is how overwrite and append produce dataset versions.
+type segment struct {
+	rowStart int64
+	rowCount int64
+	offset   int64 // byte offset in the vfs file
+	length   int64 // stored byte length (compressed size under deflate)
+	// rawLength is the uncompressed byte length; 0 means the segment is
+	// stored raw (no filter).
+	rawLength int64
+}
+
+// attribute is a small typed value attached to an object; values live in
+// the metadata block, like HDF5 compact attribute storage.
+type attribute struct {
+	name  string
+	dtype Datatype
+	dims  []int
+	value []byte
+}
+
+func newGroup(name string, id uint64) *object {
+	return &object{kind: kindGroup, id: id, name: name,
+		children: make(map[string]*object), attrs: make(map[string]*attribute)}
+}
+
+func newDataset(name string, id uint64, dt Datatype, dims []int) *object {
+	d := &object{kind: kindDataset, id: id, name: name, dtype: dt,
+		dims: append([]int(nil), dims...), attrs: make(map[string]*attribute)}
+	return d
+}
+
+// childNames returns sorted child names of a group.
+func (o *object) childNames() []string {
+	names := make([]string, 0, len(o.children))
+	for n := range o.children {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// attrNames returns sorted attribute names.
+func (o *object) attrNames() []string {
+	names := make([]string, 0, len(o.attrs))
+	for n := range o.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// validName reports whether an object name component is legal: non-empty,
+// no '/', not "." or "..".
+func validName(name string) bool {
+	return name != "" && name != "." && name != ".." && !strings.Contains(name, "/")
+}
+
+// rowSize returns the byte size of one dimension-0 row of a dataset.
+func (o *object) rowSize() int64 {
+	n := int64(o.dtype.Size)
+	for _, d := range o.dims[1:] {
+		n *= int64(d)
+	}
+	return n
+}
+
+// byteSize returns the dataset's logical byte size.
+func (o *object) byteSize() int64 {
+	if len(o.dims) == 0 {
+		return 0
+	}
+	return o.rowSize() * int64(o.dims[0])
+}

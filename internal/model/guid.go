@@ -1,0 +1,60 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// NodeIRI mints the globally unique IRI (GUID) for a provenance node.
+//
+// PROV-IO relies on GUIDs so that per-process sub-graphs merge without
+// duplication (paper §5): two processes that touch the same data object must
+// mint the same node IRI. We therefore derive data-object and agent IRIs
+// deterministically from their identity (class + path/name), while activity
+// IRIs — which denote individual API invocations — additionally embed the
+// process and a per-process sequence number, mirroring the paper's
+// "H5Dcreate2-b1" style identifiers.
+func NodeIRI(class Class, identity string) string {
+	return ProvIONS + strings.ToLower(class.Name) + "/" + escapeIdentity(identity)
+}
+
+// ActivityIRI mints the IRI of one I/O API invocation: the API name, the
+// process ID, and a per-process sequence number.
+func ActivityIRI(apiName string, pid, seq int) string {
+	return fmt.Sprintf("%sapi/%s-p%d-b%d", ProvIONS, apiName, pid, seq)
+}
+
+// escapeIdentity makes an arbitrary identity string safe inside an IRI while
+// keeping common path characters readable. Identities that contain unsafe
+// characters are suffixed with a short content hash to preserve uniqueness.
+func escapeIdentity(id string) string {
+	safe := true
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '/' || r == '.' || r == '-' || r == '_':
+		default:
+			safe = false
+		}
+		if !safe {
+			break
+		}
+	}
+	if safe {
+		return strings.TrimPrefix(id, "/")
+	}
+	sum := sha256.Sum256([]byte(id))
+	var b strings.Builder
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '/' || r == '.' || r == '-' || r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return strings.TrimPrefix(b.String(), "/") + "-" + hex.EncodeToString(sum[:4])
+}

@@ -1,0 +1,222 @@
+package model
+
+import (
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// DataObjectRecord describes one Entity node (a Data Object sub-class
+// instance) plus its membership and attribution triples.
+type DataObjectRecord struct {
+	Class Class  // one of Directory/File/Group/Dataset/Attribute/Datatype/Link
+	ID    string // identity, e.g. the path "/Timestep_0/x"
+	Name  string // display name (optional; defaults to ID)
+	// Container, when set, is the IRI of the enclosing object (e.g. the
+	// file containing a dataset), linked with prov:wasDerivedFrom per the
+	// hierarchy shown in the paper's Figure 4.
+	Container string
+	// AttributedTo, when set, is the IRI of the Program agent this object
+	// is attributed to (prov:wasAttributedTo).
+	AttributedTo string
+}
+
+// IRI returns the node IRI of the record.
+func (r DataObjectRecord) IRI() rdf.Term { return rdf.IRI(NodeIRI(r.Class, r.ID)) }
+
+// Triples renders the record as RDF.
+func (r DataObjectRecord) Triples() []rdf.Triple {
+	node := r.IRI()
+	name := r.Name
+	if name == "" {
+		name = r.ID
+	}
+	ts := []rdf.Triple{
+		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
+		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperEntity)},
+		{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
+	}
+	if r.Container != "" {
+		ts = append(ts, rdf.Triple{S: node, P: WasDerivedFrom.IRI(), O: rdf.IRI(r.Container)})
+	}
+	if r.AttributedTo != "" {
+		ts = append(ts, rdf.Triple{S: node, P: WasAttributedTo.IRI(), O: rdf.IRI(r.AttributedTo)})
+	}
+	return ts
+}
+
+// IOActivityRecord describes one I/O API invocation (an Activity node) and
+// its relations to the accessed Data Object and the owning agent.
+type IOActivityRecord struct {
+	Class   Class  // one of Create/Open/Read/Write/Fsync/Rename
+	API     string // concrete API name, e.g. "H5Dcreate2" or "write"
+	PID     int    // process ID minting the invocation
+	Seq     int    // per-process sequence number
+	Object  rdf.Term
+	Agent   rdf.Term // Program or Thread agent (prov:wasAssociatedWith)
+	Elapsed time.Duration
+	// Started is the (simulated) start time; zero means untracked.
+	Started time.Duration
+	// TrackDuration controls whether the elapsed/startedAt properties are
+	// emitted (usage scenario 2 in the paper's H5bench case).
+	TrackDuration bool
+}
+
+// IRI returns the invocation node IRI (e.g. ".../api/H5Dcreate2-p0-b1").
+func (r IOActivityRecord) IRI() rdf.Term { return rdf.IRI(ActivityIRI(r.API, r.PID, r.Seq)) }
+
+// Triples renders the record as RDF. The Data Object is linked to the
+// activity with the class-specific provio relation (Table 2).
+func (r IOActivityRecord) Triples() []rdf.Triple {
+	node := r.IRI()
+	ts := []rdf.Triple{
+		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
+		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperActivity)},
+	}
+	if !r.Object.IsZero() {
+		if rel, ok := IORelationFor(r.Class); ok {
+			ts = append(ts, rdf.Triple{S: r.Object, P: rel.IRI(), O: node})
+		}
+	}
+	if !r.Agent.IsZero() {
+		ts = append(ts, rdf.Triple{S: node, P: AssociatedWith.IRI(), O: r.Agent})
+	}
+	if r.TrackDuration {
+		ts = append(ts,
+			rdf.Triple{S: node, P: PropElapsed.IRI(), O: rdf.Integer(r.Elapsed.Nanoseconds())},
+			rdf.Triple{S: node, P: PropTimestamp.IRI(), O: rdf.Integer(r.Started.Nanoseconds())},
+		)
+	}
+	return ts
+}
+
+// AgentRecord describes a User, Thread, or Program agent.
+type AgentRecord struct {
+	Class Class
+	ID    string
+	Name  string
+	// OnBehalfOf links this agent to its principal (e.g. thread → program,
+	// program → user) with prov:actedOnBehalfOf.
+	OnBehalfOf string
+	// Rank is emitted for Thread agents (MPI rank); -1 suppresses it.
+	Rank int
+}
+
+// IRI returns the agent node IRI.
+func (r AgentRecord) IRI() rdf.Term { return rdf.IRI(NodeIRI(r.Class, r.ID)) }
+
+// Triples renders the record as RDF.
+func (r AgentRecord) Triples() []rdf.Triple {
+	node := r.IRI()
+	name := r.Name
+	if name == "" {
+		name = r.ID
+	}
+	ts := []rdf.Triple{
+		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
+		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperAgent)},
+		{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
+	}
+	if r.OnBehalfOf != "" {
+		ts = append(ts, rdf.Triple{S: node, P: ActedOnBehalfOf.IRI(), O: rdf.IRI(r.OnBehalfOf)})
+	}
+	if r.Class.Name == Thread.Name && r.Rank >= 0 {
+		ts = append(ts, rdf.Triple{S: node, P: PropRank.IRI(), O: rdf.Integer(int64(r.Rank))})
+	}
+	return ts
+}
+
+// ExtensibleRecord describes a Type, Configuration, or Metrics node — the
+// user-defined provenance conveyed through the PROV-IO APIs (paper §4.1.4).
+type ExtensibleRecord struct {
+	Class Class // Type, Configuration, or Metrics
+	// Owner is the IRI of the workflow/program node this record belongs to.
+	Owner string
+	Key   string
+	Value rdf.Term
+	// Version distinguishes repeated records of the same key across runs
+	// or epochs (the Top Reco versioning need); -1 suppresses it.
+	Version int
+	// Accuracy attaches a training accuracy to a Configuration version;
+	// NaN-free sentinel: only emitted when HasAccuracy is true.
+	Accuracy    float64
+	HasAccuracy bool
+}
+
+// IRI returns the record node IRI (owner-scoped so different workflows'
+// records never collide). Owners minted by this vocabulary are compacted to
+// their local part so record IRIs stay short in the store.
+func (r ExtensibleRecord) IRI() rdf.Term {
+	id := r.Key
+	if r.Owner != "" {
+		owner := r.Owner
+		if rest, ok := cutPrefix(owner, ProvIONS); ok {
+			owner = rest
+		}
+		id = owner + "/" + r.Key
+	}
+	if r.Version >= 0 {
+		id += "/v" + itoa(r.Version)
+	}
+	return rdf.IRI(NodeIRI(r.Class, id))
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// Triples renders the record as RDF.
+func (r ExtensibleRecord) Triples() []rdf.Triple {
+	node := r.IRI()
+	ts := []rdf.Triple{
+		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
+		{S: node, P: PropName.IRI(), O: rdf.Literal(r.Key)},
+	}
+	if !r.Value.IsZero() {
+		ts = append(ts, rdf.Triple{S: node, P: PropValue.IRI(), O: r.Value})
+	}
+	if r.Version >= 0 {
+		ts = append(ts, rdf.Triple{S: node, P: PropVersion.IRI(), O: rdf.Integer(int64(r.Version))})
+	}
+	if r.HasAccuracy {
+		ts = append(ts, rdf.Triple{S: node, P: PropAccuracy.IRI(), O: rdf.Double(r.Accuracy)})
+	}
+	if r.Owner != "" {
+		var link Relation
+		switch r.Class.Name {
+		case Type.Name:
+			link = PropType
+		case Configuration.Name:
+			link = PropConfig
+		default:
+			link = PropMetric
+		}
+		ts = append(ts, rdf.Triple{S: rdf.IRI(r.Owner), P: link.IRI(), O: node})
+	}
+	return ts
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

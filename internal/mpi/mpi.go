@@ -1,0 +1,182 @@
+// Package mpi simulates the MPI execution model the paper's workloads run
+// under: a fixed set of ranks executing the same program, synchronizing at
+// barriers, and reducing values across the communicator. Ranks are
+// goroutines; each owns a virtual clock (see internal/simclock) and barriers
+// synchronize clocks to the communicator-wide maximum, exactly how a real
+// barrier makes every rank wait for the slowest one.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/simclock"
+)
+
+// Comm is a simulated communicator.
+type Comm struct {
+	size   int
+	clocks []*simclock.Clock
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	phase   int
+}
+
+// NewComm creates a communicator with the given number of ranks.
+func NewComm(size int) *Comm {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: invalid communicator size %d", size))
+	}
+	c := &Comm{size: size, clocks: make([]*simclock.Clock, size)}
+	for i := range c.clocks {
+		c.clocks[i] = simclock.NewClock()
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Rank is the per-rank execution context handed to the rank function.
+type Rank struct {
+	comm *Comm
+	id   int
+	// Clock is this rank's virtual clock.
+	Clock *simclock.Clock
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Comm returns the communicator.
+func (r *Rank) Comm() *Comm { return r.comm }
+
+// Barrier blocks until every rank has entered the barrier, then advances
+// every rank's clock to the maximum across the communicator.
+func (r *Rank) Barrier() {
+	c := r.comm
+	c.mu.Lock()
+	phase := c.phase
+	c.arrived++
+	if c.arrived == c.size {
+		// Last rank in: synchronize clocks and release the others.
+		var maxT time.Duration
+		for _, cl := range c.clocks {
+			if t := cl.Now(); t > maxT {
+				maxT = t
+			}
+		}
+		for _, cl := range c.clocks {
+			cl.AdvanceTo(maxT)
+		}
+		c.arrived = 0
+		c.phase++
+		c.cond.Broadcast()
+	} else {
+		for c.phase == phase {
+			c.cond.Wait()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Run executes fn on every rank of a new communicator and returns the
+// completion time: the maximum virtual clock across ranks after all rank
+// functions return. A panic on any rank is re-panicked on the caller.
+func Run(size int, fn func(r *Rank)) time.Duration {
+	c := NewComm(size)
+	var wg sync.WaitGroup
+	panicCh := make(chan any, size)
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicCh <- p
+					// Unblock ranks stuck in barriers: a real MPI job
+					// aborts the communicator on rank failure.
+					c.mu.Lock()
+					c.phase += 1 << 20
+					c.cond.Broadcast()
+					c.mu.Unlock()
+				}
+			}()
+			fn(&Rank{comm: c, id: id, Clock: c.clocks[id]})
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case p := <-panicCh:
+		panic(p)
+	default:
+	}
+	return c.MaxClock()
+}
+
+// MaxClock returns the latest virtual time across all ranks.
+func (c *Comm) MaxClock() time.Duration {
+	var maxT time.Duration
+	for _, cl := range c.clocks {
+		if t := cl.Now(); t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// ReduceMax performs an allreduce(max) over per-rank int64 contributions.
+// It must be called by every rank with its own value; every rank receives
+// the maximum. It synchronizes clocks like a barrier (allreduce implies
+// synchronization).
+type Reducer struct {
+	comm *Comm
+	mu   sync.Mutex
+	vals []int64
+}
+
+// NewReducer creates a reducer bound to a communicator.
+func NewReducer(c *Comm) *Reducer {
+	return &Reducer{comm: c, vals: make([]int64, c.size)}
+}
+
+// AllReduceMax submits v for this rank and returns the communicator-wide
+// maximum after all ranks arrive.
+func (rd *Reducer) AllReduceMax(r *Rank, v int64) int64 {
+	rd.mu.Lock()
+	rd.vals[r.id] = v
+	rd.mu.Unlock()
+	r.Barrier()
+	rd.mu.Lock()
+	maxV := rd.vals[0]
+	for _, x := range rd.vals[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	rd.mu.Unlock()
+	// Second barrier so a rank cannot start the next reduction and
+	// overwrite vals while a peer is still reading this one.
+	r.Barrier()
+	return maxV
+}
+
+// AllReduceSum submits v and returns the communicator-wide sum.
+func (rd *Reducer) AllReduceSum(r *Rank, v int64) int64 {
+	rd.mu.Lock()
+	rd.vals[r.id] = v
+	rd.mu.Unlock()
+	r.Barrier()
+	rd.mu.Lock()
+	var sum int64
+	for _, x := range rd.vals {
+		sum += x
+	}
+	rd.mu.Unlock()
+	r.Barrier()
+	return sum
+}

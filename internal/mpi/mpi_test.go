@@ -1,0 +1,161 @@
+package mpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryRank(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	Run(8, func(r *Rank) {
+		mu.Lock()
+		seen[r.ID()] = true
+		mu.Unlock()
+		if r.Comm().Size() != 8 {
+			t.Errorf("Size = %d", r.Comm().Size())
+		}
+	})
+	if len(seen) != 8 {
+		t.Fatalf("ranks executed = %d, want 8", len(seen))
+	}
+	for i := 0; i < 8; i++ {
+		if !seen[i] {
+			t.Errorf("rank %d never ran", i)
+		}
+	}
+}
+
+func TestRunReturnsMaxClock(t *testing.T) {
+	got := Run(4, func(r *Rank) {
+		r.Clock.Advance(time.Duration(r.ID()+1) * time.Second)
+	})
+	if got != 4*time.Second {
+		t.Errorf("completion = %v, want 4s (slowest rank)", got)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	Run(4, func(r *Rank) {
+		r.Clock.Advance(time.Duration(r.ID()) * time.Second)
+		r.Barrier()
+		if now := r.Clock.Now(); now != 3*time.Second {
+			t.Errorf("rank %d clock after barrier = %v, want 3s", r.ID(), now)
+		}
+	})
+}
+
+func TestBarrierMultiplePhases(t *testing.T) {
+	var count atomic.Int64
+	Run(16, func(r *Rank) {
+		for i := 0; i < 10; i++ {
+			count.Add(1)
+			r.Barrier()
+			// After each barrier every rank must have contributed.
+			if v := count.Load(); v%16 != 0 {
+				t.Errorf("barrier leaked: count=%d at phase %d", v, i)
+			}
+			r.Barrier()
+		}
+	})
+	if count.Load() != 160 {
+		t.Errorf("total = %d, want 160", count.Load())
+	}
+}
+
+func TestBarrierOrderingEnforced(t *testing.T) {
+	// Rank 0 sets a flag before the barrier; all ranks must observe it after.
+	var flag atomic.Bool
+	Run(8, func(r *Rank) {
+		if r.ID() == 0 {
+			flag.Store(true)
+		}
+		r.Barrier()
+		if !flag.Load() {
+			t.Errorf("rank %d passed barrier before rank 0 arrived", r.ID())
+		}
+	})
+}
+
+func TestAllReduceMax(t *testing.T) {
+	c := NewComm(8)
+	rd := NewReducer(c)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{comm: c, id: id, Clock: c.clocks[id]}
+			for round := 0; round < 5; round++ {
+				got := rd.AllReduceMax(r, int64(id*10+round))
+				want := int64(70 + round)
+				if got != want {
+					t.Errorf("rank %d round %d: max = %d, want %d", id, round, got, want)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestAllReduceSum(t *testing.T) {
+	c := NewComm(4)
+	rd := NewReducer(c)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := &Rank{comm: c, id: id, Clock: c.clocks[id]}
+			if got := rd.AllReduceSum(r, int64(id)); got != 6 {
+				t.Errorf("rank %d: sum = %d, want 6", id, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestNewCommPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewComm(0) did not panic")
+		}
+	}()
+	NewComm(0)
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if p := recover(); p == nil {
+			t.Error("Run did not propagate rank panic")
+		}
+	}()
+	Run(4, func(r *Rank) {
+		if r.ID() == 2 {
+			panic("rank failure")
+		}
+		r.Barrier() // other ranks must not deadlock
+	})
+}
+
+func TestManyRanks(t *testing.T) {
+	const n = 1024
+	got := Run(n, func(r *Rank) {
+		r.Clock.Advance(time.Millisecond)
+		r.Barrier()
+		r.Clock.Advance(time.Millisecond)
+	})
+	if got != 2*time.Millisecond {
+		t.Errorf("completion = %v, want 2ms", got)
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	c := NewComm(3)
+	c.clocks[1].Advance(5 * time.Second)
+	if got := c.MaxClock(); got != 5*time.Second {
+		t.Errorf("MaxClock = %v", got)
+	}
+}

@@ -1,0 +1,471 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+// ParseTurtle parses a Turtle document into a new graph, returning the graph
+// and the prefix table it declared. The parser covers the Turtle subset our
+// serializer emits plus common hand-written forms: @prefix directives,
+// prefixed names, IRIs, blank nodes, the 'a' keyword, ';' and ',' lists,
+// string/numeric/boolean literals, language tags, datatypes, and comments.
+func ParseTurtle(r io.Reader) (*Graph, *Namespaces, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &turtleParser{src: string(data), line: 1, ns: NewNamespaces(), g: NewGraph()}
+	if err := p.parse(); err != nil {
+		return nil, nil, err
+	}
+	return p.g, p.ns, nil
+}
+
+// ParseNTriples parses an N-Triples document (a strict Turtle subset) into a
+// new graph.
+func ParseNTriples(r io.Reader) (*Graph, error) {
+	g, _, err := ParseTurtle(r)
+	return g, err
+}
+
+type turtleParser struct {
+	src  string
+	pos  int
+	line int
+	ns   *Namespaces
+	g    *Graph
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *turtleParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *turtleParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *turtleParser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *turtleParser) skipWS() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) expect(c byte) error {
+	p.skipWS()
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *turtleParser) parse() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		if p.hasKeyword("@prefix") {
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.hasKeyword("@base") {
+			return p.errf("@base is not supported")
+		}
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+}
+
+// hasKeyword consumes kw if it appears at the cursor.
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if strings.HasPrefix(p.src[p.pos:], kw) {
+		p.pos += len(kw)
+		return true
+	}
+	return false
+}
+
+func (p *turtleParser) parsePrefix() error {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.peek() != ':' {
+		p.advance()
+	}
+	if p.eof() {
+		return p.errf("unterminated @prefix")
+	}
+	prefix := strings.TrimSpace(p.src[start:p.pos])
+	p.advance() // ':'
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.ns.Bind(prefix, iri)
+	return p.expect('.')
+}
+
+func (p *turtleParser) parseStatement() error {
+	subj, err := p.parseTerm(true)
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipWS()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parseTerm(false)
+			if err != nil {
+				return err
+			}
+			p.g.Add(Triple{S: subj, P: pred, O: obj})
+			p.skipWS()
+			if p.peek() == ',' {
+				p.advance()
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		switch p.peek() {
+		case ';':
+			p.advance()
+			p.skipWS()
+			// Allow trailing ';' before '.'.
+			if p.peek() == '.' {
+				p.advance()
+				return nil
+			}
+			continue
+		case '.':
+			p.advance()
+			return nil
+		default:
+			return p.errf("expected ';' or '.' after object")
+		}
+	}
+}
+
+func (p *turtleParser) parsePredicate() (Term, error) {
+	p.skipWS()
+	// 'a' keyword.
+	if p.peek() == 'a' {
+		next := byte(' ')
+		if p.pos+1 < len(p.src) {
+			next = p.src[p.pos+1]
+		}
+		if next == ' ' || next == '\t' || next == '\n' || next == '\r' || next == '<' {
+			p.advance()
+			return IRI(RDFType), nil
+		}
+	}
+	t, err := p.parseTerm(true)
+	if err != nil {
+		return Term{}, err
+	}
+	if !t.IsIRI() {
+		return Term{}, p.errf("predicate must be an IRI")
+	}
+	return t, nil
+}
+
+// parseTerm parses one RDF term. subjectPos restricts literals.
+func (p *turtleParser) parseTerm(subjectPos bool) (Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of input")
+	}
+	switch c := p.peek(); {
+	case c == '<':
+		iri, err := p.parseIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return IRI(iri), nil
+	case c == '_':
+		return p.parseBlank()
+	case c == '"':
+		if subjectPos {
+			return Term{}, p.errf("literal not allowed as subject/predicate")
+		}
+		return p.parseStringLiteral()
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		if subjectPos {
+			return Term{}, p.errf("numeric literal not allowed here")
+		}
+		return p.parseNumber()
+	default:
+		// true/false or prefixed name.
+		if !subjectPos {
+			if p.hasKeyword("true") && p.boundary() {
+				return Boolean(true), nil
+			}
+			if p.hasKeyword("false") && p.boundary() {
+				return Boolean(false), nil
+			}
+		}
+		return p.parsePrefixedName()
+	}
+}
+
+// boundary reports whether the cursor sits at a token boundary.
+func (p *turtleParser) boundary() bool {
+	if p.eof() {
+		return true
+	}
+	c := p.peek()
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' || c == ';' || c == '.'
+}
+
+func (p *turtleParser) parseIRIRef() (string, error) {
+	if err := p.expect('<'); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated IRI")
+		}
+		c := p.advance()
+		if c == '>' {
+			return b.String(), nil
+		}
+		if c == '\n' {
+			return "", p.errf("newline in IRI")
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (p *turtleParser) parseBlank() (Term, error) {
+	p.advance() // '_'
+	if p.eof() || p.peek() != ':' {
+		return Term{}, p.errf("expected ':' after '_' in blank node")
+	}
+	p.advance()
+	start := p.pos
+	for !p.eof() && isNameChar(rune(p.peek())) {
+		p.advance()
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return Blank(p.src[start:p.pos]), nil
+}
+
+func (p *turtleParser) parseStringLiteral() (Term, error) {
+	p.advance() // opening '"'
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, p.errf("unterminated string literal")
+		}
+		c := p.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			if p.eof() {
+				return Term{}, p.errf("unterminated escape")
+			}
+			e := p.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				if p.pos+n > len(p.src) {
+					return Term{}, p.errf("truncated \\%c escape", e)
+				}
+				var r rune
+				for i := 0; i < n; i++ {
+					d := hexVal(p.advance())
+					if d < 0 {
+						return Term{}, p.errf("bad hex digit in \\%c escape", e)
+					}
+					r = r<<4 | rune(d)
+				}
+				if !utf8.ValidRune(r) {
+					return Term{}, p.errf("invalid unicode escape")
+				}
+				b.WriteRune(r)
+			default:
+				return Term{}, p.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if !p.eof() && p.peek() == '@' {
+		p.advance()
+		start := p.pos
+		for !p.eof() && (isAlphaNum(p.peek()) || p.peek() == '-') {
+			p.advance()
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return LangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.parseTerm(true)
+		if err != nil {
+			return Term{}, err
+		}
+		if !dt.IsIRI() {
+			return Term{}, p.errf("datatype must be an IRI")
+		}
+		return TypedLiteral(lex, dt.Value), nil
+	}
+	return Literal(lex), nil
+}
+
+func (p *turtleParser) parseNumber() (Term, error) {
+	start := p.pos
+	if p.peek() == '+' || p.peek() == '-' {
+		p.advance()
+	}
+	seenDot, seenExp := false, false
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c >= '0' && c <= '9':
+			p.advance()
+		case c == '.' && !seenDot && !seenExp:
+			// A '.' followed by a non-digit terminates the statement instead.
+			if p.pos+1 >= len(p.src) || p.src[p.pos+1] < '0' || p.src[p.pos+1] > '9' {
+				goto done
+			}
+			seenDot = true
+			p.advance()
+		case (c == 'e' || c == 'E') && !seenExp:
+			seenExp = true
+			p.advance()
+			if !p.eof() && (p.peek() == '+' || p.peek() == '-') {
+				p.advance()
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return Term{}, p.errf("malformed number")
+	}
+	if seenDot || seenExp {
+		return TypedLiteral(lex, XSDDouble), nil
+	}
+	return TypedLiteral(lex, XSDInteger), nil
+}
+
+func (p *turtleParser) parsePrefixedName() (Term, error) {
+	start := p.pos
+	for !p.eof() && p.peek() != ':' && isNameChar(rune(p.peek())) {
+		p.advance()
+	}
+	if p.eof() || p.peek() != ':' {
+		return Term{}, p.errf("expected prefixed name")
+	}
+	prefix := p.src[start:p.pos]
+	p.advance() // ':'
+	lstart := p.pos
+	for !p.eof() && isLocalChar(rune(p.peek())) {
+		// A trailing '.' ends the statement, it is not part of the name.
+		if p.peek() == '.' {
+			if p.pos+1 >= len(p.src) || !isLocalChar(rune(p.src[p.pos+1])) || p.src[p.pos+1] == '.' {
+				break
+			}
+		}
+		p.advance()
+	}
+	local := p.src[lstart:p.pos]
+	base, ok := p.ns.Base(prefix)
+	if !ok {
+		return Term{}, p.errf("unbound prefix %q", prefix)
+	}
+	return IRI(base + local), nil
+}
+
+func isNameChar(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func isLocalChar(r rune) bool {
+	return isNameChar(r) || r == '.' || r == '/' || r == '#'
+}
+
+func isAlphaNum(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}

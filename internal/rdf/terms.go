@@ -1,0 +1,167 @@
+// Package rdf implements an in-memory RDF triple store with Turtle and
+// N-Triples serialization, replacing the role Redland librdf plays in the
+// original PROV-IO prototype.
+//
+// The store is dictionary-encoded: every distinct term is interned once and
+// triples are stored as fixed-size integer tuples in three indexes (SPO, POS,
+// OSP), which keeps per-triple memory small when a workflow emits millions of
+// provenance records.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three RDF term kinds.
+type TermKind uint8
+
+// Term kinds.
+const (
+	IRITerm TermKind = iota + 1
+	BlankTerm
+	LiteralTerm
+)
+
+// Common XSD datatype IRIs.
+const (
+	XSDString  = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDLong    = "http://www.w3.org/2001/XMLSchema#long"
+)
+
+// RDFType is the rdf:type predicate IRI.
+const RDFType = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// Term is a single RDF term: an IRI, a blank node, or a literal.
+// The zero Term is invalid; use the constructors.
+type Term struct {
+	Kind TermKind
+	// Value holds the IRI, the blank node label (without "_:"), or the
+	// literal lexical form.
+	Value string
+	// Lang is the language tag for language-tagged literals.
+	Lang string
+	// Datatype is the datatype IRI for typed literals. Empty means
+	// xsd:string for literals.
+	Datatype string
+}
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: IRITerm, Value: iri} }
+
+// Blank returns a blank node term with the given label (no "_:" prefix).
+func Blank(label string) Term { return Term{Kind: BlankTerm, Value: label} }
+
+// Literal returns a plain (xsd:string) literal term.
+func Literal(lexical string) Term { return Term{Kind: LiteralTerm, Value: lexical} }
+
+// LangLiteral returns a language-tagged literal term.
+func LangLiteral(lexical, lang string) Term {
+	return Term{Kind: LiteralTerm, Value: lexical, Lang: lang}
+}
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lexical, datatype string) Term {
+	if datatype == XSDString {
+		datatype = ""
+	}
+	return Term{Kind: LiteralTerm, Value: lexical, Datatype: datatype}
+}
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term { return TypedLiteral(fmt.Sprintf("%d", v), XSDInteger) }
+
+// Double returns an xsd:double literal.
+func Double(v float64) Term { return TypedLiteral(fmt.Sprintf("%g", v), XSDDouble) }
+
+// Boolean returns an xsd:boolean literal.
+func Boolean(v bool) Term { return TypedLiteral(fmt.Sprintf("%t", v), XSDBoolean) }
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRITerm }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == BlankTerm }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == LiteralTerm }
+
+// IsZero reports whether t is the invalid zero Term.
+func (t Term) IsZero() bool { return t.Kind == 0 }
+
+// Equal reports whether two terms are identical.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// Ptr returns a pointer to a copy of t, convenient for Graph.Find patterns.
+func (t Term) Ptr() *Term { return &t }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRITerm:
+		return "<" + t.Value + ">"
+	case BlankTerm:
+		return "_:" + t.Value
+	case LiteralTerm:
+		s := quoteLiteral(t.Value)
+		if t.Lang != "" {
+			return s + "@" + t.Lang
+		}
+		if t.Datatype != "" {
+			return s + "^^<" + t.Datatype + ">"
+		}
+		return s
+	default:
+		return "<invalid>"
+	}
+}
+
+// quoteLiteral renders a literal lexical form with N-Triples escaping.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Valid reports whether the triple is structurally valid RDF: subject must be
+// an IRI or blank node, predicate an IRI, object any term.
+func (t Triple) Valid() bool {
+	if t.S.Kind != IRITerm && t.S.Kind != BlankTerm {
+		return false
+	}
+	if t.P.Kind != IRITerm {
+		return false
+	}
+	return t.O.Kind == IRITerm || t.O.Kind == BlankTerm || t.O.Kind == LiteralTerm
+}

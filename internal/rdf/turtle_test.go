@@ -1,0 +1,267 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTurtleGroupsBySubject(t *testing.T) {
+	g := NewGraph()
+	ns := NewNamespaces()
+	ns.Bind("ex", "http://e/")
+	g.Add(tr("s", "p", "o1"))
+	g.Add(tr("s", "p", "o2"))
+	g.Add(tr("s", "q", "o1"))
+
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, g, ns); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "@prefix ex: <http://e/> .") {
+		t.Errorf("missing prefix declaration:\n%s", out)
+	}
+	if strings.Count(out, "ex:s ") != 1 {
+		t.Errorf("subject should appear once:\n%s", out)
+	}
+	if !strings.Contains(out, "ex:o1, ex:o2") {
+		t.Errorf("object list not comma-grouped:\n%s", out)
+	}
+	if !strings.Contains(out, ";") {
+		t.Errorf("predicate list not semicolon-grouped:\n%s", out)
+	}
+}
+
+func TestWriteTurtleTypeShorthand(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("http://e/s"), IRI(RDFType), IRI("http://e/C")})
+	ns := NewNamespaces()
+	ns.Bind("ex", "http://e/")
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, g, ns); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ex:s a ex:C .") {
+		t.Errorf("rdf:type not rendered as 'a':\n%s", sb.String())
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	g := NewGraph()
+	ns := NewNamespaces()
+	ns.Bind("ex", "http://e/")
+	ns.Bind("prov", "http://www.w3.org/ns/prov#")
+	g.Add(Triple{IRI("http://e/file1"), IRI(RDFType), IRI("http://e/File")})
+	g.Add(Triple{IRI("http://e/file1"), IRI("http://www.w3.org/ns/prov#wasAttributedTo"), IRI("http://e/prog")})
+	g.Add(Triple{IRI("http://e/file1"), IRI("http://e/name"), Literal("west sac.h5")})
+	g.Add(Triple{IRI("http://e/file1"), IRI("http://e/size"), Integer(1024)})
+	g.Add(Triple{IRI("http://e/file1"), IRI("http://e/score"), Double(0.75)})
+	g.Add(Triple{IRI("http://e/file1"), IRI("http://e/valid"), Boolean(true)})
+	g.Add(Triple{Blank("b0"), IRI("http://e/p"), LangLiteral("hello", "en")})
+
+	var sb strings.Builder
+	if err := WriteTurtle(&sb, g, ns); err != nil {
+		t.Fatal(err)
+	}
+	g2, ns2, err := ParseTurtle(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse error: %v\ndoc:\n%s", err, sb.String())
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip changed size: %d -> %d\ndoc:\n%s", g.Len(), g2.Len(), sb.String())
+	}
+	for _, x := range g.Triples() {
+		if !g2.Has(x) {
+			t.Errorf("lost triple %v\ndoc:\n%s", x, sb.String())
+		}
+	}
+	if base, ok := ns2.Base("prov"); !ok || base != "http://www.w3.org/ns/prov#" {
+		t.Errorf("prefix not round-tripped: %q %v", base, ok)
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("http://e/s"), IRI("http://e/p"), Literal("line1\nline2\t\"x\"")})
+	g.Add(Triple{Blank("n"), IRI("http://e/p"), TypedLiteral("3.5", XSDDouble)})
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseNTriples(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g2.Len())
+	}
+	for _, x := range g.Triples() {
+		if !g2.Has(x) {
+			t.Errorf("lost triple %v", x)
+		}
+	}
+}
+
+func TestParseTurtleHandWritten(t *testing.T) {
+	doc := `
+@prefix prov: <http://www.w3.org/ns/prov#> .
+@prefix ex: <http://example.org/> .
+
+# a comment
+ex:decimate.h5 prov:wasAttributedTo ex:decimate ;
+    ex:size 42 ;
+    ex:ratio 0.5 ;
+    ex:ok true ;
+    ex:label "data product"@en .
+
+_:b1 a prov:Entity .
+<http://example.org/raw> prov:wasDerivedFrom ex:decimate.h5 , _:b1 .
+`
+	g, ns, err := ParseTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 8 {
+		t.Fatalf("Len = %d, want 8; triples: %v", g.Len(), g.Triples())
+	}
+	if _, ok := ns.Base("prov"); !ok {
+		t.Error("prov prefix missing")
+	}
+	want := Triple{
+		IRI("http://example.org/decimate.h5"),
+		IRI("http://www.w3.org/ns/prov#wasAttributedTo"),
+		IRI("http://example.org/decimate"),
+	}
+	if !g.Has(want) {
+		t.Errorf("missing %v", want)
+	}
+	if !g.Has(Triple{IRI("http://example.org/decimate.h5"), IRI("http://example.org/size"), Integer(42)}) {
+		t.Error("integer literal not parsed")
+	}
+	if !g.Has(Triple{IRI("http://example.org/decimate.h5"), IRI("http://example.org/ok"), Boolean(true)}) {
+		t.Error("boolean literal not parsed")
+	}
+	if !g.Has(Triple{Blank("b1"), IRI(RDFType), IRI("http://www.w3.org/ns/prov#Entity")}) {
+		t.Error("'a' shorthand not parsed")
+	}
+	if !g.Has(Triple{IRI("http://example.org/raw"), IRI("http://www.w3.org/ns/prov#wasDerivedFrom"), Blank("b1")}) {
+		t.Error("object list not parsed")
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unbound-prefix", `foo:x foo:y foo:z .`},
+		{"unterminated-iri", `<http://e/x foo`},
+		{"unterminated-string", `<http://e/s> <http://e/p> "abc`},
+		{"missing-dot", `<http://e/s> <http://e/p> <http://e/o>`},
+		{"literal-subject", `"lit" <http://e/p> <http://e/o> .`},
+		{"bad-escape", `<http://e/s> <http://e/p> "a\q" .`},
+		{"base-unsupported", `@base <http://e/> .`},
+		{"blank-missing-colon", `_x <http://e/p> <http://e/o> .`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := ParseTurtle(strings.NewReader(c.doc)); err == nil {
+				t.Errorf("expected parse error for %q", c.doc)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	doc := "@prefix ex: <http://e/> .\nex:s ex:p \"x\n"
+	_, _, err := ParseTurtle(strings.NewReader(doc))
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ParseError (err=%v)", err, err)
+	}
+	if pe.Line < 2 {
+		t.Errorf("Line = %d, want >= 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line") {
+		t.Errorf("Error() = %q lacks line info", pe.Error())
+	}
+}
+
+func TestParseUnicodeEscapes(t *testing.T) {
+	doc := `<http://e/s> <http://e/p> "é\U0001F600" .`
+	g, _, err := ParseTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(Triple{IRI("http://e/s"), IRI("http://e/p"), Literal("é😀")}) {
+		t.Errorf("unicode escapes not decoded: %v", g.Triples())
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	doc := `@prefix ex: <http://e/> .
+ex:s ex:p ex:o ; .`
+	g, _, err := ParseTurtle(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestNamespaceExpandShrink(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("prov", "http://www.w3.org/ns/prov#")
+	ns.Bind("provio", "https://github.com/hpc-io/prov-io#")
+
+	iri, ok := ns.Expand("prov:Entity")
+	if !ok || iri != "http://www.w3.org/ns/prov#Entity" {
+		t.Errorf("Expand = %q, %v", iri, ok)
+	}
+	if _, ok := ns.Expand("nope:Entity"); ok {
+		t.Error("Expand succeeded for unbound prefix")
+	}
+	if _, ok := ns.Expand("noColon"); ok {
+		t.Error("Expand succeeded without colon")
+	}
+
+	c, ok := ns.Shrink("http://www.w3.org/ns/prov#wasDerivedFrom")
+	if !ok || c != "prov:wasDerivedFrom" {
+		t.Errorf("Shrink = %q, %v", c, ok)
+	}
+	if _, ok := ns.Shrink("http://other.org/x"); ok {
+		t.Error("Shrink matched unrelated IRI")
+	}
+	// Local names with characters outside PN_LOCAL must not shrink.
+	if _, ok := ns.Shrink("http://www.w3.org/ns/prov#a b"); ok {
+		t.Error("Shrink produced invalid local name")
+	}
+}
+
+func TestNamespacesLongestMatch(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("e", "http://e/")
+	ns.Bind("ex", "http://e/x/")
+	c, ok := ns.Shrink("http://e/x/y")
+	if !ok || c != "ex:y" {
+		t.Errorf("Shrink = %q, want ex:y", c)
+	}
+}
+
+func TestNamespacesClonePrefixes(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("a", "http://a/")
+	c := ns.Clone()
+	c.Bind("b", "http://b/")
+	if len(ns.Prefixes()) != 1 || len(c.Prefixes()) != 2 {
+		t.Errorf("clone not independent: %v vs %v", ns.Prefixes(), c.Prefixes())
+	}
+}
+
+func TestMustExpandPanics(t *testing.T) {
+	ns := NewNamespaces()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExpand did not panic on unbound prefix")
+		}
+	}()
+	ns.MustExpand("zzz:x")
+}

@@ -1,0 +1,57 @@
+// Package simclock provides the virtual-time machinery the reproduction uses
+// in place of the paper's Cori testbed. Every simulated MPI rank owns a
+// Clock; filesystem, workload, and provenance-tracking code charge modeled
+// durations to it, and completion time is read off the clock instead of the
+// wall. This makes the Figure 6/8 completion-time ratios deterministic and
+// hardware-independent while preserving their shape (see DESIGN.md).
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a monotonic virtual clock. It is safe for concurrent use, though
+// in the MPI simulation each rank normally owns its clock exclusively
+// between barriers.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock at virtual time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t if t is later than now; it never
+// moves the clock backwards. Barriers use this to synchronize ranks.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Reset returns the clock to zero (between experiment repetitions).
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.now = 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,163 @@
+package simclock
+
+import "time"
+
+// CostModel holds the calibrated constants that convert simulated work into
+// virtual time. The defaults approximate the paper's testbed: a Lustre file
+// system with stripe count 128 and 16 MB stripes behind Haswell compute
+// nodes, and a Redland-librdf-class provenance store.
+//
+// The tracking constants model the paper's C prototype (Redland hash
+// indexes, GUID minting, VOL bookkeeping), calibrated once against two of
+// the paper's headline ratios (Top Reco ≤0.02%, DASSA attribute-lineage max
+// ≈11%) and then held fixed across every experiment. This repository's own
+// Go store is considerably faster (see BenchmarkRDFInsert and
+// BenchmarkTrackerRecord at the repo root, ~7µs/triple and ~14µs/record);
+// those microbenchmarks bound the constants from below, while the modeled
+// values reproduce the prototype the paper measured.
+type CostModel struct {
+	// MetadataLatency is charged per metadata operation (create, open,
+	// stat, rename, fsync initiation) — Lustre MDS round trip.
+	MetadataLatency time.Duration
+
+	// ReadLatency / WriteLatency are the fixed per-call costs of data
+	// operations (client RPC + OST dispatch).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// ReadBandwidth / WriteBandwidth are per-client streaming rates in
+	// bytes per second of virtual time.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+
+	// StripeCount and StripeSize describe the Lustre layout; files larger
+	// than one stripe enjoy parallel OST service up to StripeCount ways.
+	StripeCount int
+	StripeSize  int64
+	// ClientParallelStripes caps how many stripes a single client can
+	// drive concurrently (NIC/LNET bound); 0 means unlimited.
+	ClientParallelStripes int
+
+	// SharedFilePenalty scales data-op latency when many ranks touch one
+	// shared file (lock contention on OSTs); applied per concurrent rank
+	// beyond the stripe count.
+	SharedFilePenalty float64
+
+	// TrackPerRecord is the fixed cost PROV-IO charges per provenance
+	// record (building the record and locking the per-process sub-graph).
+	TrackPerRecord time.Duration
+	// TrackPerTriple is the marginal cost per RDF triple inserted.
+	TrackPerTriple time.Duration
+	// TrackLogFactor models the mild growth of in-memory graph insertion
+	// cost with graph size (Redland's indexes degrade as the sub-graph
+	// grows); charged as log2(graphTriples) * factor per record.
+	TrackLogFactor time.Duration
+	// TrackerInit is the one-time provenance library + store startup cost
+	// (the "latency of Redland" the paper blames for the higher relative
+	// overhead of short Top Reco runs).
+	TrackerInit time.Duration
+	// SerializePerTriple is the cost per triple of Turtle serialization
+	// during (asynchronous) flushes.
+	SerializePerTriple time.Duration
+}
+
+// Default returns the calibrated cost model used by all experiments.
+func Default() CostModel {
+	return CostModel{
+		MetadataLatency:       120 * time.Microsecond,
+		ReadLatency:           60 * time.Microsecond,
+		WriteLatency:          80 * time.Microsecond,
+		ReadBandwidth:         1.6e9, // 1.6 GB/s per client
+		WriteBandwidth:        1.1e9, // 1.1 GB/s per client
+		StripeCount:           128,
+		StripeSize:            16 << 20,
+		ClientParallelStripes: 6,
+		SharedFilePenalty:     0.004,
+		TrackPerRecord:        1200 * time.Microsecond,
+		TrackPerTriple:        250 * time.Microsecond,
+		TrackLogFactor:        25 * time.Microsecond,
+		TrackerInit:           150 * time.Millisecond,
+		SerializePerTriple:    2 * time.Microsecond,
+	}
+}
+
+// ReadCost models reading n bytes in one call.
+func (m CostModel) ReadCost(n int64) time.Duration {
+	return m.dataCost(n, m.ReadLatency, m.ReadBandwidth)
+}
+
+// WriteCost models writing n bytes in one call.
+func (m CostModel) WriteCost(n int64) time.Duration {
+	return m.dataCost(n, m.WriteLatency, m.WriteBandwidth)
+}
+
+func (m CostModel) dataCost(n int64, lat time.Duration, bw float64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	if bw <= 0 {
+		return lat
+	}
+	// Large transfers stripe across OSTs: effective bandwidth grows with
+	// the number of stripes touched, capped at StripeCount.
+	stripes := int64(1)
+	if m.StripeSize > 0 {
+		stripes = (n + m.StripeSize - 1) / m.StripeSize
+	}
+	if sc := int64(m.StripeCount); sc > 0 && stripes > sc {
+		stripes = sc
+	}
+	if cp := int64(m.ClientParallelStripes); cp > 0 && stripes > cp {
+		stripes = cp
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	eff := bw * float64(stripes)
+	return lat + time.Duration(float64(n)/eff*float64(time.Second))
+}
+
+// SharedFileCost inflates a base data-op cost for a shared-file workload
+// with the given number of concurrently writing ranks.
+func (m CostModel) SharedFileCost(base time.Duration, ranks int) time.Duration {
+	if ranks <= m.StripeCount || m.SharedFilePenalty <= 0 {
+		return base
+	}
+	excess := float64(ranks - m.StripeCount)
+	return base + time.Duration(float64(base)*m.SharedFilePenalty*excess)
+}
+
+// TrackCost models inserting one provenance record of nTriples triples.
+func (m CostModel) TrackCost(nTriples int) time.Duration {
+	if nTriples < 0 {
+		nTriples = 0
+	}
+	return m.TrackPerRecord + time.Duration(nTriples)*m.TrackPerTriple
+}
+
+// TrackCostAt is TrackCost plus the graph-size-dependent term for a graph
+// that already holds graphTriples triples.
+func (m CostModel) TrackCostAt(nTriples, graphTriples int) time.Duration {
+	c := m.TrackCost(nTriples)
+	if m.TrackLogFactor > 0 && graphTriples > 1 {
+		c += time.Duration(log2int(graphTriples)) * m.TrackLogFactor
+	}
+	return c
+}
+
+func log2int(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// SerializeCost models serializing nTriples triples to the store.
+func (m CostModel) SerializeCost(nTriples int) time.Duration {
+	if nTriples < 0 {
+		nTriples = 0
+	}
+	return time.Duration(nTriples) * m.SerializePerTriple
+}

@@ -1,0 +1,180 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v", c.Now())
+	}
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if c.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+}
+
+func TestClockAdvanceIgnoresNegative(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	c.Advance(-10 * time.Second)
+	if c.Now() != time.Second {
+		t.Errorf("Now = %v, want 1s", c.Now())
+	}
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Second)
+	c.AdvanceTo(5 * time.Second) // must not go backwards
+	if c.Now() != 10*time.Second {
+		t.Errorf("AdvanceTo moved clock backwards: %v", c.Now())
+	}
+	c.AdvanceTo(20 * time.Second)
+	if c.Now() != 20*time.Second {
+		t.Errorf("AdvanceTo did not advance: %v", c.Now())
+	}
+}
+
+func TestClockReset(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Hour)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Reset left clock at %v", c.Now())
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	const workers, per = 16, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*per*time.Microsecond {
+		t.Errorf("Now = %v, want %v", got, workers*per*time.Microsecond)
+	}
+}
+
+func TestDefaultCostModelSane(t *testing.T) {
+	m := Default()
+	if m.ReadBandwidth <= 0 || m.WriteBandwidth <= 0 {
+		t.Fatal("bandwidths must be positive")
+	}
+	if m.StripeCount != 128 || m.StripeSize != 16<<20 {
+		t.Errorf("Lustre layout = %d x %d, want 128 x 16MB (paper §6.1)", m.StripeCount, m.StripeSize)
+	}
+	if m.TrackPerRecord <= 0 || m.TrackPerTriple <= 0 {
+		t.Error("tracking costs must be positive")
+	}
+}
+
+func TestReadWriteCostMonotonic(t *testing.T) {
+	m := Default()
+	sizes := []int64{0, 1, 4096, 1 << 20, 64 << 20, 1 << 30}
+	var prevR, prevW time.Duration
+	for i, n := range sizes {
+		r, w := m.ReadCost(n), m.WriteCost(n)
+		if i > 0 && (r < prevR || w < prevW) {
+			t.Errorf("cost not monotonic at %d bytes: read %v<%v write %v<%v", n, r, prevR, w, prevW)
+		}
+		prevR, prevW = r, w
+	}
+}
+
+func TestCostIncludesLatencyFloor(t *testing.T) {
+	m := Default()
+	if m.ReadCost(0) < m.ReadLatency {
+		t.Errorf("zero-byte read cost %v below latency %v", m.ReadCost(0), m.ReadLatency)
+	}
+	if m.WriteCost(-5) != m.WriteCost(0) {
+		t.Error("negative sizes should clamp to zero")
+	}
+}
+
+func TestStripingAcceleratesLargeTransfers(t *testing.T) {
+	m := Default()
+	small := m.ReadCost(m.StripeSize)    // 1 stripe
+	big := m.ReadCost(m.StripeSize * 64) // 64 stripes, 64x parallel
+	if big > small*64 {
+		t.Errorf("striping not applied: 64-stripe read %v vs 1-stripe %v", big, small)
+	}
+	// Per-byte cost should be lower for the striped read.
+	perByteSmall := float64(small-m.ReadLatency) / float64(m.StripeSize)
+	perByteBig := float64(big-m.ReadLatency) / float64(m.StripeSize*64)
+	if perByteBig >= perByteSmall {
+		t.Errorf("striped per-byte cost %v >= unstriped %v", perByteBig, perByteSmall)
+	}
+}
+
+func TestStripeCountCapsParallelism(t *testing.T) {
+	m := Default()
+	// Doubling the size beyond full striping should roughly double cost.
+	full := int64(m.StripeCount) * m.StripeSize
+	c1 := m.ReadCost(full) - m.ReadLatency
+	c2 := m.ReadCost(2*full) - m.ReadLatency
+	ratio := float64(c2) / float64(c1)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("beyond-cap scaling ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestSharedFileCost(t *testing.T) {
+	m := Default()
+	base := time.Millisecond
+	if got := m.SharedFileCost(base, 64); got != base {
+		t.Errorf("penalty applied below stripe count: %v", got)
+	}
+	p1 := m.SharedFileCost(base, 1024)
+	p2 := m.SharedFileCost(base, 4096)
+	if p1 <= base || p2 <= p1 {
+		t.Errorf("penalty not increasing: base=%v p1=%v p2=%v", base, p1, p2)
+	}
+}
+
+func TestTrackCost(t *testing.T) {
+	m := Default()
+	if m.TrackCost(0) != m.TrackPerRecord {
+		t.Errorf("TrackCost(0) = %v", m.TrackCost(0))
+	}
+	if m.TrackCost(10) != m.TrackPerRecord+10*m.TrackPerTriple {
+		t.Errorf("TrackCost(10) = %v", m.TrackCost(10))
+	}
+	if m.TrackCost(-1) != m.TrackPerRecord {
+		t.Error("negative triple count should clamp")
+	}
+	if m.SerializeCost(100) != 100*m.SerializePerTriple {
+		t.Errorf("SerializeCost(100) = %v", m.SerializeCost(100))
+	}
+	if m.SerializeCost(-1) != 0 {
+		t.Error("negative serialize count should clamp")
+	}
+}
+
+// Property: data cost is additive-ish — cost(n) <= cost(a)+cost(b) when
+// n=a+b (latency paid once instead of twice, striping never hurts).
+func TestCostSubadditiveProperty(t *testing.T) {
+	m := Default()
+	f := func(a, b uint32) bool {
+		n := int64(a) + int64(b)
+		whole := m.WriteCost(n)
+		split := m.WriteCost(int64(a)) + m.WriteCost(int64(b))
+		return whole <= split+time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

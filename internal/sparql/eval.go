@@ -1,0 +1,753 @@
+package sparql
+
+import (
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Binding maps variable names to terms.
+type Binding map[string]rdf.Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	nb := make(Binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// Result is the solution sequence of a SELECT query.
+type Result struct {
+	// Vars are the projected variable names in order.
+	Vars []string
+	// Rows are the solutions; each row maps projected vars (a var may be
+	// unbound in a row when it comes from an OPTIONAL group).
+	Rows []Binding
+}
+
+// Exec parses and evaluates a query against g in one call.
+func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
+	q, err := Parse(query, base)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(g, q)
+}
+
+// Eval evaluates a parsed query against a graph.
+func Eval(g *rdf.Graph, q *Query) (*Result, error) {
+	bindings, err := evalGroup(g, q.Where, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+
+	// COUNT projection collapses the solution sequence to a single row.
+	if q.CountAs != "" {
+		n := 0
+		if q.CountAll {
+			n = len(bindings)
+		} else {
+			seen := make(map[rdf.Term]struct{})
+			for _, b := range bindings {
+				if t, ok := b[q.Count]; ok {
+					if q.Distinct {
+						seen[t] = struct{}{}
+					} else {
+						n++
+					}
+				}
+			}
+			if q.Distinct {
+				n = len(seen)
+			}
+		}
+		return &Result{
+			Vars: []string{q.CountAs},
+			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
+		}, nil
+	}
+
+	vars := q.Vars
+	if len(vars) == 0 { // SELECT *
+		set := map[string]struct{}{}
+		collectVars(q.Where, set)
+		for v := range set {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+
+	rows := make([]Binding, 0, len(bindings))
+	for _, b := range bindings {
+		row := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				row[v] = t
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	if q.Distinct {
+		rows = dedupeRows(vars, rows)
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, q.OrderBy)
+	} else {
+		// Deterministic output even without ORDER BY: sort by projected
+		// values. SPARQL leaves this unspecified; determinism helps tests
+		// and reproducible experiment output.
+		sortRows(rows, orderKeysFor(vars))
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: rows}, nil
+}
+
+func orderKeysFor(vars []string) []OrderKey {
+	ks := make([]OrderKey, len(vars))
+	for i, v := range vars {
+		ks[i] = OrderKey{Var: v}
+	}
+	return ks
+}
+
+func collectVars(g *Group, set map[string]struct{}) {
+	for _, e := range g.Elems {
+		switch e := e.(type) {
+		case TriplePattern:
+			if e.S.IsVar() {
+				set[e.S.Var] = struct{}{}
+			}
+			if e.P.IsVar() {
+				set[e.P.Var] = struct{}{}
+			}
+			if e.O.IsVar() {
+				set[e.O.Var] = struct{}{}
+			}
+		case OptionalElem:
+			collectVars(e.Group, set)
+		case UnionElem:
+			for _, alt := range e.Alternatives {
+				collectVars(alt, set)
+			}
+		}
+	}
+}
+
+func dedupeRows(vars []string, rows []Binding) []Binding {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := rowKey(vars, r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func rowKey(vars []string, r Binding) string {
+	var b strings.Builder
+	for _, v := range vars {
+		if t, ok := r[v]; ok {
+			b.WriteString(t.String())
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func sortRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := rows[i][k.Var]
+			b, bok := rows[j][k.Var]
+			if !aok && !bok {
+				continue
+			}
+			if !aok {
+				return !k.Desc // unbound sorts first ascending
+			}
+			if !bok {
+				return k.Desc
+			}
+			c := compareTerms(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// compareTerms orders terms: numerics numerically when both are numeric,
+// otherwise by kind then string form.
+func compareTerms(a, b rdf.Term) int {
+	if av, aok := numericValue(a); aok {
+		if bv, bok := numericValue(b); bok {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func numericValue(t rdf.Term) (float64, bool) {
+	if !t.IsLiteral() {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDouble, rdf.XSDLong:
+		v, err := strconv.ParseFloat(t.Value, 64)
+		return v, err == nil
+	}
+	return 0, false
+}
+
+// ---- group evaluation ----
+
+func evalGroup(g *rdf.Graph, grp *Group, in []Binding) ([]Binding, error) {
+	cur := in
+	var bgp []TriplePattern
+	flushBGP := func() {
+		if len(bgp) > 0 {
+			cur = evalBGP(g, bgp, cur)
+			bgp = nil
+		}
+	}
+	for _, e := range grp.Elems {
+		var err error
+		switch e := e.(type) {
+		case TriplePattern:
+			// Consecutive triple patterns form a basic graph pattern;
+			// they are join-order independent, so they are batched and
+			// reordered by selectivity in evalBGP.
+			bgp = append(bgp, e)
+			continue
+		case FilterElem:
+			flushBGP()
+			cur, err = applyFilter(e.Expr, cur)
+		case OptionalElem:
+			flushBGP()
+			cur, err = applyOptional(g, e.Group, cur)
+		case UnionElem:
+			flushBGP()
+			cur, err = applyUnion(g, e.Alternatives, cur)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	flushBGP()
+	if len(cur) == 0 {
+		return nil, nil
+	}
+	return cur, nil
+}
+
+// evalBGP evaluates a basic graph pattern with greedy join ordering: at each
+// step the most selective remaining pattern (most constant/already-bound
+// positions) runs next. This avoids the Cartesian blowups a naive
+// left-to-right evaluation hits when a query lists an unconstrained pattern
+// first — the difference between seconds and milliseconds on DASSA-sized
+// lineage graphs.
+func evalBGP(g *rdf.Graph, patterns []TriplePattern, in []Binding) []Binding {
+	bound := map[string]bool{}
+	for _, b := range in {
+		for v := range b {
+			bound[v] = true
+		}
+	}
+	remaining := append([]TriplePattern(nil), patterns...)
+	cur := in
+	for len(remaining) > 0 && len(cur) > 0 {
+		best, bestScore := 0, -1
+		for i, tp := range remaining {
+			s := selectivity(tp, bound)
+			if s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		cur = evalTriplePattern(g, tp, cur)
+		markBound(tp, bound)
+	}
+	return cur
+}
+
+// selectivity scores a pattern by how constrained it is under the current
+// bound-variable set: constants and bound variables count, with the
+// predicate position weighted highest (predicate-indexed lookups are the
+// cheapest in the store).
+func selectivity(tp TriplePattern, bound map[string]bool) int {
+	score := 0
+	posScore := func(n NodePattern, w int) int {
+		if !n.IsVar() || bound[n.Var] {
+			return w
+		}
+		return 0
+	}
+	score += posScore(tp.S, 2)
+	score += posScore(tp.O, 2)
+	if !tp.P.IsVar() {
+		score += 3
+		// Property paths with closure modifiers are costlier; prefer plain
+		// predicates at equal boundness.
+		for _, st := range tp.P.Steps {
+			if st.Mod != PathOnce {
+				score--
+				break
+			}
+		}
+	} else if bound[tp.P.Var] {
+		score += 3
+	}
+	return score
+}
+
+func markBound(tp TriplePattern, bound map[string]bool) {
+	if tp.S.IsVar() {
+		bound[tp.S.Var] = true
+	}
+	if tp.P.IsVar() {
+		bound[tp.P.Var] = true
+	}
+	if tp.O.IsVar() {
+		bound[tp.O.Var] = true
+	}
+}
+
+func applyFilter(expr Expr, in []Binding) ([]Binding, error) {
+	out := in[:0]
+	for _, b := range in {
+		ok, err := evalBool(expr, b)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func applyOptional(g *rdf.Graph, sub *Group, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, b := range in {
+		matched, err := evalGroup(g, sub, []Binding{b})
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) == 0 {
+			out = append(out, b)
+		} else {
+			out = append(out, matched...)
+		}
+	}
+	return out, nil
+}
+
+func applyUnion(g *rdf.Graph, alts []*Group, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, alt := range alts {
+		matched, err := evalGroup(g, alt, cloneBindings(in))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matched...)
+	}
+	return out, nil
+}
+
+func cloneBindings(in []Binding) []Binding {
+	out := make([]Binding, len(in))
+	for i, b := range in {
+		out[i] = b.clone()
+	}
+	return out
+}
+
+// evalTriplePattern extends each input binding with all graph matches.
+func evalTriplePattern(g *rdf.Graph, tp TriplePattern, in []Binding) []Binding {
+	var out []Binding
+	for _, b := range in {
+		out = append(out, matchPattern(g, tp, b)...)
+	}
+	return out
+}
+
+func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding) []Binding {
+	// Resolve bound positions.
+	s := resolveNode(tp.S, b)
+	o := resolveNode(tp.O, b)
+
+	if tp.P.IsVar() {
+		return matchVarPredicate(g, tp, s, o, b)
+	}
+	if len(tp.P.Steps) == 1 && tp.P.Steps[0].Mod == PathOnce && !tp.P.Steps[0].Inverse {
+		return matchSimple(g, tp, s, tp.P.Steps[0].IRI, o, b)
+	}
+	return matchPath(g, tp, s, o, b)
+}
+
+// resolveNode returns the concrete term for a pattern position, or nil if it
+// is an unbound variable.
+func resolveNode(n NodePattern, b Binding) *rdf.Term {
+	if n.IsVar() {
+		if t, ok := b[n.Var]; ok {
+			tt := t
+			return &tt
+		}
+		return nil
+	}
+	tt := n.Term
+	return &tt
+}
+
+func matchSimple(g *rdf.Graph, tp TriplePattern, s *rdf.Term, p rdf.Term, o *rdf.Term, b Binding) []Binding {
+	var out []Binding
+	g.ForEachMatch(s, &p, o, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if tp.S.IsVar() {
+			nb[tp.S.Var] = t.S
+		}
+		if tp.O.IsVar() {
+			nb[tp.O.Var] = t.O
+		}
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+func matchVarPredicate(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
+	var pTerm *rdf.Term
+	if t, ok := b[tp.P.Var]; ok {
+		pTerm = &t
+	}
+	var out []Binding
+	g.ForEachMatch(s, pTerm, o, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if tp.S.IsVar() {
+			nb[tp.S.Var] = t.S
+		}
+		nb[tp.P.Var] = t.P
+		if tp.O.IsVar() {
+			nb[tp.O.Var] = t.O
+		}
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+// matchPath evaluates a property path (sequence of steps with modifiers).
+func matchPath(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
+	// Enumerate start nodes.
+	starts := map[rdf.Term]struct{}{}
+	if s != nil {
+		starts[*s] = struct{}{}
+	} else {
+		// All subjects (and objects, for inverse-starting or zero-length
+		// paths) are candidate starts; to stay tractable we enumerate nodes
+		// reachable as subjects of the first step (or objects if inverted).
+		first := tp.P.Steps[0]
+		pred := first.IRI
+		g.ForEachMatch(nil, &pred, nil, func(t rdf.Triple) bool {
+			if first.Inverse {
+				starts[t.O] = struct{}{}
+			} else {
+				starts[t.S] = struct{}{}
+			}
+			return true
+		})
+	}
+
+	var out []Binding
+	for start := range starts {
+		ends := map[rdf.Term]struct{}{start: {}}
+		for _, step := range tp.P.Steps {
+			ends = walkStep(g, step, ends)
+			if len(ends) == 0 {
+				break
+			}
+		}
+		for end := range ends {
+			if o != nil && !o.Equal(end) {
+				continue
+			}
+			nb := b.clone()
+			if tp.S.IsVar() {
+				nb[tp.S.Var] = start
+			}
+			if tp.O.IsVar() {
+				nb[tp.O.Var] = end
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// walkStep advances a frontier of nodes across one path step.
+func walkStep(g *rdf.Graph, step PathStep, frontier map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+	oneHop := func(nodes map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+		next := map[rdf.Term]struct{}{}
+		pred := step.IRI
+		for n := range nodes {
+			nn := n
+			if step.Inverse {
+				g.ForEachMatch(nil, &pred, &nn, func(t rdf.Triple) bool {
+					next[t.S] = struct{}{}
+					return true
+				})
+			} else {
+				g.ForEachMatch(&nn, &pred, nil, func(t rdf.Triple) bool {
+					next[t.O] = struct{}{}
+					return true
+				})
+			}
+		}
+		return next
+	}
+
+	switch step.Mod {
+	case PathOnce:
+		return oneHop(frontier)
+	case PathZeroOrOne:
+		out := copySet(frontier)
+		for n := range oneHop(frontier) {
+			out[n] = struct{}{}
+		}
+		return out
+	case PathOneOrMore, PathZeroOrMore:
+		out := map[rdf.Term]struct{}{}
+		if step.Mod == PathZeroOrMore {
+			out = copySet(frontier)
+		}
+		cur := frontier
+		for {
+			next := oneHop(cur)
+			fresh := map[rdf.Term]struct{}{}
+			for n := range next {
+				if _, seen := out[n]; !seen {
+					out[n] = struct{}{}
+					fresh[n] = struct{}{}
+				}
+			}
+			if len(fresh) == 0 {
+				return out
+			}
+			cur = fresh
+		}
+	}
+	return nil
+}
+
+func copySet(s map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+	out := make(map[rdf.Term]struct{}, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// ---- FILTER expression evaluation ----
+
+// value is the evaluated form of an expression: a term or an error state.
+type value struct {
+	term  rdf.Term
+	valid bool
+}
+
+func evalBool(e Expr, b Binding) (bool, error) {
+	v, err := evalExpr(e, b)
+	if err != nil {
+		return false, err
+	}
+	if !v.valid {
+		return false, nil
+	}
+	return effectiveBool(v.term), nil
+}
+
+// effectiveBool implements SPARQL's effective boolean value for our types.
+func effectiveBool(t rdf.Term) bool {
+	if !t.IsLiteral() {
+		return true // bound IRI/blank counts as true in our subset
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true"
+	case rdf.XSDInteger, rdf.XSDDouble, rdf.XSDLong:
+		v, err := strconv.ParseFloat(t.Value, 64)
+		return err == nil && v != 0
+	default:
+		return t.Value != ""
+	}
+}
+
+func evalExpr(e Expr, b Binding) (value, error) {
+	switch e := e.(type) {
+	case VarExpr:
+		t, ok := b[e.Name]
+		return value{term: t, valid: ok}, nil
+	case TermExpr:
+		return value{term: e.Term, valid: true}, nil
+	case BoundExpr:
+		_, ok := b[e.Name]
+		return value{term: rdf.Boolean(ok), valid: true}, nil
+	case StrExpr:
+		v, err := evalExpr(e.X, b)
+		if err != nil || !v.valid {
+			return value{}, err
+		}
+		return value{term: rdf.Literal(termText(v.term)), valid: true}, nil
+	case NotExpr:
+		v, err := evalExpr(e.X, b)
+		if err != nil {
+			return value{}, err
+		}
+		if !v.valid {
+			return value{}, nil
+		}
+		return value{term: rdf.Boolean(!effectiveBool(v.term)), valid: true}, nil
+	case RegexExpr:
+		v, err := evalExpr(e.X, b)
+		if err != nil {
+			return value{}, err
+		}
+		if !v.valid {
+			return value{}, nil
+		}
+		pat := e.Pattern
+		if strings.Contains(e.Flags, "i") {
+			pat = "(?i)" + pat
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return value{}, &Error{Msg: "bad REGEX pattern: " + err.Error()}
+		}
+		return value{term: rdf.Boolean(re.MatchString(termText(v.term))), valid: true}, nil
+	case BinaryExpr:
+		return evalBinary(e, b)
+	}
+	return value{}, &Error{Msg: "unknown expression node"}
+}
+
+func evalBinary(e BinaryExpr, b Binding) (value, error) {
+	switch e.Op {
+	case "&&", "||":
+		lv, err := evalBool(e.L, b)
+		if err != nil {
+			return value{}, err
+		}
+		if e.Op == "&&" && !lv {
+			return value{term: rdf.Boolean(false), valid: true}, nil
+		}
+		if e.Op == "||" && lv {
+			return value{term: rdf.Boolean(true), valid: true}, nil
+		}
+		rv, err := evalBool(e.R, b)
+		if err != nil {
+			return value{}, err
+		}
+		return value{term: rdf.Boolean(rv), valid: true}, nil
+	}
+	lv, err := evalExpr(e.L, b)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err := evalExpr(e.R, b)
+	if err != nil {
+		return value{}, err
+	}
+	if !lv.valid || !rv.valid {
+		return value{}, nil
+	}
+	var c int
+	ln, lok := numericValue(lv.term)
+	rn, rok := numericValue(rv.term)
+	if lok && rok {
+		switch {
+		case ln < rn:
+			c = -1
+		case ln > rn:
+			c = 1
+		}
+	} else if e.Op == "=" || e.Op == "!=" {
+		if lv.term.Equal(rv.term) {
+			c = 0
+		} else {
+			c = 1
+		}
+	} else {
+		lt, rt := termText(lv.term), termText(rv.term)
+		switch {
+		case lt < rt:
+			c = -1
+		case lt > rt:
+			c = 1
+		}
+	}
+	var out bool
+	switch e.Op {
+	case "=":
+		out = c == 0
+	case "!=":
+		out = c != 0
+	case "<":
+		out = c < 0
+	case ">":
+		out = c > 0
+	case "<=":
+		out = c <= 0
+	case ">=":
+		out = c >= 0
+	default:
+		return value{}, &Error{Msg: "unknown operator " + e.Op}
+	}
+	return value{term: rdf.Boolean(out), valid: true}, nil
+}
+
+// termText is the plain text content of a term (IRI string or literal
+// lexical form).
+func termText(t rdf.Term) string { return t.Value }

@@ -1,0 +1,612 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Parse parses a SPARQL SELECT query. The optional base namespaces are
+// consulted for prefixes not declared in the query itself (the user engine
+// passes the PROV-IO model's namespace table so queries can omit the
+// boilerplate PREFIX block).
+func Parse(src string, base *rdf.Namespaces) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	ns := rdf.NewNamespaces()
+	if base != nil {
+		ns = base.Clone()
+	}
+	p := &parser{toks: toks, q: &Query{Prefixes: ns, Limit: -1}}
+	if err := p.parseQuery(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	q    *Query
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tokKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectKind(k tokenKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf("expected %s, got %q", what, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseQuery() error {
+	for p.acceptKeyword("PREFIX") {
+		if err := p.parsePrefixDecl(); err != nil {
+			return err
+		}
+	}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return err
+	}
+	if p.acceptKeyword("DISTINCT") {
+		p.q.Distinct = true
+	}
+	if err := p.parseProjection(); err != nil {
+		return err
+	}
+	// WHERE keyword is optional before '{'.
+	p.acceptKeyword("WHERE")
+	g, err := p.parseGroup()
+	if err != nil {
+		return err
+	}
+	p.q.Where = g
+	if err := p.parseSolutionModifiers(); err != nil {
+		return err
+	}
+	if p.cur().kind != tokEOF {
+		return p.errf("unexpected trailing token %q", p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) parsePrefixDecl() error {
+	t, err := p.expectKind(tokPName, "prefix name")
+	if err != nil {
+		return err
+	}
+	if !strings.HasSuffix(t.text, ":") {
+		// The lexer emits "prefix:local"; a declaration must have empty local.
+		i := strings.Index(t.text, ":")
+		if i < 0 || t.text[i+1:] != "" {
+			return p.errf("malformed PREFIX declaration %q", t.text)
+		}
+	}
+	prefix := strings.TrimSuffix(t.text, ":")
+	iri, err := p.expectKind(tokIRI, "IRI")
+	if err != nil {
+		return err
+	}
+	p.q.Prefixes.Bind(prefix, iri.text)
+	return nil
+}
+
+func (p *parser) parseProjection() error {
+	if p.cur().kind == tokStar {
+		p.pos++
+		return nil
+	}
+	if p.cur().kind == tokLParen {
+		return p.parseCountProjection()
+	}
+	for p.cur().kind == tokVar {
+		p.q.Vars = append(p.q.Vars, p.next().text)
+	}
+	if len(p.q.Vars) == 0 {
+		return p.errf("SELECT needs '*', variables, or (COUNT(...) AS ?v)")
+	}
+	return nil
+}
+
+// parseCountProjection parses (COUNT(?v) AS ?n) or (COUNT(*) AS ?n).
+func (p *parser) parseCountProjection() error {
+	p.pos++ // '('
+	if err := p.expectKeyword("COUNT"); err != nil {
+		return err
+	}
+	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+		return err
+	}
+	switch p.cur().kind {
+	case tokStar:
+		p.pos++
+		p.q.CountAll = true
+	case tokVar:
+		p.q.Count = p.next().text
+	default:
+		return p.errf("COUNT needs '*' or a variable")
+	}
+	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+		return err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return err
+	}
+	v, err := p.expectKind(tokVar, "variable")
+	if err != nil {
+		return err
+	}
+	p.q.CountAs = v.text
+	_, err = p.expectKind(tokRParen, "')'")
+	return err
+}
+
+func (p *parser) parseGroup() (*Group, error) {
+	if _, err := p.expectKind(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	g := &Group{}
+	for {
+		switch {
+		case p.cur().kind == tokRBrace:
+			p.pos++
+			return g, nil
+		case p.cur().kind == tokEOF:
+			return nil, p.errf("unterminated group pattern")
+		case p.cur().kind == tokKeyword && p.cur().text == "FILTER":
+			p.pos++
+			e, err := p.parseBrackettedExpr()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, FilterElem{Expr: e})
+		case p.cur().kind == tokKeyword && p.cur().text == "OPTIONAL":
+			p.pos++
+			sub, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Elems = append(g.Elems, OptionalElem{Group: sub})
+		case p.cur().kind == tokLBrace:
+			// { A } UNION { B } [UNION { C } ...]
+			alt, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			u := UnionElem{Alternatives: []*Group{alt}}
+			for p.acceptKeyword("UNION") {
+				alt, err := p.parseGroup()
+				if err != nil {
+					return nil, err
+				}
+				u.Alternatives = append(u.Alternatives, alt)
+			}
+			g.Elems = append(g.Elems, u)
+		case p.cur().kind == tokDot:
+			p.pos++ // stray separator
+		default:
+			if err := p.parseTriplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseTriplesBlock parses: subject (path object ("," object)*)
+// (";" path object ("," object)*)* "."?
+func (p *parser) parseTriplesBlock(g *Group) error {
+	s, err := p.parseNode()
+	if err != nil {
+		return err
+	}
+	for {
+		path, err := p.parsePath()
+		if err != nil {
+			return err
+		}
+		for {
+			o, err := p.parseNode()
+			if err != nil {
+				return err
+			}
+			g.Elems = append(g.Elems, TriplePattern{S: s, P: path, O: o})
+			if p.cur().kind == tokComma {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.cur().kind == tokSemi {
+			p.pos++
+			// Allow dangling ';' before '.' or '}'.
+			if p.cur().kind == tokDot || p.cur().kind == tokRBrace {
+				break
+			}
+			continue
+		}
+		break
+	}
+	if p.cur().kind == tokDot {
+		p.pos++
+	}
+	return nil
+}
+
+func (p *parser) parseNode() (NodePattern, error) {
+	switch t := p.cur(); t.kind {
+	case tokVar:
+		p.pos++
+		return NodePattern{Var: t.text}, nil
+	case tokIRI:
+		p.pos++
+		return NodePattern{Term: rdf.IRI(t.text)}, nil
+	case tokPName:
+		p.pos++
+		iri, ok := p.q.Prefixes.Expand(t.text)
+		if !ok {
+			return NodePattern{}, p.errf("unbound prefix in %q", t.text)
+		}
+		return NodePattern{Term: rdf.IRI(iri)}, nil
+	case tokString:
+		p.pos++
+		// optional @lang or ^^datatype
+		if p.cur().kind == tokLangTag {
+			lang := p.next().text
+			return NodePattern{Term: rdf.LangLiteral(t.text, lang)}, nil
+		}
+		if p.cur().kind == tokDTSep {
+			p.pos++
+			dt, err := p.parseNode()
+			if err != nil {
+				return NodePattern{}, err
+			}
+			if !dt.Term.IsIRI() {
+				return NodePattern{}, p.errf("datatype must be an IRI")
+			}
+			return NodePattern{Term: rdf.TypedLiteral(t.text, dt.Term.Value)}, nil
+		}
+		return NodePattern{Term: rdf.Literal(t.text)}, nil
+	case tokNumber:
+		p.pos++
+		return NodePattern{Term: numberTerm(t.text)}, nil
+	case tokKeyword:
+		if t.text == "TRUE" || t.text == "FALSE" {
+			p.pos++
+			return NodePattern{Term: rdf.Boolean(t.text == "TRUE")}, nil
+		}
+	}
+	return NodePattern{}, p.errf("expected term or variable, got %q", p.cur().text)
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.TypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.TypedLiteral(text, rdf.XSDInteger)
+}
+
+// parsePath parses the predicate position: a variable, 'a', or a property
+// path (sequence of steps separated by '/', each optionally inverted with
+// '^' and modified with +, *, ?).
+func (p *parser) parsePath() (PathPattern, error) {
+	if p.cur().kind == tokVar {
+		return PathPattern{Var: p.next().text}, nil
+	}
+	var steps []PathStep
+	for {
+		step, err := p.parsePathStep()
+		if err != nil {
+			return PathPattern{}, err
+		}
+		steps = append(steps, step)
+		if p.cur().kind == tokSlash {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return PathPattern{Steps: steps}, nil
+}
+
+func (p *parser) parsePathStep() (PathStep, error) {
+	var step PathStep
+	if p.cur().kind == tokCaret {
+		p.pos++
+		step.Inverse = true
+	}
+	switch t := p.cur(); t.kind {
+	case tokA:
+		p.pos++
+		step.IRI = rdf.IRI(rdf.RDFType)
+	case tokIRI:
+		p.pos++
+		step.IRI = rdf.IRI(t.text)
+	case tokPName:
+		p.pos++
+		iri, ok := p.q.Prefixes.Expand(t.text)
+		if !ok {
+			return PathStep{}, p.errf("unbound prefix in %q", t.text)
+		}
+		step.IRI = rdf.IRI(iri)
+	default:
+		return PathStep{}, p.errf("expected predicate, got %q", t.text)
+	}
+	switch p.cur().kind {
+	case tokPlus:
+		p.pos++
+		step.Mod = PathOneOrMore
+	case tokStar:
+		p.pos++
+		step.Mod = PathZeroOrMore
+	case tokQuest:
+		p.pos++
+		step.Mod = PathZeroOrOne
+	}
+	return step, nil
+}
+
+func (p *parser) parseSolutionModifiers() error {
+	for {
+		switch {
+		case p.acceptKeyword("ORDER"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			for {
+				desc := false
+				if p.acceptKeyword("DESC") {
+					desc = true
+				} else {
+					p.acceptKeyword("ASC")
+				}
+				if p.cur().kind == tokLParen {
+					p.pos++
+					v, err := p.expectKind(tokVar, "variable")
+					if err != nil {
+						return err
+					}
+					if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+						return err
+					}
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: v.text, Desc: desc})
+				} else if p.cur().kind == tokVar {
+					p.q.OrderBy = append(p.q.OrderBy, OrderKey{Var: p.next().text, Desc: desc})
+				} else {
+					break
+				}
+				if p.cur().kind != tokVar && !(p.cur().kind == tokKeyword && (p.cur().text == "ASC" || p.cur().text == "DESC")) && p.cur().kind != tokLParen {
+					break
+				}
+			}
+		case p.acceptKeyword("LIMIT"):
+			t, err := p.expectKind(tokNumber, "number")
+			if err != nil {
+				return err
+			}
+			n, err := parseInt(t.text)
+			if err != nil || n < 0 {
+				return p.errf("bad LIMIT %q", t.text)
+			}
+			p.q.Limit = n
+		case p.acceptKeyword("OFFSET"):
+			t, err := p.expectKind(tokNumber, "number")
+			if err != nil {
+				return err
+			}
+			n, err := parseInt(t.text)
+			if err != nil || n < 0 {
+				return p.errf("bad OFFSET %q", t.text)
+			}
+			p.q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func parseInt(s string) (int, error) {
+	var n int
+	_, err := fmt.Sscanf(s, "%d", &n)
+	return n, err
+}
+
+// ---- FILTER expression parsing (precedence climbing) ----
+
+func (p *parser) parseBrackettedExpr() (Expr, error) {
+	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOrExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOrOr {
+		p.pos++
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseRelExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokAndAnd {
+		p.pos++
+		r, err := p.parseRelExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinaryExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRelExpr() (Expr, error) {
+	l, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	var op string
+	switch p.cur().kind {
+	case tokEq:
+		op = "="
+	case tokNeq:
+		op = "!="
+	case tokLt:
+		op = "<"
+	case tokGt:
+		op = ">"
+	case tokLe:
+		op = "<="
+	case tokGe:
+		op = ">="
+	default:
+		return l, nil
+	}
+	p.pos++
+	r, err := p.parsePrimaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	return BinaryExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parsePrimaryExpr() (Expr, error) {
+	switch t := p.cur(); {
+	case t.kind == tokBang:
+		p.pos++
+		x, err := p.parsePrimaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x}, nil
+	case t.kind == tokLParen:
+		p.pos++
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokVar:
+		p.pos++
+		return VarExpr{Name: t.text}, nil
+	case t.kind == tokString:
+		p.pos++
+		return TermExpr{Term: rdf.Literal(t.text)}, nil
+	case t.kind == tokNumber:
+		p.pos++
+		return TermExpr{Term: numberTerm(t.text)}, nil
+	case t.kind == tokIRI:
+		p.pos++
+		return TermExpr{Term: rdf.IRI(t.text)}, nil
+	case t.kind == tokPName:
+		p.pos++
+		iri, ok := p.q.Prefixes.Expand(t.text)
+		if !ok {
+			return nil, p.errf("unbound prefix in %q", t.text)
+		}
+		return TermExpr{Term: rdf.IRI(iri)}, nil
+	case t.kind == tokKeyword && t.text == "REGEX":
+		p.pos++
+		if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(tokComma, "','"); err != nil {
+			return nil, err
+		}
+		pat, err := p.expectKind(tokString, "pattern string")
+		if err != nil {
+			return nil, err
+		}
+		flags := ""
+		if p.cur().kind == tokComma {
+			p.pos++
+			f, err := p.expectKind(tokString, "flags string")
+			if err != nil {
+				return nil, err
+			}
+			flags = f.text
+		}
+		if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return RegexExpr{X: x, Pattern: pat.text, Flags: flags}, nil
+	case t.kind == tokKeyword && t.text == "BOUND":
+		p.pos++
+		if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		v, err := p.expectKind(tokVar, "variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return BoundExpr{Name: v.text}, nil
+	case t.kind == tokKeyword && t.text == "STR":
+		p.pos++
+		if _, err := p.expectKind(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		x, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return StrExpr{X: x}, nil
+	case t.kind == tokKeyword && (t.text == "TRUE" || t.text == "FALSE"):
+		p.pos++
+		return TermExpr{Term: rdf.Boolean(t.text == "TRUE")}, nil
+	}
+	return nil, p.errf("unexpected token %q in expression", p.cur().text)
+}

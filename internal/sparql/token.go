@@ -1,0 +1,54 @@
+// Package sparql implements the SPARQL SELECT subset PROV-IO's user engine
+// needs: basic graph patterns with predicate-object lists, property-path
+// modifiers (+, *) for transitive lineage queries, FILTER expressions,
+// OPTIONAL and UNION groups, DISTINCT, COUNT, ORDER BY, LIMIT and OFFSET.
+package sparql
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokKeyword
+	tokVar     // ?name
+	tokIRI     // <...>
+	tokPName   // prefix:local or prefix: or :local
+	tokString  // "..."
+	tokNumber  // 42, 3.5, -1
+	tokA       // the keyword 'a'
+	tokLBrace  // {
+	tokRBrace  // }
+	tokLParen  // (
+	tokRParen  // )
+	tokDot     // .
+	tokSemi    // ;
+	tokComma   // ,
+	tokStar    // *
+	tokPlus    // +
+	tokQuest   // ?  (only as path modifier; lexer resolves vars first)
+	tokCaret   // ^
+	tokSlash   // /
+	tokPipe    // |
+	tokEq      // =
+	tokNeq     // !=
+	tokLt      // <  (in expression context)
+	tokGt      // >
+	tokLe      // <=
+	tokGe      // >=
+	tokAndAnd  // &&
+	tokOrOr    // ||
+	tokBang    // !
+	tokLangTag // @en
+	tokDTSep   // ^^
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword upper-cased; var without '?'; IRI without <>
+	line int
+}
+
+func (t token) String() string {
+	return fmt.Sprintf("%d:%q", t.kind, t.text)
+}

@@ -1,0 +1,288 @@
+// Package stats computes I/O statistics from PROV-IO provenance graphs —
+// the reusable form of the paper's H5bench use case (§3.3): operation
+// counts per API, accumulated time per API for bottleneck analysis, and
+// per-data-object access profiles, all derived by querying the provenance
+// rather than instrumenting the application again.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Summary holds the derived I/O statistics.
+type Summary struct {
+	// OpCounts maps API name (e.g. "H5Dwrite") to invocation count.
+	OpCounts map[string]int
+	// OpTotal maps API name to accumulated elapsed time (zero when the
+	// provenance was collected without the duration switch).
+	OpTotal map[string]time.Duration
+	// ObjectAccess maps a data object's display name to its access profile.
+	ObjectAccess map[string]*ObjectProfile
+	// Activities is the total number of I/O API invocations.
+	Activities int
+	// HasDurations reports whether elapsed times were present.
+	HasDurations bool
+}
+
+// ObjectProfile is one data object's access counts.
+type ObjectProfile struct {
+	Name    string
+	Class   string // File, Dataset, Attribute, ...
+	Created int
+	Opened  int
+	Reads   int
+	Writes  int
+	Flushes int
+	Renames int
+}
+
+// total returns the profile's total op count.
+func (p *ObjectProfile) total() int {
+	return p.Created + p.Opened + p.Reads + p.Writes + p.Flushes + p.Renames
+}
+
+// Compute derives a Summary from a provenance graph.
+func Compute(g *rdf.Graph) *Summary {
+	s := &Summary{
+		OpCounts:     map[string]int{},
+		OpTotal:      map[string]time.Duration{},
+		ObjectAccess: map[string]*ObjectProfile{},
+	}
+
+	// Activities: nodes typed with an I/O API sub-class.
+	typePred := rdf.IRI(rdf.RDFType)
+	apiClasses := map[rdf.Term]bool{}
+	for _, c := range []model.Class{model.Create, model.Open, model.Read, model.Write, model.Fsync, model.Rename} {
+		apiClasses[c.IRI()] = true
+	}
+	g.ForEachMatch(nil, &typePred, nil, func(t rdf.Triple) bool {
+		if !apiClasses[t.O] {
+			return true
+		}
+		s.Activities++
+		s.OpCounts[apiNameOf(t.S.Value)]++
+		return true
+	})
+
+	// Durations.
+	elapsed := model.PropElapsed.IRI()
+	g.ForEachMatch(nil, &elapsed, nil, func(t rdf.Triple) bool {
+		ns, err := strconv.ParseInt(t.O.Value, 10, 64)
+		if err != nil {
+			return true
+		}
+		s.HasDurations = true
+		s.OpTotal[apiNameOf(t.S.Value)] += time.Duration(ns)
+		return true
+	})
+
+	// Per-object access profiles from the six provio relations.
+	rels := []struct {
+		rel   model.Relation
+		field func(*ObjectProfile) *int
+	}{
+		{model.WasCreatedBy, func(p *ObjectProfile) *int { return &p.Created }},
+		{model.WasOpenedBy, func(p *ObjectProfile) *int { return &p.Opened }},
+		{model.WasReadBy, func(p *ObjectProfile) *int { return &p.Reads }},
+		{model.WasWrittenBy, func(p *ObjectProfile) *int { return &p.Writes }},
+		{model.WasFlushedBy, func(p *ObjectProfile) *int { return &p.Flushes }},
+		{model.WasModifiedBy, func(p *ObjectProfile) *int { return &p.Renames }},
+	}
+	namePred := model.PropName.IRI()
+	for _, r := range rels {
+		pred := r.rel.IRI()
+		g.ForEachMatch(nil, &pred, nil, func(t rdf.Triple) bool {
+			key := t.S.Value
+			prof, ok := s.ObjectAccess[key]
+			if !ok {
+				prof = &ObjectProfile{Name: key, Class: classNameOf(g, t.S)}
+				// Prefer the display name when recorded.
+				np := t.S
+				g.ForEachMatch(&np, &namePred, nil, func(n rdf.Triple) bool {
+					prof.Name = n.O.Value
+					return false
+				})
+				s.ObjectAccess[key] = prof
+			}
+			*r.field(prof)++
+			return true
+		})
+	}
+	return s
+}
+
+// apiNameOf extracts the API name from an activity IRI like
+// ".../api/H5Dwrite-p3-b7".
+func apiNameOf(iri string) string {
+	name := iri
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	// Strip the "-p<pid>-b<seq>" suffix.
+	if i := strings.LastIndex(name, "-b"); i > 0 {
+		if j := strings.LastIndex(name[:i], "-p"); j > 0 {
+			name = name[:j]
+		}
+	}
+	return name
+}
+
+// classNameOf returns the model class name of a node (empty if untyped).
+func classNameOf(g *rdf.Graph, node rdf.Term) string {
+	typePred := rdf.IRI(rdf.RDFType)
+	out := ""
+	g.ForEachMatch(&node, &typePred, nil, func(t rdf.Triple) bool {
+		if strings.HasPrefix(t.O.Value, model.ProvIONS) {
+			out = strings.TrimPrefix(t.O.Value, model.ProvIONS)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// PerAgent returns per-agent operation counts (keyed by the agent's display
+// name) derived from prov:wasAssociatedWith edges — the Recorder-style
+// per-rank breakdown for workloads tracked with Thread agents enabled.
+func PerAgent(g *rdf.Graph) map[string]int {
+	out := map[string]int{}
+	assoc := model.AssociatedWith.IRI()
+	namePred := model.PropName.IRI()
+	nameOf := map[string]string{}
+	g.ForEachMatch(nil, &assoc, nil, func(t rdf.Triple) bool {
+		if !t.O.IsIRI() {
+			return true
+		}
+		key, ok := nameOf[t.O.Value]
+		if !ok {
+			key = t.O.Value
+			agent := t.O
+			g.ForEachMatch(&agent, &namePred, nil, func(n rdf.Triple) bool {
+				key = n.O.Value
+				return false
+			})
+			nameOf[t.O.Value] = key
+		}
+		out[key]++
+		return true
+	})
+	return out
+}
+
+// Bottleneck returns the API with the largest accumulated time (empty when
+// durations were not tracked).
+func (s *Summary) Bottleneck() (string, time.Duration) {
+	var name string
+	var best time.Duration
+	for api, d := range s.OpTotal {
+		if d > best || (d == best && api < name) || name == "" {
+			name, best = api, d
+		}
+	}
+	if !s.HasDurations {
+		return "", 0
+	}
+	return name, best
+}
+
+// HottestObjects returns the n most-accessed objects, sorted by total ops
+// descending (ties by name).
+func (s *Summary) HottestObjects(n int) []*ObjectProfile {
+	out := make([]*ObjectProfile, 0, len(s.ObjectAccess))
+	for _, p := range s.ObjectAccess {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total() != out[j].total() {
+			return out[i].total() > out[j].total()
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Write renders the summary as a text report.
+func (s *Summary) Write(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("I/O statistics (from PROV-IO provenance)\n")
+	fmt.Fprintf(&b, "total I/O API invocations: %d\n\n", s.Activities)
+
+	b.WriteString("operation counts:\n")
+	apis := make([]string, 0, len(s.OpCounts))
+	for api := range s.OpCounts {
+		apis = append(apis, api)
+	}
+	sort.Slice(apis, func(i, j int) bool {
+		if s.OpCounts[apis[i]] != s.OpCounts[apis[j]] {
+			return s.OpCounts[apis[i]] > s.OpCounts[apis[j]]
+		}
+		return apis[i] < apis[j]
+	})
+	for _, api := range apis {
+		fmt.Fprintf(&b, "  %-16s %8d", api, s.OpCounts[api])
+		if s.HasDurations {
+			fmt.Fprintf(&b, "  %12s total", s.OpTotal[api])
+		}
+		b.WriteByte('\n')
+	}
+	if api, d := s.Bottleneck(); api != "" {
+		fmt.Fprintf(&b, "\nbottleneck: %s (%s accumulated)\n", api, d)
+	}
+	hot := s.HottestObjects(10)
+	if len(hot) > 0 {
+		b.WriteString("\nhottest data objects:\n")
+		for _, p := range hot {
+			fmt.Fprintf(&b, "  %-40s %-10s create=%d open=%d read=%d write=%d fsync=%d rename=%d\n",
+				truncate(p.Name, 40), p.Class, p.Created, p.Opened, p.Reads, p.Writes, p.Flushes, p.Renames)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteWithAgents renders the summary plus a per-agent op breakdown derived
+// from the same graph.
+func (s *Summary) WriteWithAgents(w io.Writer, g *rdf.Graph) error {
+	if err := s.Write(w); err != nil {
+		return err
+	}
+	per := PerAgent(g)
+	if len(per) == 0 {
+		return nil
+	}
+	var names []string
+	for n := range per {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if per[names[i]] != per[names[j]] {
+			return per[names[i]] > per[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var b strings.Builder
+	b.WriteString("\noperations per agent:\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-32s %8d\n", truncate(n, 32), per[n])
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "…" + s[len(s)-n+1:]
+}

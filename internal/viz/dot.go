@@ -1,0 +1,219 @@
+// Package viz renders provenance (sub)graphs as Graphviz DOT, the
+// visualization backend of the PROV-IO User Engine (paper §5, Figure 9).
+// Node shapes follow the W3C PROV layout conventions the paper's figures
+// use: ellipses for entities, rectangles for activities, houses
+// (pentagons) for agents, and notes for extensible records. A highlight set
+// marks a queried lineage in blue, reproducing Figure 9's emphasis.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Options controls DOT rendering.
+type Options struct {
+	// Title is the graph label.
+	Title string
+	// Highlight marks these node IRIs (and edges among them) in blue.
+	Highlight map[string]bool
+	// MaxLabel truncates node labels longer than this (0 = 48).
+	MaxLabel int
+}
+
+// WriteDOT renders g as a DOT document.
+func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
+	if opts.MaxLabel <= 0 {
+		opts.MaxLabel = 48
+	}
+	ns := model.Namespaces()
+
+	var b strings.Builder
+	b.WriteString("digraph provenance {\n")
+	b.WriteString("  rankdir=BT;\n")
+	b.WriteString("  node [fontname=\"Helvetica\", fontsize=10];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=8];\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", opts.Title)
+	}
+
+	// Classify nodes by rdf:type.
+	kind := map[string]string{} // IRI -> shape class
+	label := map[string]string{}
+	typePred := rdf.IRI(rdf.RDFType)
+	g.ForEachMatch(nil, &typePred, nil, func(t rdf.Triple) bool {
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			return true
+		}
+		if cls := classOf(t.O.Value); cls != "" {
+			kind[t.S.Value] = cls
+		}
+		return true
+	})
+	namePred := model.PropName.IRI()
+	g.ForEachMatch(nil, &namePred, nil, func(t rdf.Triple) bool {
+		if t.S.IsIRI() && t.O.IsLiteral() {
+			label[t.S.Value] = t.O.Value
+		}
+		return true
+	})
+
+	// Collect nodes appearing in relation edges.
+	nodes := map[string]bool{}
+	type edge struct{ from, to, lbl string }
+	var edges []edge
+	g.ForEachMatch(nil, nil, nil, func(t rdf.Triple) bool {
+		if !t.S.IsIRI() || !t.O.IsIRI() {
+			return true
+		}
+		lbl, ok := relationLabel(t.P.Value, ns)
+		if !ok {
+			return true
+		}
+		nodes[t.S.Value] = true
+		nodes[t.O.Value] = true
+		edges = append(edges, edge{from: t.S.Value, to: t.O.Value, lbl: lbl})
+		return true
+	})
+
+	// Deterministic ordering.
+	nodeList := make([]string, 0, len(nodes))
+	for n := range nodes {
+		nodeList = append(nodeList, n)
+	}
+	sort.Strings(nodeList)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].lbl < edges[j].lbl
+	})
+
+	for _, n := range nodeList {
+		shape, style := shapeFor(kind[n])
+		lbl := label[n]
+		if lbl == "" {
+			lbl = shortIRI(n, ns)
+		}
+		if len(lbl) > opts.MaxLabel {
+			lbl = lbl[:opts.MaxLabel-1] + "…"
+		}
+		color := "black"
+		fill := ""
+		if opts.Highlight[n] {
+			color = "blue"
+			fill = ", fontcolor=blue"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q, shape=%s%s, color=%s%s];\n",
+			n, lbl, shape, style, color, fill)
+	}
+	for _, e := range edges {
+		color := "black"
+		if opts.Highlight[e.from] && opts.Highlight[e.to] {
+			color = "blue"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, color=%s];\n", e.from, e.to, e.lbl, color)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// classOf maps a class IRI to a shape class.
+func classOf(iri string) string {
+	if !strings.HasPrefix(iri, model.ProvIONS) {
+		return ""
+	}
+	name := strings.TrimPrefix(iri, model.ProvIONS)
+	cls, ok := model.ClassByName(name)
+	if !ok {
+		return ""
+	}
+	switch cls.Super {
+	case model.SuperEntity:
+		return "entity"
+	case model.SuperActivity:
+		return "activity"
+	case model.SuperAgent:
+		return "agent"
+	case model.SuperExtensible:
+		return "extensible"
+	}
+	return ""
+}
+
+func shapeFor(class string) (shape, style string) {
+	switch class {
+	case "entity":
+		return "ellipse", ", style=filled, fillcolor=\"#fffbd6\""
+	case "activity":
+		return "box", ", style=filled, fillcolor=\"#e8d6ff\""
+	case "agent":
+		return "house", ", style=filled, fillcolor=\"#ffe0c2\""
+	case "extensible":
+		return "note", ", style=filled, fillcolor=\"#d9f2d9\""
+	default:
+		return "ellipse", ""
+	}
+}
+
+// relationLabel returns the CURIE label for predicates worth drawing.
+func relationLabel(iri string, ns *rdf.Namespaces) (string, bool) {
+	for _, r := range model.AllRelations() {
+		if r.IRI().Value == iri {
+			return r.CURIE(), true
+		}
+	}
+	// Extensible-record links are drawn too.
+	for _, r := range []model.Relation{model.PropType, model.PropConfig, model.PropMetric} {
+		if r.IRI().Value == iri {
+			return r.CURIE(), true
+		}
+	}
+	return "", false
+}
+
+func shortIRI(iri string, ns *rdf.Namespaces) string {
+	if c, ok := ns.Shrink(iri); ok {
+		return c
+	}
+	if i := strings.LastIndexAny(iri, "/#"); i >= 0 && i < len(iri)-1 {
+		return iri[i+1:]
+	}
+	return iri
+}
+
+// LineageHighlight computes the highlight set for a backward lineage: the
+// product node plus everything reachable over prov:wasDerivedFrom and the
+// programs those entities are attributed to — the blue path of Figure 9.
+func LineageHighlight(g *rdf.Graph, product rdf.Term) map[string]bool {
+	out := map[string]bool{product.Value: true}
+	frontier := []rdf.Term{product}
+	derived := model.WasDerivedFrom.IRI()
+	attr := model.WasAttributedTo.IRI()
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		curT := cur
+		g.ForEachMatch(&curT, &derived, nil, func(t rdf.Triple) bool {
+			if !out[t.O.Value] {
+				out[t.O.Value] = true
+				frontier = append(frontier, t.O)
+			}
+			return true
+		})
+		g.ForEachMatch(&curT, &attr, nil, func(t rdf.Triple) bool {
+			out[t.O.Value] = true
+			return true
+		})
+	}
+	return out
+}

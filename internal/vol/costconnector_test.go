@@ -1,0 +1,167 @@
+package vol
+
+import (
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/hdf5"
+	"github.com/hpc-io/prov-io/internal/simclock"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+func TestCostConnectorChargesOperations(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	clock := simclock.NewClock()
+	cost := simclock.Default()
+	cc := NewCostConnector(NewNative(view), clock, cost, 1, 1)
+
+	f, err := cc.FileCreate("/f.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now() != cost.MetadataLatency {
+		t.Errorf("FileCreate charged %v, want %v", clock.Now(), cost.MetadataLatency)
+	}
+	ds, _ := cc.DatasetCreate(f.Root(), "x", hdf5.TypeUint8, []int{1 << 20})
+	before := clock.Now()
+	cc.DatasetWrite(ds, make([]byte, 1<<20))
+	charged := clock.Now() - before
+	want := cost.WriteCost(1 << 20)
+	if charged != want {
+		t.Errorf("write charged %v, want %v", charged, want)
+	}
+	before = clock.Now()
+	cc.DatasetRead(ds)
+	if got := clock.Now() - before; got != cost.ReadCost(1<<20) {
+		t.Errorf("read charged %v, want %v", got, cost.ReadCost(1<<20))
+	}
+}
+
+func TestCostConnectorByteScale(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	c1 := simclock.NewClock()
+	c1024 := simclock.NewClock()
+	cost := simclock.Default()
+
+	run := func(cc Connector) {
+		f, _ := cc.FileCreate("/f.h5")
+		ds, _ := cc.DatasetCreate(f.Root(), "x", hdf5.TypeUint8, []int{1 << 16})
+		cc.DatasetWrite(ds, make([]byte, 1<<16))
+		cc.FileClose(f)
+	}
+	run(NewCostConnector(NewNative(view), c1, cost, 1, 1))
+	view2 := vfs.NewStore().NewView()
+	run(NewCostConnector(NewNative(view2), c1024, cost, 1024, 1))
+	if c1024.Now() <= c1.Now() {
+		t.Errorf("byte scale had no effect: %v vs %v", c1024.Now(), c1.Now())
+	}
+}
+
+func TestCostConnectorSharedRanksPenalty(t *testing.T) {
+	cost := simclock.Default()
+	charge := func(ranks int) int64 {
+		view := vfs.NewStore().NewView()
+		clock := simclock.NewClock()
+		cc := NewCostConnector(NewNative(view), clock, cost, 1, ranks)
+		f, _ := cc.FileCreate("/f.h5")
+		ds, _ := cc.DatasetCreate(f.Root(), "x", hdf5.TypeUint8, []int{1 << 20})
+		before := clock.Now()
+		cc.DatasetWrite(ds, make([]byte, 1<<20))
+		return int64(clock.Now() - before)
+	}
+	if charge(4096) <= charge(64) {
+		t.Error("shared-file penalty not applied at high rank counts")
+	}
+}
+
+func TestCostConnectorScaleFloor(t *testing.T) {
+	cc := NewCostConnector(nil, simclock.NewClock(), simclock.Default(), 0, 1)
+	if cc.ByteScale != 1 {
+		t.Errorf("ByteScale floor = %v, want 1", cc.ByteScale)
+	}
+}
+
+func TestCostConnectorStacksUnderProv(t *testing.T) {
+	// ProvConnector -> CostConnector -> Native: elapsed durations in the
+	// provenance reflect modeled I/O cost.
+	view := vfs.NewStore().NewView()
+	clock := simclock.NewClock()
+	cost := simclock.Default()
+	cc := NewCostConnector(NewNative(view), clock, cost, 1, 1)
+
+	f, _ := cc.FileCreate("/f.h5")
+	ds, _ := cc.DatasetCreate(f.Root(), "x", hdf5.TypeUint8, []int{1 << 20})
+
+	// Time one write through the stack by hand (ProvConnector tested
+	// elsewhere; here we validate the stacking contract).
+	start := clock.Now()
+	if err := cc.DatasetWrite(ds, make([]byte, 1<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-start < cost.WriteLatency {
+		t.Error("stacked write charged less than base latency")
+	}
+	cc.FileClose(f)
+}
+
+func TestCostConnectorMetadataOps(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	clock := simclock.NewClock()
+	cost := simclock.Default()
+	cc := NewCostConnector(NewNative(view), clock, cost, 1, 1)
+
+	f, err := cc.FileCreate("/m.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []func() error{
+		func() error { _, err := cc.GroupCreate(f.Root(), "g"); return err },
+		func() error { _, err := cc.GroupOpen(f.Root(), "g"); return err },
+		func() error { _, err := cc.DatatypeCommit(f.Root(), "t", hdf5.TypeInt64); return err },
+		func() error { _, err := cc.DatatypeOpen(f.Root(), "t"); return err },
+		func() error { return cc.LinkCreateSoft(f.Root(), "l", "/g") },
+		func() error { return cc.LinkCreateHard(f.Root(), "h", "/g") },
+		func() error { return cc.FileFlush(f) },
+		func() error {
+			g, _ := f.Root().OpenGroup("g")
+			return cc.AttrCreate(g, "a", hdf5.TypeInt64, []int{1}, make([]byte, 8))
+		},
+		func() error {
+			g, _ := f.Root().OpenGroup("g")
+			_, _, err := cc.AttrRead(g, "a")
+			return err
+		},
+	}
+	for i, op := range ops {
+		before := clock.Now()
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if clock.Now()-before < cost.MetadataLatency {
+			t.Errorf("op %d charged %v, want >= metadata latency", i, clock.Now()-before)
+		}
+	}
+	if err := cc.FileClose(f); err != nil {
+		t.Fatal(err)
+	}
+	// Append and partial reads charge data costs.
+	f2, _ := cc.FileOpen("/m.h5", false)
+	ds, err := cc.DatasetCreate(f2.Root(), "d", hdf5.TypeUint8, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clock.Now()
+	if err := cc.DatasetAppend(ds, 2, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before < cost.MetadataLatency+cost.WriteLatency {
+		t.Error("append undercharged")
+	}
+	before = clock.Now()
+	if _, err := cc.DatasetReadRows(ds, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Now()-before < cost.ReadLatency {
+		t.Error("partial read undercharged")
+	}
+	cc.FileClose(f2)
+}

@@ -1,0 +1,203 @@
+package vol
+
+import (
+	"github.com/hpc-io/prov-io/internal/hdf5"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// Native is the terminal connector: it executes every operation directly
+// against the hdf5 substrate through one vfs view (the calling process's
+// Lustre client).
+type Native struct {
+	View *vfs.View
+}
+
+// NewNative returns a native connector bound to a vfs view.
+func NewNative(view *vfs.View) *Native { return &Native{View: view} }
+
+var _ Connector = (*Native)(nil)
+
+// FileCreate implements Connector.
+func (n *Native) FileCreate(path string) (*hdf5.File, error) {
+	return hdf5.Create(n.View, path)
+}
+
+// FileOpen implements Connector.
+func (n *Native) FileOpen(path string, readonly bool) (*hdf5.File, error) {
+	return hdf5.Open(n.View, path, readonly)
+}
+
+// FileFlush implements Connector.
+func (n *Native) FileFlush(f *hdf5.File) error { return f.Flush() }
+
+// FileClose implements Connector.
+func (n *Native) FileClose(f *hdf5.File) error { return f.Close() }
+
+// GroupCreate implements Connector.
+func (n *Native) GroupCreate(parent *hdf5.Group, name string) (*hdf5.Group, error) {
+	return parent.CreateGroup(name)
+}
+
+// GroupOpen implements Connector.
+func (n *Native) GroupOpen(parent *hdf5.Group, path string) (*hdf5.Group, error) {
+	return parent.OpenGroup(path)
+}
+
+// DatasetCreate implements Connector.
+func (n *Native) DatasetCreate(parent *hdf5.Group, name string, dt hdf5.Datatype, dims []int) (*hdf5.Dataset, error) {
+	return parent.CreateDataset(name, dt, dims)
+}
+
+// DatasetOpen implements Connector.
+func (n *Native) DatasetOpen(parent *hdf5.Group, path string) (*hdf5.Dataset, error) {
+	return parent.OpenDataset(path)
+}
+
+// DatasetWrite implements Connector.
+func (n *Native) DatasetWrite(ds *hdf5.Dataset, data []byte) error { return ds.Write(data) }
+
+// DatasetWriteRows implements Connector.
+func (n *Native) DatasetWriteRows(ds *hdf5.Dataset, start, count int, data []byte) error {
+	return ds.WriteRows(start, count, data)
+}
+
+// DatasetAppend implements Connector.
+func (n *Native) DatasetAppend(ds *hdf5.Dataset, rows int, data []byte) error {
+	return ds.Append(rows, data)
+}
+
+// DatasetRead implements Connector.
+func (n *Native) DatasetRead(ds *hdf5.Dataset) ([]byte, error) { return ds.Read() }
+
+// DatasetReadRows implements Connector.
+func (n *Native) DatasetReadRows(ds *hdf5.Dataset, start, count int) ([]byte, error) {
+	return ds.ReadRows(start, count)
+}
+
+// AttrCreate implements Connector.
+func (n *Native) AttrCreate(host hdf5.Object, name string, dt hdf5.Datatype, dims []int, value []byte) error {
+	return hdf5.CreateAttribute(host, name, dt, dims, value)
+}
+
+// AttrRead implements Connector.
+func (n *Native) AttrRead(host hdf5.Object, name string) ([]byte, hdf5.AttrInfo, error) {
+	return hdf5.ReadAttribute(host, name)
+}
+
+// DatatypeCommit implements Connector.
+func (n *Native) DatatypeCommit(parent *hdf5.Group, name string, dt hdf5.Datatype) (*hdf5.NamedDatatype, error) {
+	return parent.CommitDatatype(name, dt)
+}
+
+// DatatypeOpen implements Connector.
+func (n *Native) DatatypeOpen(parent *hdf5.Group, path string) (*hdf5.NamedDatatype, error) {
+	return parent.OpenDatatype(path)
+}
+
+// LinkCreateSoft implements Connector.
+func (n *Native) LinkCreateSoft(parent *hdf5.Group, name, target string) error {
+	return parent.CreateSoftLink(name, target)
+}
+
+// LinkCreateHard implements Connector.
+func (n *Native) LinkCreateHard(parent *hdf5.Group, name, target string) error {
+	return parent.CreateHardLink(name, target)
+}
+
+// Passthrough forwards every call to the next connector; PROV-IO-style
+// wrapping connectors embed it and override the calls they intercept. This
+// mirrors the homomorphic design of HDF5 passthrough VOL connectors.
+type Passthrough struct {
+	Next Connector
+}
+
+var _ Connector = (*Passthrough)(nil)
+
+// FileCreate implements Connector.
+func (p *Passthrough) FileCreate(path string) (*hdf5.File, error) { return p.Next.FileCreate(path) }
+
+// FileOpen implements Connector.
+func (p *Passthrough) FileOpen(path string, readonly bool) (*hdf5.File, error) {
+	return p.Next.FileOpen(path, readonly)
+}
+
+// FileFlush implements Connector.
+func (p *Passthrough) FileFlush(f *hdf5.File) error { return p.Next.FileFlush(f) }
+
+// FileClose implements Connector.
+func (p *Passthrough) FileClose(f *hdf5.File) error { return p.Next.FileClose(f) }
+
+// GroupCreate implements Connector.
+func (p *Passthrough) GroupCreate(parent *hdf5.Group, name string) (*hdf5.Group, error) {
+	return p.Next.GroupCreate(parent, name)
+}
+
+// GroupOpen implements Connector.
+func (p *Passthrough) GroupOpen(parent *hdf5.Group, path string) (*hdf5.Group, error) {
+	return p.Next.GroupOpen(parent, path)
+}
+
+// DatasetCreate implements Connector.
+func (p *Passthrough) DatasetCreate(parent *hdf5.Group, name string, dt hdf5.Datatype, dims []int) (*hdf5.Dataset, error) {
+	return p.Next.DatasetCreate(parent, name, dt, dims)
+}
+
+// DatasetOpen implements Connector.
+func (p *Passthrough) DatasetOpen(parent *hdf5.Group, path string) (*hdf5.Dataset, error) {
+	return p.Next.DatasetOpen(parent, path)
+}
+
+// DatasetWrite implements Connector.
+func (p *Passthrough) DatasetWrite(ds *hdf5.Dataset, data []byte) error {
+	return p.Next.DatasetWrite(ds, data)
+}
+
+// DatasetWriteRows implements Connector.
+func (p *Passthrough) DatasetWriteRows(ds *hdf5.Dataset, start, count int, data []byte) error {
+	return p.Next.DatasetWriteRows(ds, start, count, data)
+}
+
+// DatasetAppend implements Connector.
+func (p *Passthrough) DatasetAppend(ds *hdf5.Dataset, rows int, data []byte) error {
+	return p.Next.DatasetAppend(ds, rows, data)
+}
+
+// DatasetRead implements Connector.
+func (p *Passthrough) DatasetRead(ds *hdf5.Dataset) ([]byte, error) {
+	return p.Next.DatasetRead(ds)
+}
+
+// DatasetReadRows implements Connector.
+func (p *Passthrough) DatasetReadRows(ds *hdf5.Dataset, start, count int) ([]byte, error) {
+	return p.Next.DatasetReadRows(ds, start, count)
+}
+
+// AttrCreate implements Connector.
+func (p *Passthrough) AttrCreate(host hdf5.Object, name string, dt hdf5.Datatype, dims []int, value []byte) error {
+	return p.Next.AttrCreate(host, name, dt, dims, value)
+}
+
+// AttrRead implements Connector.
+func (p *Passthrough) AttrRead(host hdf5.Object, name string) ([]byte, hdf5.AttrInfo, error) {
+	return p.Next.AttrRead(host, name)
+}
+
+// DatatypeCommit implements Connector.
+func (p *Passthrough) DatatypeCommit(parent *hdf5.Group, name string, dt hdf5.Datatype) (*hdf5.NamedDatatype, error) {
+	return p.Next.DatatypeCommit(parent, name, dt)
+}
+
+// DatatypeOpen implements Connector.
+func (p *Passthrough) DatatypeOpen(parent *hdf5.Group, path string) (*hdf5.NamedDatatype, error) {
+	return p.Next.DatatypeOpen(parent, path)
+}
+
+// LinkCreateSoft implements Connector.
+func (p *Passthrough) LinkCreateSoft(parent *hdf5.Group, name, target string) error {
+	return p.Next.LinkCreateSoft(parent, name, target)
+}
+
+// LinkCreateHard implements Connector.
+func (p *Passthrough) LinkCreateHard(parent *hdf5.Group, name, target string) error {
+	return p.Next.LinkCreateHard(parent, name, target)
+}

@@ -1,0 +1,47 @@
+// Package vol implements the Virtual Object Layer: the interception point
+// the PROV-IO Lib Connector plugs into (paper §2.2/§5). Every object-level
+// API an application issues goes through a Connector; connectors stack, so
+// the PROV-IO connector wraps the native one homomorphically — each native
+// API has a counterpart that forwards the call unchanged and collects
+// provenance around it, keeping tracking transparent to the workflow.
+package vol
+
+import (
+	"github.com/hpc-io/prov-io/internal/hdf5"
+)
+
+// Connector is the VOL plugin interface. The native terminal connector
+// executes operations against the hdf5 substrate; wrapping connectors
+// forward to the next connector in the stack.
+type Connector interface {
+	// File operations.
+	FileCreate(path string) (*hdf5.File, error)
+	FileOpen(path string, readonly bool) (*hdf5.File, error)
+	FileFlush(f *hdf5.File) error
+	FileClose(f *hdf5.File) error
+
+	// Group operations.
+	GroupCreate(parent *hdf5.Group, name string) (*hdf5.Group, error)
+	GroupOpen(parent *hdf5.Group, path string) (*hdf5.Group, error)
+
+	// Dataset operations.
+	DatasetCreate(parent *hdf5.Group, name string, dt hdf5.Datatype, dims []int) (*hdf5.Dataset, error)
+	DatasetOpen(parent *hdf5.Group, path string) (*hdf5.Dataset, error)
+	DatasetWrite(ds *hdf5.Dataset, data []byte) error
+	DatasetWriteRows(ds *hdf5.Dataset, start, count int, data []byte) error
+	DatasetAppend(ds *hdf5.Dataset, rows int, data []byte) error
+	DatasetRead(ds *hdf5.Dataset) ([]byte, error)
+	DatasetReadRows(ds *hdf5.Dataset, start, count int) ([]byte, error)
+
+	// Attribute operations.
+	AttrCreate(host hdf5.Object, name string, dt hdf5.Datatype, dims []int, value []byte) error
+	AttrRead(host hdf5.Object, name string) ([]byte, hdf5.AttrInfo, error)
+
+	// Named datatype operations.
+	DatatypeCommit(parent *hdf5.Group, name string, dt hdf5.Datatype) (*hdf5.NamedDatatype, error)
+	DatatypeOpen(parent *hdf5.Group, path string) (*hdf5.NamedDatatype, error)
+
+	// Link operations.
+	LinkCreateSoft(parent *hdf5.Group, name, target string) error
+	LinkCreateHard(parent *hdf5.Group, name, target string) error
+}

@@ -1,0 +1,317 @@
+package vol
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/hdf5"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/simclock"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+func setup(t *testing.T, cfg *core.Config) (*ProvConnector, *core.Tracker, *vfs.View) {
+	t.Helper()
+	view := vfs.NewStore().NewView()
+	tr := core.NewTracker(cfg, nil, 0)
+	user := tr.RegisterUser("Bob")
+	prog := tr.RegisterProgram("vpicio_uni_h5.exe-a1", user)
+	thr := tr.RegisterThread(0, prog)
+	ctx := Context{User: user, Program: prog, Thread: thr}
+	if err := view.MkdirAll("/data"); err != nil {
+		t.Fatal(err)
+	}
+	pc := NewProvConnector(NewNative(view), tr, ctx, nil)
+	return pc, tr, view
+}
+
+// runWorkload exercises every connector operation once.
+func runWorkload(t *testing.T, c Connector) {
+	t.Helper()
+	f, err := c.FileCreate("/data/run.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.GroupCreate(f.Root(), "Timestep_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.DatasetCreate(g, "x", hdf5.TypeFloat64, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DatasetWrite(ds, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DatasetWriteRows(ds, 2, 2, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DatasetAppend(ds, 1, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatasetRead(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatasetReadRows(ds, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttrCreate(ds, "units", hdf5.TypeString(4), []int{1}, []byte("m/s\x00")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AttrRead(ds, "units"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatatypeCommit(f.Root(), "pid_t", hdf5.TypeUint64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatatypeOpen(f.Root(), "pid_t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkCreateSoft(f.Root(), "latest", "/Timestep_0/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LinkCreateHard(f.Root(), "alias", "/Timestep_0/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FileFlush(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FileClose(f); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen read-only through the connector.
+	f2, err := c.FileOpen("/data/run.h5", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.GroupOpen(f2.Root(), "Timestep_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := c.DatasetOpen(g2, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DatasetRead(ds2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FileClose(f2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeConnectorExecutes(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	view.MkdirAll("/data")
+	runWorkload(t, NewNative(view))
+	if !view.Exists("/data/run.h5") {
+		t.Error("file not created")
+	}
+}
+
+func TestPassthroughForwardsEverything(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	view.MkdirAll("/data")
+	runWorkload(t, &Passthrough{Next: NewNative(view)})
+}
+
+func TestProvConnectorTransparency(t *testing.T) {
+	// The same workload must produce identical file contents with and
+	// without the PROV-IO connector — tracking must not change I/O
+	// semantics (paper §4.2: "without changing the original I/O
+	// semantics").
+	viewA := vfs.NewStore().NewView()
+	viewA.MkdirAll("/data")
+	runWorkload(t, NewNative(viewA))
+
+	pc, _, viewB := setup(t, core.DefaultConfig())
+	runWorkload(t, pc)
+
+	a, err := viewA.ReadFile("/data/run.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viewB.ReadFile("/data/run.h5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("tracked and untracked runs produced different file bytes")
+	}
+}
+
+func TestProvConnectorEmitsModelTriples(t *testing.T) {
+	pc, tr, _ := setup(t, core.DefaultConfig())
+	runWorkload(t, pc)
+	g := tr.Graph()
+
+	fileNode := rdf.IRI(model.NodeIRI(model.File, "/data/run.h5"))
+	if len(g.Find(fileNode.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), model.File.IRI().Ptr())) != 1 {
+		t.Error("file entity missing")
+	}
+	dsNode := rdf.IRI(model.NodeIRI(model.Dataset, "/data/run.h5/Timestep_0/x"))
+	if len(g.Find(dsNode.Ptr(), nil, nil)) == 0 {
+		t.Error("dataset entity missing")
+	}
+	// Dataset is contained in the file.
+	if !g.Has(rdf.Triple{S: dsNode, P: model.WasDerivedFrom.IRI(), O: fileNode}) {
+		t.Error("dataset->file containment missing")
+	}
+	// The dataset was created by an H5Dcreate2 activity.
+	created := g.Find(dsNode.Ptr(), model.WasCreatedBy.IRI().Ptr(), nil)
+	if len(created) != 1 {
+		t.Fatalf("wasCreatedBy edges = %d, want 1", len(created))
+	}
+	// That activity is associated with the thread agent.
+	act := created[0].O
+	thr := rdf.IRI(model.NodeIRI(model.Thread, "MPI_rank_0"))
+	if !g.Has(rdf.Triple{S: act, P: model.AssociatedWith.IRI(), O: thr}) {
+		t.Error("activity->thread association missing")
+	}
+	// Write/read activities exist.
+	if n := len(g.Find(dsNode.Ptr(), model.WasWrittenBy.IRI().Ptr(), nil)); n != 3 {
+		t.Errorf("wasWrittenBy edges = %d, want 3 (write, overwrite, append)", n)
+	}
+	if n := len(g.Find(dsNode.Ptr(), model.WasReadBy.IRI().Ptr(), nil)); n != 3 {
+		t.Errorf("wasReadBy edges = %d, want 3", n)
+	}
+	// Attribute entity contained in the dataset.
+	attrNode := rdf.IRI(model.NodeIRI(model.Attribute, "/data/run.h5/Timestep_0/x/.attrs/units"))
+	if !g.Has(rdf.Triple{S: attrNode, P: model.WasDerivedFrom.IRI(), O: dsNode}) {
+		t.Error("attribute->dataset containment missing")
+	}
+	// Flush tracked as Fsync.
+	if n := len(g.Find(fileNode.Ptr(), model.WasFlushedBy.IRI().Ptr(), nil)); n != 1 {
+		t.Errorf("wasFlushedBy edges = %d, want 1", n)
+	}
+	// Link entity exists.
+	linkNode := rdf.IRI(model.NodeIRI(model.Link, "/data/run.h5/latest"))
+	if len(g.Find(linkNode.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), model.Link.IRI().Ptr())) != 1 {
+		t.Error("link entity missing")
+	}
+	// Datatype entity exists.
+	dtNode := rdf.IRI(model.NodeIRI(model.Datatype, "/data/run.h5/pid_t"))
+	if len(g.Find(dtNode.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), model.Datatype.IRI().Ptr())) != 1 {
+		t.Error("datatype entity missing")
+	}
+}
+
+func TestProvConnectorScenario1OnlyIOAPI(t *testing.T) {
+	// H5bench scenario-1: track only I/O API classes — no entities, no
+	// agents.
+	cfg := core.ScenarioConfig(false, "Create", "Open", "Read", "Write", "Fsync", "Rename")
+	view := vfs.NewStore().NewView()
+	view.MkdirAll("/data")
+	tr := core.NewTracker(cfg, nil, 0)
+	ctx := Context{
+		User:    tr.RegisterUser("Bob"),              // disabled -> zero
+		Program: tr.RegisterProgram("p", rdf.Term{}), // disabled -> zero
+	}
+	pc := NewProvConnector(NewNative(view), tr, ctx, nil)
+	runWorkload(t, pc)
+
+	g := tr.Graph()
+	if n := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.File.IRI().Ptr())); n != 0 {
+		t.Errorf("file entities tracked despite disabled class: %d", n)
+	}
+	if n := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.User.IRI().Ptr())); n != 0 {
+		t.Errorf("user agents tracked despite disabled class: %d", n)
+	}
+	if n := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())); n == 0 {
+		t.Error("write activities not tracked")
+	}
+	// No elapsed triples without the duration switch.
+	if n := len(g.Find(nil, model.PropElapsed.IRI().Ptr(), nil)); n != 0 {
+		t.Errorf("elapsed tracked despite duration=off: %d", n)
+	}
+}
+
+func TestProvConnectorScenario2Duration(t *testing.T) {
+	cfg := core.ScenarioConfig(true, "Create", "Open", "Read", "Write", "Fsync", "Rename")
+	view := vfs.NewStore().NewView()
+	view.MkdirAll("/data")
+	clock := simclock.NewClock()
+	tr := core.NewTracker(cfg, nil, 0)
+	pc := NewProvConnector(NewNative(view), tr, Context{}, clock)
+	runWorkload(t, pc)
+
+	g := tr.Graph()
+	elapsed := g.Find(nil, model.PropElapsed.IRI().Ptr(), nil)
+	if len(elapsed) == 0 {
+		t.Error("no elapsed triples in duration scenario")
+	}
+	started := g.Find(nil, model.PropTimestamp.IRI().Ptr(), nil)
+	if len(started) != len(elapsed) {
+		t.Errorf("startedAt (%d) != elapsed (%d)", len(started), len(elapsed))
+	}
+}
+
+func TestProvConnectorTimingUsesVirtualClock(t *testing.T) {
+	cfg := core.ScenarioConfig(true, "Create", "Write")
+	store := vfs.NewStore()
+	clock := simclock.NewClock()
+	view := store.NewChargedView(clock, simclock.Default())
+	tr := core.NewTracker(cfg, nil, 0)
+	pc := NewProvConnector(NewNative(view), tr, Context{}, clock)
+
+	f, _ := pc.FileCreate("/f.h5")
+	ds, _ := pc.DatasetCreate(f.Root(), "x", hdf5.TypeFloat64, []int{1 << 14})
+	if err := pc.DatasetWrite(ds, make([]byte, (1<<14)*8)); err != nil {
+		t.Fatal(err)
+	}
+	pc.FileClose(f)
+
+	g := tr.Graph()
+	var sawPositive bool
+	g.ForEachMatch(nil, model.PropElapsed.IRI().Ptr(), nil, func(tr rdf.Triple) bool {
+		if tr.O.Value != "0" {
+			sawPositive = true
+		}
+		return true
+	})
+	if !sawPositive {
+		t.Error("no positive elapsed durations recorded from virtual clock")
+	}
+}
+
+func TestProvConnectorErrorPropagation(t *testing.T) {
+	pc, tr, _ := setup(t, core.DefaultConfig())
+	if _, err := pc.FileOpen("/missing.h5", true); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	// Failed operations are not tracked as activities.
+	if n := len(tr.Graph().Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Open.IRI().Ptr())); n != 0 {
+		t.Errorf("failed open tracked: %d activities", n)
+	}
+}
+
+func TestContextAgentPreference(t *testing.T) {
+	u, p, th := rdf.IRI("http://u"), rdf.IRI("http://p"), rdf.IRI("http://t")
+	if got := (Context{User: u, Program: p, Thread: th}).Agent(); got != th {
+		t.Errorf("Agent = %v, want thread", got)
+	}
+	if got := (Context{User: u, Program: p}).Agent(); got != p {
+		t.Errorf("Agent = %v, want program", got)
+	}
+	if got := (Context{User: u}).Agent(); got != u {
+		t.Errorf("Agent = %v, want user", got)
+	}
+}
+
+func TestFileNodeRefDeduplicates(t *testing.T) {
+	pc, tr, _ := setup(t, core.DefaultConfig())
+	f, _ := pc.FileCreate("/f.h5")
+	g1, _ := pc.GroupCreate(f.Root(), "a")
+	pc.GroupCreate(f.Root(), "b")
+	_ = g1
+	pc.FileClose(f)
+	// The file node's record triples appear once in the graph even though
+	// three operations referenced the file.
+	fileNode := rdf.IRI(model.NodeIRI(model.File, "/f.h5"))
+	types := tr.Graph().Find(fileNode.Ptr(), rdf.IRI(rdf.RDFType).Ptr(), nil)
+	if len(types) != 1 {
+		t.Errorf("file type triples = %d, want 1", len(types))
+	}
+}

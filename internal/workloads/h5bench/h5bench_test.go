@@ -1,0 +1,197 @@
+package h5bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+)
+
+// fastCfg keeps unit-test runs quick: few ranks, tiny samples.
+func fastCfg(p Pattern, s Scenario) Config {
+	return Config{
+		Ranks: 4, Steps: 2,
+		LogicalParticles: 1 << 16, SampleParticles: 16,
+		ComputePerStep: 25 * time.Second,
+		Pattern:        p, Scenario: s,
+	}
+}
+
+func TestBaselineRuns(t *testing.T) {
+	res, err := Run(fastCfg(WriteRead, ScenarioBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion <= 0 {
+		t.Error("no completion time")
+	}
+	if res.ProvBytes != 0 || res.Records != 0 {
+		t.Errorf("baseline produced provenance: %+v", res)
+	}
+	// 2 steps of 25s compute in the write phase dominate.
+	if res.Completion < 50*time.Second {
+		t.Errorf("completion %v below compute floor", res.Completion)
+	}
+}
+
+func TestAllPatternsAllScenarios(t *testing.T) {
+	for _, p := range []Pattern{WriteRead, WriteOverwriteRead, WriteAppendRead} {
+		for _, s := range []Scenario{ScenarioBaseline, Scenario1, Scenario2, Scenario3} {
+			t.Run(p.String()+"/"+s.String(), func(t *testing.T) {
+				res, err := Run(fastCfg(p, s))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s != ScenarioBaseline && res.ProvBytes == 0 {
+					t.Error("no provenance persisted")
+				}
+			})
+		}
+	}
+}
+
+func TestTrackingOverheadSmallAndOrdered(t *testing.T) {
+	base, err := Run(fastCfg(WriteRead, ScenarioBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Run(fastCfg(WriteRead, Scenario1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Completion <= base.Completion {
+		t.Errorf("tracking was free: base %v, tracked %v", base.Completion, s1.Completion)
+	}
+	overhead := float64(s1.Completion-base.Completion) / float64(base.Completion)
+	if overhead > 0.2 {
+		t.Errorf("tracking overhead %.1f%% implausibly high", overhead*100)
+	}
+}
+
+func TestScenario2TracksDurations(t *testing.T) {
+	s1, _ := Run(fastCfg(WriteRead, Scenario1))
+	s2, _ := Run(fastCfg(WriteRead, Scenario2))
+	if s2.ProvBytes <= s1.ProvBytes {
+		t.Errorf("scenario-2 (with durations) should store more: %d vs %d", s2.ProvBytes, s1.ProvBytes)
+	}
+	if s2.Records != s1.Records {
+		t.Errorf("scenario-2 record count changed: %d vs %d", s2.Records, s1.Records)
+	}
+}
+
+func TestScenario3TracksAgentsAndFiles(t *testing.T) {
+	cfg3 := Scenario3.ProvConfig()
+	if !cfg3.Enabled(model.User) || !cfg3.Enabled(model.Thread) ||
+		!cfg3.Enabled(model.Program) || !cfg3.Enabled(model.File) {
+		t.Fatal("scenario-3 config missing classes")
+	}
+	if cfg3.Enabled(model.Dataset) {
+		t.Error("scenario-3 should not track datasets")
+	}
+	s1, _ := Run(fastCfg(WriteRead, Scenario1))
+	s3, _ := Run(fastCfg(WriteRead, Scenario3))
+	if s3.Records <= s1.Records {
+		t.Errorf("scenario-3 should add agent/file records: %d vs %d", s3.Records, s1.Records)
+	}
+}
+
+func TestOverwritePatternCreatesVersions(t *testing.T) {
+	wr, err := Run(fastCfg(WriteRead, ScenarioBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovw, err := Run(fastCfg(WriteOverwriteRead, ScenarioBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovw.DatasetVersions <= wr.DatasetVersions {
+		t.Errorf("overwrite did not add dataset versions: %d vs %d", ovw.DatasetVersions, wr.DatasetVersions)
+	}
+}
+
+func TestOverwriteCostsMoreThanWriteRead(t *testing.T) {
+	wr, _ := Run(fastCfg(WriteRead, ScenarioBaseline))
+	ovw, _ := Run(fastCfg(WriteOverwriteRead, ScenarioBaseline))
+	if ovw.Completion <= wr.Completion {
+		t.Errorf("overwrite pattern should take longer: %v vs %v", ovw.Completion, wr.Completion)
+	}
+}
+
+func TestProvBytesGrowWithRanks(t *testing.T) {
+	small := fastCfg(WriteRead, Scenario1)
+	small.Ranks = 2
+	big := fastCfg(WriteRead, Scenario1)
+	big.Ranks = 8
+	rs, err := Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.ProvBytes <= rs.ProvBytes {
+		t.Errorf("provenance should grow with ranks: %d vs %d", rb.ProvBytes, rs.ProvBytes)
+	}
+}
+
+func TestScenarioProvConfigs(t *testing.T) {
+	if ScenarioBaseline.ProvConfig() != nil {
+		t.Error("baseline must have nil config")
+	}
+	s1 := Scenario1.ProvConfig()
+	if s1.Duration {
+		t.Error("scenario-1 should not track durations")
+	}
+	if !Scenario2.ProvConfig().Duration {
+		t.Error("scenario-2 must track durations")
+	}
+	var fromCore *core.Config = s1
+	if !fromCore.Enabled(model.Write) {
+		t.Error("scenario-1 must track Write")
+	}
+}
+
+func TestPatternScenarioStrings(t *testing.T) {
+	if WriteRead.String() != "write+read" || WriteAppendRead.String() != "write+append+read" {
+		t.Error("pattern names wrong")
+	}
+	if Scenario2.String() != "scenario-2" || ScenarioBaseline.String() != "baseline" {
+		t.Error("scenario names wrong")
+	}
+	if Pattern(99).String() != "unknown" || Scenario(99).String() != "unknown" {
+		t.Error("unknown enums should stringify to unknown")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Ranks <= 0 || cfg.Steps <= 0 || cfg.ComputePerStep != 25*time.Second {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.SampleParticles > cfg.LogicalParticles {
+		t.Error("sample exceeds logical")
+	}
+	over := Config{LogicalParticles: 4, SampleParticles: 100}.withDefaults()
+	if over.SampleParticles != 4 {
+		t.Errorf("sample not clamped: %d", over.SampleParticles)
+	}
+}
+
+func TestDeterministicCompletion(t *testing.T) {
+	a, err := Run(fastCfg(WriteRead, Scenario1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastCfg(WriteRead, Scenario1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completion != b.Completion {
+		t.Errorf("completion not deterministic: %v vs %v", a.Completion, b.Completion)
+	}
+	if a.ProvBytes != b.ProvBytes {
+		t.Errorf("prov bytes not deterministic: %d vs %d", a.ProvBytes, b.ProvBytes)
+	}
+}

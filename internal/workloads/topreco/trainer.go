@@ -1,0 +1,167 @@
+package topreco
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Event is one collision event: engineered features of a candidate particle
+// triplet and the truth label (does the triplet come from a top decay).
+type Event struct {
+	Features [6]float32
+	Label    bool
+}
+
+// encode serializes an event as a TFRecord payload.
+func (e Event) encode() []byte {
+	buf := make([]byte, 6*4+1)
+	for i, f := range e.Features {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(f))
+	}
+	if e.Label {
+		buf[24] = 1
+	}
+	return buf
+}
+
+// decodeEvent parses a TFRecord payload back into an event.
+func decodeEvent(data []byte) (Event, error) {
+	var e Event
+	if len(data) != 25 {
+		return e, fmt.Errorf("topreco: bad event payload length %d", len(data))
+	}
+	for i := range e.Features {
+		e.Features[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	e.Label = data[24] == 1
+	return e, nil
+}
+
+// hidden generating weights for the synthetic truth rule.
+var truthWeights = [6]float64{1.2, -0.8, 0.5, 1.7, -1.1, 0.9}
+
+// GenerateEvents synthesizes events deterministically from a seed. The
+// preselection cut removes low-|score| events, making the retained set
+// easier to classify — which is how dataset preselections influence the
+// achievable accuracy, the effect the domain scientists want mapped.
+func GenerateEvents(seed int64, n int, preselection float64) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Event, 0, n)
+	for len(out) < n {
+		var e Event
+		score := 0.0
+		for i := range e.Features {
+			v := rng.NormFloat64()
+			e.Features[i] = float32(v)
+			score += truthWeights[i] * v
+		}
+		// Label noise: events near the decision boundary flip often.
+		noise := rng.NormFloat64() * 1.5
+		e.Label = score+noise > 0
+		if math.Abs(score) < preselection {
+			continue // preselection cut
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Model is a logistic-regression surrogate for the GNN edge/node scorer:
+// same training dynamics (epochs, learning rate, batch size → accuracy
+// curve) with a fraction of the machinery.
+type Model struct {
+	W [6]float64
+	B float64
+}
+
+// TrainEpoch runs one epoch of mini-batch SGD and returns nothing; call
+// Evaluate for the accuracy.
+func (m *Model) TrainEpoch(events []Event, lr float64, batchSize int, rng *rand.Rand) {
+	if batchSize <= 0 {
+		batchSize = 32
+	}
+	idx := rng.Perm(len(events))
+	for start := 0; start < len(idx); start += batchSize {
+		end := start + batchSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		var gw [6]float64
+		var gb float64
+		for _, i := range idx[start:end] {
+			e := events[i]
+			p := m.score(e)
+			y := 0.0
+			if e.Label {
+				y = 1.0
+			}
+			d := p - y
+			for j := range gw {
+				gw[j] += d * float64(e.Features[j])
+			}
+			gb += d
+		}
+		n := float64(end - start)
+		for j := range m.W {
+			m.W[j] -= lr * gw[j] / n
+		}
+		m.B -= lr * gb / n
+	}
+}
+
+func (m *Model) score(e Event) float64 {
+	z := m.B
+	for j := range m.W {
+		z += m.W[j] * float64(e.Features[j])
+	}
+	return 1.0 / (1.0 + math.Exp(-z))
+}
+
+// Evaluate returns classification accuracy on events.
+func (m *Model) Evaluate(events []Event) float64 {
+	if len(events) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, e := range events {
+		if (m.score(e) > 0.5) == e.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(events))
+}
+
+// Scores returns the per-event top-candidate scores, the input to the
+// reconstructor.
+func (m *Model) Scores(events []Event) []float64 {
+	out := make([]float64, len(events))
+	for i, e := range events {
+		out[i] = m.score(e)
+	}
+	return out
+}
+
+// Reconstruct picks the highest-scoring candidates (one per "event window")
+// — a stand-in for the final top-quark reconstruction step.
+func Reconstruct(scores []float64, window int) []int {
+	if window <= 0 {
+		window = 8
+	}
+	var picks []int
+	for start := 0; start < len(scores); start += window {
+		end := start + window
+		if end > len(scores) {
+			end = len(scores)
+		}
+		best := start
+		for i := start; i < end; i++ {
+			if scores[i] > scores[best] {
+				best = i
+			}
+		}
+		picks = append(picks, best)
+	}
+	return picks
+}
