@@ -136,6 +136,18 @@ const (
 	FormatNTriples = core.FormatNTriples
 )
 
+// Pipeline selects how periodic flushes reach the store: an async
+// background writer appending delta segments (default), inline delta
+// segments, or inline full re-serialization.
+type Pipeline = core.Pipeline
+
+// Flush pipelines.
+const (
+	PipelineAsync  = core.PipelineAsync
+	PipelineDelta  = core.PipelineDelta
+	PipelineInline = core.PipelineInline
+)
+
 // DefaultConfig enables every sub-class.
 func DefaultConfig() *Config { return core.DefaultConfig() }
 

@@ -1,17 +1,19 @@
 // Command provio-merge unifies the per-process sub-graph files of a
 // provenance store into a single provenance graph (paper §5: sub-graphs are
 // "parsed and merged into a complete provenance graph" after the workflow;
-// GUIDs make the merge duplication-free).
+// GUIDs make the merge duplication-free). Pending delta segments left by
+// the periodic flush pipeline are merged in as well.
 //
 // Usage:
 //
-//	provio-merge -store ./prov
+//	provio-merge -store ./prov [-parallel N] [-compact]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	provio "github.com/hpc-io/prov-io"
 )
@@ -19,6 +21,10 @@ import (
 func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
 	ntriples := flag.Bool("ntriples", false, "store uses N-Triples (.nt) files")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"parse worker pool size for the merge (1 = sequential)")
+	compact := flag.Bool("compact", false,
+		"fold leftover delta segments into canonical files before merging (crash recovery)")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -34,7 +40,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "provio-merge: open store: %v\n", err)
 		os.Exit(1)
 	}
-	g, err := store.WriteMerged()
+	if *compact {
+		if err := store.Compact(); err != nil {
+			fmt.Fprintf(os.Stderr, "provio-merge: compact: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	g, err := store.WriteMergedParallel(*parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-merge: %v\n", err)
 		os.Exit(1)
@@ -44,6 +56,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "provio-merge: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("merged %d triples (%d distinct subjects) from %s (%d bytes of sub-graphs)\n",
-		g.Len(), len(g.Subjects()), *storeDir, total)
+	fmt.Printf("merged %d triples (%d distinct subjects) from %s (%d bytes of sub-graphs, %d parse workers)\n",
+		g.Len(), len(g.Subjects()), *storeDir, total, *parallel)
 }

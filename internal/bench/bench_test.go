@@ -302,6 +302,29 @@ func TestAblationFlushModes(t *testing.T) {
 	}
 }
 
+func TestAblationPipelineAsyncCheapest(t *testing.T) {
+	rep := run(t, "abl-pipeline")
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	inline := parsePercent(t, rep.Rows[1][2])
+	delta := parsePercent(t, rep.Rows[2][2])
+	async := parsePercent(t, rep.Rows[3][2])
+	if inline <= 0 {
+		t.Fatalf("inline-full overhead %v, want > 0", inline)
+	}
+	// Delta flushing serializes O(new) instead of O(graph) per flush, and
+	// the async writer keeps even that off the critical path. Delta and
+	// async may tie at the report's display precision, but neither may
+	// exceed inline-full.
+	if delta >= inline {
+		t.Errorf("delta overhead %.4f%% >= inline-full %.4f%%", delta, inline)
+	}
+	if async > delta {
+		t.Errorf("async overhead %.4f%% > inline-delta %.4f%%", async, delta)
+	}
+}
+
 func TestAblationGranularityMonotone(t *testing.T) {
 	rep := run(t, "abl-granularity")
 	var prevTriples float64

@@ -31,6 +31,7 @@ var registry = map[string]Runner{
 	// Ablations of DESIGN.md's called-out design choices (not paper
 	// exhibits; excluded from 'all').
 	"abl-flush":       AblationFlush,
+	"abl-pipeline":    AblationPipeline,
 	"abl-granularity": AblationGranularity,
 	"abl-format":      AblationFormat,
 	"abl-guid":        AblationGUIDMerge,

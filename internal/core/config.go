@@ -45,6 +45,37 @@ const (
 	ModePeriodic
 )
 
+// Pipeline selects how a periodic flush reaches the store (DESIGN.md "Flush
+// pipeline"). The paper's prototype overlaps periodic serialization with
+// computation; PipelineAsync is the faithful (and default) rendering.
+type Pipeline uint8
+
+// Flush pipelines.
+const (
+	// PipelineAsync snapshots the delta since the last flush and hands it
+	// to a per-tracker background writer over a bounded queue; the writer
+	// appends it to the store as an N-Triples delta segment. The hot path
+	// pays only the handoff, plus backpressure when the queue is full.
+	PipelineAsync Pipeline = iota
+	// PipelineDelta writes the delta segment inline on the tracking thread.
+	PipelineDelta
+	// PipelineInline re-serializes the entire sub-graph inline on every
+	// periodic flush (the original behavior; kept for comparison).
+	PipelineInline
+)
+
+// String names the pipeline.
+func (p Pipeline) String() string {
+	switch p {
+	case PipelineDelta:
+		return "delta"
+	case PipelineInline:
+		return "inline"
+	default:
+		return "async"
+	}
+}
+
 // Config selects which PROV-IO model sub-classes are tracked and how the
 // provenance is persisted. This is the paper's User Engine switchboard:
 // "allows users to enable/disable individual sub-classes defined in the
@@ -63,6 +94,11 @@ type Config struct {
 	// FlushEvery triggers a periodic flush after this many records when
 	// Mode is ModePeriodic.
 	FlushEvery int
+	// Pipeline selects how periodic flushes reach the store.
+	Pipeline Pipeline
+	// FlushQueue bounds the async pipeline's writer queue (in delta
+	// segments); <= 0 means the default of 4.
+	FlushQueue int
 }
 
 // DefaultConfig enables every sub-class, Turtle format, at-end flushing.
@@ -73,6 +109,8 @@ func DefaultConfig() *Config {
 		Format:     FormatTurtle,
 		Mode:       ModeAtEnd,
 		FlushEvery: 4096,
+		Pipeline:   PipelineAsync,
+		FlushQueue: 4,
 	}
 	for _, cls := range model.AllClasses() {
 		c.enabled[cls.Name] = true
@@ -141,6 +179,8 @@ func (c *Config) Clone() *Config {
 //	format      = turtle | ntriples
 //	mode        = at_end | periodic
 //	flush_every = 4096
+//	pipeline    = async | delta | inline
+//	flush_queue = 4
 //	duration    = on | off
 //	track       = Class[,Class...]     (exclusive allow-list)
 //	enable      = Class[,Class...]
@@ -192,6 +232,23 @@ func LoadConfig(r io.Reader) (*Config, error) {
 				return nil, fmt.Errorf("core: config line %d: bad flush_every %q", lineNo, val)
 			}
 			cfg.FlushEvery = n
+		case "pipeline":
+			switch val {
+			case "async":
+				cfg.Pipeline = PipelineAsync
+			case "delta":
+				cfg.Pipeline = PipelineDelta
+			case "inline":
+				cfg.Pipeline = PipelineInline
+			default:
+				return nil, fmt.Errorf("core: config line %d: unknown pipeline %q", lineNo, val)
+			}
+		case "flush_queue":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("core: config line %d: bad flush_queue %q", lineNo, val)
+			}
+			cfg.FlushQueue = n
 		case "duration":
 			switch val {
 			case "on", "true":

@@ -323,11 +323,43 @@ func TestPeriodicModeFlushes(t *testing.T) {
 	for i := 0; i < 15; i++ {
 		tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, 0, 0)
 	}
-	// 10 records crossed the threshold: a flush must have happened without
-	// an explicit Flush call.
+	// 10 records crossed the threshold: a delta segment must have been
+	// enqueued without an explicit Flush call; Drain waits for the async
+	// writer without rewriting the canonical file.
+	if err := tr.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	n, err := store.TotalBytes()
 	if err != nil || n == 0 {
 		t.Errorf("periodic flush did not write: %d bytes, %v", n, err)
+	}
+	if view.Exists("/prov/prov_p000000.ttl") {
+		t.Error("periodic delta flush rewrote the canonical file")
+	}
+	if !view.Exists("/prov/prov_p000000.seg0000.nt") {
+		t.Error("delta segment not written")
+	}
+	// The merged view already includes the segment's records.
+	g, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())); got != 10 {
+		t.Errorf("activities visible mid-run = %d, want 10", got)
+	}
+	// Close compacts: segments fold into the canonical file.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if view.Exists("/prov/prov_p000000.seg0000.nt") {
+		t.Error("Close did not compact delta segments")
+	}
+	g, err = store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())); got != 15 {
+		t.Errorf("activities after Close = %d, want 15", got)
 	}
 }
 

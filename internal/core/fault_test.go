@@ -130,6 +130,11 @@ func TestPeriodicFlushSurvivesTransientFailure(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, 0, 0)
 	}
+	// The async writer's failures are not dropped: Drain surfaces the first
+	// one (and clears it) once every enqueued segment has been attempted.
+	if err := tr.Drain(); !errors.Is(err, errInjected) {
+		t.Fatalf("Drain must surface the deferred periodic flush error, got %v", err)
+	}
 	fb.failWrites = false
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)

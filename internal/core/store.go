@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
@@ -117,8 +118,8 @@ func (s *Store) processFile(pid int) string {
 	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d%s", pid, ext)))
 }
 
-// WriteSubgraph serializes a process sub-graph to its store file, replacing
-// any previous flush from the same process.
+// WriteSubgraph serializes a process sub-graph to its canonical store file,
+// replacing any previous flush from the same process.
 func (s *Store) WriteSubgraph(pid int, g *rdf.Graph) error {
 	var buf bytes.Buffer
 	var err error
@@ -133,7 +134,50 @@ func (s *Store) WriteSubgraph(pid int, g *rdf.Graph) error {
 	return s.backend.WriteFile(s.processFile(pid), buf.Bytes())
 }
 
-// subgraphFiles lists the per-process provenance files in the store.
+// segmentFile returns the path of one delta segment of a process.
+func (s *Store) segmentFile(pid, seg int) string {
+	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d.seg%04d.nt", pid, seg)))
+}
+
+// segmentPrefix is the file-name prefix of every delta segment of pid.
+func segmentPrefix(pid int) string { return fmt.Sprintf("prov_p%06d.seg", pid) }
+
+// WriteDeltaSegment appends one delta segment for a process: the triples a
+// periodic flush captured since the previous flush, as N-Triples. Segments
+// are append-only — each flush writes a fresh file — so concurrent periodic
+// flushes never rewrite earlier data, and the union of a process's canonical
+// file and its segments is its full sub-graph. Compaction (tracker Close or
+// Store.Compact) folds segments back into the canonical file.
+func (s *Store) WriteDeltaSegment(pid, seg int, triples []rdf.Triple) error {
+	rdf.SortTriples(triples)
+	var buf bytes.Buffer
+	for _, t := range triples {
+		buf.WriteString(t.String())
+		buf.WriteByte('\n')
+	}
+	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
+}
+
+// RemoveSegments deletes every delta segment of a process (after its
+// contents were folded into the canonical file).
+func (s *Store) RemoveSegments(pid int) error {
+	names, err := s.backend.List(s.dir)
+	if err != nil {
+		return err
+	}
+	prefix := segmentPrefix(pid)
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".nt") {
+			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// subgraphFiles lists the per-process provenance files in the store,
+// including delta segments not yet compacted.
 func (s *Store) subgraphFiles() ([]string, error) {
 	names, err := s.backend.List(s.dir)
 	if err != nil {
@@ -149,34 +193,171 @@ func (s *Store) subgraphFiles() ([]string, error) {
 	return out, nil
 }
 
-// Merge parses every per-process sub-graph and unions them into a single
-// graph. GUID-based node identity makes this deduplicate shared nodes
-// (paper §5): agents and data objects minted by several processes collapse
-// into single nodes.
+// parseFile reads and parses one provenance file (Turtle or N-Triples; the
+// parser accepts both).
+func (s *Store) parseFile(f string) (*rdf.Graph, error) {
+	data, err := s.backend.ReadFile(f)
+	if err != nil {
+		return nil, err
+	}
+	g, _, err := rdf.ParseTurtle(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", f, err)
+	}
+	return g, nil
+}
+
+// Merge parses every per-process sub-graph (canonical files and pending
+// delta segments) and unions them into a single graph. GUID-based node
+// identity makes this deduplicate shared nodes (paper §5): agents and data
+// objects minted by several processes collapse into single nodes.
 func (s *Store) Merge() (*rdf.Graph, error) {
+	return s.MergeParallel(1)
+}
+
+// MergeParallel is Merge with a worker pool: up to workers goroutines each
+// parse sub-graph files and union them into a private accumulator graph
+// (no lock contention), and the per-worker accumulators — already
+// GUID-deduplicated — are unioned at the end. The result is
+// triple-identical to Merge(): graph union is order-independent and
+// idempotent. workers <= 1 merges sequentially.
+func (s *Store) MergeParallel(workers int) (*rdf.Graph, error) {
 	files, err := s.subgraphFiles()
 	if err != nil {
 		return nil, err
 	}
-	merged := rdf.NewGraph()
+	return s.mergeFiles(files, workers)
+}
+
+func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
+	if workers <= 1 || len(files) < 2 {
+		merged := rdf.NewGraph()
+		for _, f := range files {
+			g, err := s.parseFile(f)
+			if err != nil {
+				return nil, err
+			}
+			merged.Merge(g)
+		}
+		return merged, nil
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+
+	// Each worker owns a private accumulator graph: parsing AND union both
+	// parallelize with zero cross-worker contention, and because each
+	// accumulator is already GUID-deduplicated, the sequential combine at
+	// the end touches far fewer triples than the files contained.
+	jobs := make(chan string)
+	accs := make([]*rdf.Graph, workers)
+	var (
+		workerWG sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		accs[w] = rdf.NewGraph()
+		workerWG.Add(1)
+		go func(acc *rdf.Graph) {
+			defer workerWG.Done()
+			for f := range jobs {
+				if failed() {
+					continue // drain remaining jobs after an error
+				}
+				g, err := s.parseFile(f)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				acc.Merge(g)
+			}
+		}(accs[w])
+	}
 	for _, f := range files {
-		data, err := s.backend.ReadFile(f)
-		if err != nil {
-			return nil, err
-		}
-		g, _, err := rdf.ParseTurtle(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("core: parsing %s: %w", f, err)
-		}
-		merged.Merge(g)
+		jobs <- f
+	}
+	close(jobs)
+	workerWG.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	merged := accs[0]
+	for _, acc := range accs[1:] {
+		merged.Merge(acc)
 	}
 	return merged, nil
+}
+
+// Compact folds every process's delta segments into its canonical sub-graph
+// file and removes the segments. It is the store-level recovery path for
+// runs that crashed between a periodic flush and Close (trackers compact
+// their own process on Close).
+func (s *Store) Compact() error {
+	files, err := s.subgraphFiles()
+	if err != nil {
+		return err
+	}
+	// Group by process: canonical file (if any) plus segments.
+	byPid := make(map[int][]string)
+	hasSeg := make(map[int]bool)
+	for _, f := range files {
+		base := filepath.Base(f)
+		var pid int
+		if _, err := fmt.Sscanf(base, "prov_p%06d", &pid); err != nil {
+			continue
+		}
+		byPid[pid] = append(byPid[pid], f)
+		if strings.Contains(base, ".seg") {
+			hasSeg[pid] = true
+		}
+	}
+	pids := make([]int, 0, len(hasSeg))
+	for pid := range hasSeg {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		g := rdf.NewGraph()
+		for _, f := range byPid[pid] {
+			pg, err := s.parseFile(f)
+			if err != nil {
+				return err
+			}
+			g.Merge(pg)
+		}
+		if err := s.WriteSubgraph(pid, g); err != nil {
+			return err
+		}
+		if err := s.RemoveSegments(pid); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteMerged merges all sub-graphs and writes the result as
 // prov_merged.ttl, returning the merged graph.
 func (s *Store) WriteMerged() (*rdf.Graph, error) {
-	g, err := s.Merge()
+	return s.WriteMergedParallel(1)
+}
+
+// WriteMergedParallel is WriteMerged with a parse worker pool.
+func (s *Store) WriteMergedParallel(workers int) (*rdf.Graph, error) {
+	g, err := s.MergeParallel(workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// stressTracker hammers one Tracker from many goroutines with periodic
+// flushing enabled and asserts that no record is lost or duplicated: the
+// in-memory stats, the in-memory graph, and the merged store contents must
+// all agree exactly.
+func stressTracker(t *testing.T, pipeline Pipeline, workers, perWorker int) {
+	t.Helper()
+	view := vfs.NewStore().NewView()
+	store, err := NewStore(VFSBackend{View: view}, "/prov", FormatTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 7 // deliberately not a divisor of the record count
+	cfg.Pipeline = pipeline
+	cfg.FlushQueue = 2 // small queue to exercise backpressure blocking
+	tr := NewTracker(cfg, store, 0)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prog := tr.RegisterProgram(fmt.Sprintf("worker-%d", w), rdf.Term{})
+			for i := 0; i < perWorker; i++ {
+				// Distinct object per (worker, i): duplicates in the store
+				// would be visible as extra activity nodes.
+				obj := tr.TrackDataObject(model.Dataset,
+					fmt.Sprintf("/f.h5/w%d/d%d", w, i), "", rdf.Term{}, prog)
+				tr.TrackIO(model.Write, "H5Dwrite", obj, prog, 0, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantRecords := int64(workers * (1 + 2*perWorker))
+	recs, triples := tr.Stats()
+	if recs != wantRecords {
+		t.Errorf("records = %d, want %d", recs, wantRecords)
+	}
+	g := tr.Graph()
+	if triples != int64(g.Len()) {
+		// Every record's triples are distinct here, so tracked triples must
+		// equal the graph size exactly.
+		t.Errorf("triples = %d, graph holds %d", triples, g.Len())
+	}
+	if g.LogLen() != g.Len() {
+		t.Errorf("insertion log %d != graph size %d (unexpected duplicates)", g.LogLen(), g.Len())
+	}
+
+	acts := g.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())
+	if len(acts) != workers*perWorker {
+		t.Errorf("activities in memory = %d, want %d", len(acts), workers*perWorker)
+	}
+
+	// The store must hold exactly the in-memory graph: nothing lost by the
+	// async writer, nothing duplicated by overlapping periodic flushes.
+	merged, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != g.Len() {
+		t.Fatalf("store holds %d triples, tracker graph %d", merged.Len(), g.Len())
+	}
+	missing := 0
+	g.ForEachMatch(nil, nil, nil, func(tr rdf.Triple) bool {
+		if !merged.Has(tr) {
+			missing++
+		}
+		return missing < 5
+	})
+	if missing > 0 {
+		t.Errorf("%d in-memory triples missing from the store", missing)
+	}
+}
+
+func TestStressAsyncPipeline(t *testing.T) {
+	workers, perWorker := 8, 150
+	if testing.Short() {
+		workers, perWorker = 4, 60
+	}
+	stressTracker(t, PipelineAsync, workers, perWorker)
+}
+
+func TestStressDeltaPipeline(t *testing.T) {
+	workers, perWorker := 8, 100
+	if testing.Short() {
+		workers, perWorker = 4, 40
+	}
+	stressTracker(t, PipelineDelta, workers, perWorker)
+}
+
+func TestStressInlinePipeline(t *testing.T) {
+	workers, perWorker := 4, 40
+	stressTracker(t, PipelineInline, workers, perWorker)
+}
+
+// TestStressFlushDuringTracking interleaves explicit Flush/Drain calls with
+// concurrent tracking: the final Close must still persist everything
+// exactly once.
+func TestStressFlushDuringTracking(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	store, err := NewStore(VFSBackend{View: view}, "/prov", FormatTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 5
+	tr := NewTracker(cfg, store, 0)
+
+	const workers, perWorker = 6, 80
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tr.TrackIO(model.Write, "H5Dwrite", rdf.Term{}, rdf.Term{}, 0, 0)
+				if i%17 == 0 {
+					if err := tr.Flush(); err != nil {
+						t.Error(err)
+					}
+				}
+				if i%13 == 0 {
+					if err := tr.Drain(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := merged.Find(nil, rdf.IRI(rdf.RDFType).Ptr(), model.Write.IRI().Ptr())
+	if len(acts) != workers*perWorker {
+		t.Errorf("persisted activities = %d, want %d", len(acts), workers*perWorker)
+	}
+}

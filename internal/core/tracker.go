@@ -28,6 +28,25 @@ type Tracker struct {
 	records int            // records since last flush
 	closed  bool
 
+	// Flush pipeline state (all guarded by mu).
+	cursor   int   // graph insertion-log position already handed to the store
+	segSeq   int   // next delta segment number
+	deferred error // first error from a periodic/async flush, surfaced on Flush/Close/Drain
+
+	// Async writer. flushCh is nil until the first async flush and again
+	// after Close stops the writer; pendingN counts enqueued-but-unwritten
+	// segments (incremented under mu, so a drain observes every prior
+	// enqueue), and drained is signalled when it returns to zero.
+	flushCh  chan flushJob
+	pendingN int
+	drained  *sync.Cond
+
+	// Modeled writer timeline for deterministic simclock accounting: the
+	// virtual completion times of queued segments. Backpressure is charged
+	// from this model, not from real goroutine scheduling, so experiment
+	// results stay reproducible.
+	wQueue []time.Duration
+
 	clock *simclock.Clock
 	cost  simclock.CostModel
 	// charge gates virtual-time accounting.
@@ -38,16 +57,24 @@ type Tracker struct {
 	nTriples int64
 }
 
+// flushJob is one delta segment handed to the background writer.
+type flushJob struct {
+	seg   int
+	delta []rdf.Triple
+}
+
 // NewTracker creates a tracker for process pid writing to store. A nil
 // store is allowed (in-memory only, flush becomes a no-op).
 func NewTracker(cfg *Config, store *Store, pid int) *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		cfg:   cfg,
 		store: store,
 		pid:   pid,
 		graph: rdf.NewGraph(),
 		seq:   make(map[string]int),
 	}
+	t.drained = sync.NewCond(&t.mu)
+	return t
 }
 
 // WithClock attaches a virtual clock so tracking operations charge modeled
@@ -92,22 +119,157 @@ func (t *Tracker) addRecord(triples []rdf.Triple) {
 	t.nRecords++
 	t.nTriples += int64(len(triples))
 	t.records++
-	needFlush := t.cfg.Mode == ModePeriodic && t.records >= t.cfg.FlushEvery
+	needFlush := t.cfg.Mode == ModePeriodic && t.records >= t.cfg.FlushEvery && t.store != nil
+	var job flushJob
+	var ch chan flushJob
 	if needFlush {
 		t.records = 0
+		switch t.cfg.Pipeline {
+		case PipelineInline:
+			// Handled below, outside the lock (full re-serialization).
+		default:
+			// Snapshot the delta since the last flush under mu: cursor
+			// advances atomically with extraction, so concurrent periodic
+			// flushes produce disjoint segments and no record is lost or
+			// duplicated.
+			job.delta = t.graph.TriplesSince(t.cursor)
+			t.cursor = t.graph.LogLen()
+			if len(job.delta) == 0 {
+				needFlush = false
+				break
+			}
+			job.seg = t.segSeq
+			t.segSeq++
+			if t.cfg.Pipeline == PipelineAsync && !t.closed {
+				ch = t.startWriterLocked()
+				t.pendingN++
+				t.chargeAsyncFlushLocked(len(job.delta))
+			}
+		}
 	}
 	t.mu.Unlock()
 
 	if t.charge {
 		t.clock.Advance(t.cost.TrackCostAt(len(triples), graphSize))
 	}
-	if needFlush {
-		// Periodic serialization is asynchronous in the paper's prototype;
-		// we run it inline but charge only the (small) async handoff cost,
-		// while the serialization itself is charged via SerializeCost at
-		// flush (representing the overlap-visible fraction).
-		t.flush(true)
+	if !needFlush {
+		return
 	}
+	switch {
+	case ch != nil:
+		// Real backpressure: block on the bounded queue (virtual-time
+		// backpressure was already charged from the modeled writer above).
+		ch <- job
+	case t.cfg.Pipeline == PipelineInline:
+		// The original behavior: re-serialize the whole sub-graph inline,
+		// charging the overlap-visible fraction of the cost.
+		if t.charge {
+			t.clock.Advance(t.cost.SerializeCost(t.graph.Len()) / 8)
+		}
+		t.recordFlushErr(t.store.WriteSubgraph(t.pid, t.graph))
+	default:
+		// Inline delta (PipelineDelta, or async after Close stopped the
+		// writer): the write is on the critical path but only O(delta).
+		if t.charge {
+			t.clock.Advance(t.cost.SerializeCost(len(job.delta)))
+		}
+		t.recordFlushErr(t.store.WriteDeltaSegment(t.pid, job.seg, job.delta))
+	}
+}
+
+// startWriterLocked lazily starts the background flush writer and returns
+// its queue. Caller holds t.mu.
+func (t *Tracker) startWriterLocked() chan flushJob {
+	if t.flushCh == nil {
+		qcap := t.cfg.FlushQueue
+		if qcap <= 0 {
+			qcap = 4
+		}
+		t.flushCh = make(chan flushJob, qcap)
+		go t.writerLoop(t.flushCh)
+	}
+	return t.flushCh
+}
+
+// writerLoop is the per-tracker background writer: it drains delta segments
+// off the bounded queue and appends them to the store. Errors are recorded
+// and surface on the next Flush/Close/Drain instead of being dropped.
+func (t *Tracker) writerLoop(ch chan flushJob) {
+	for job := range ch {
+		t.recordFlushErr(t.store.WriteDeltaSegment(t.pid, job.seg, job.delta))
+		t.mu.Lock()
+		t.pendingN--
+		if t.pendingN == 0 {
+			t.drained.Broadcast()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// waitDrained blocks until every enqueued delta segment has been written.
+func (t *Tracker) waitDrained() {
+	t.mu.Lock()
+	for t.pendingN > 0 {
+		t.drained.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// chargeAsyncFlushLocked charges the virtual-time cost of handing a delta
+// to the async writer: the enqueue itself, plus a stall when the modeled
+// bounded queue is full (backpressure — the writer has not caught up).
+// The model is driven entirely by the virtual clock, so results are
+// deterministic regardless of real goroutine scheduling. Caller holds t.mu.
+func (t *Tracker) chargeAsyncFlushLocked(deltaTriples int) {
+	if !t.charge {
+		return
+	}
+	t.clock.Advance(t.cost.FlushEnqueue)
+	now := t.clock.Now()
+	// Retire modeled segments the writer has already finished.
+	for len(t.wQueue) > 0 && t.wQueue[0] <= now {
+		t.wQueue = t.wQueue[1:]
+	}
+	qcap := t.cfg.FlushQueue
+	if qcap <= 0 {
+		qcap = 4
+	}
+	if len(t.wQueue) >= qcap {
+		// Queue full: stall until the oldest modeled segment completes.
+		t.clock.AdvanceTo(t.wQueue[0])
+		now = t.wQueue[0]
+		t.wQueue = t.wQueue[1:]
+	}
+	start := now
+	if n := len(t.wQueue); n > 0 && t.wQueue[n-1] > start {
+		start = t.wQueue[n-1] // writer busy with earlier segments
+	}
+	t.wQueue = append(t.wQueue, start+t.cost.SerializeCost(deltaTriples))
+}
+
+// recordFlushErr stores the first flush error for the next Flush/Close/Drain.
+func (t *Tracker) recordFlushErr(err error) {
+	if err == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.deferred == nil {
+		t.deferred = fmt.Errorf("core: deferred periodic flush error: %w", err)
+	}
+	t.mu.Unlock()
+}
+
+// takeDeferred returns primary if non-nil, else any deferred flush error
+// (clearing it — the in-memory graph is intact, so a later Flush retries).
+func (t *Tracker) takeDeferred(primary error) error {
+	t.mu.Lock()
+	def := t.deferred
+	t.deferred = nil
+	t.mu.Unlock()
+	if primary != nil {
+		return primary
+	}
+	return def
 }
 
 // RegisterUser records a User agent and returns its node.
@@ -254,33 +416,61 @@ func (t *Tracker) TrackMetric(owner rdf.Term, key string, value rdf.Term, versio
 	return rec.IRI()
 }
 
-// Flush serializes the current sub-graph to the store synchronously.
-func (t *Tracker) Flush() error {
-	return t.flush(false)
+// Drain blocks until the background flush writer has persisted every delta
+// segment enqueued so far, then returns (and clears) any deferred periodic
+// flush error. Unlike Flush it does not rewrite the canonical sub-graph
+// file — it is the cheap synchronization point of the async pipeline.
+func (t *Tracker) Drain() error {
+	t.waitDrained()
+	return t.takeDeferred(nil)
 }
 
-func (t *Tracker) flush(periodic bool) error {
+// Flush serializes the current sub-graph to the store synchronously: it
+// drains the async writer, rewrites the canonical per-process file from the
+// full in-memory graph, and compacts away any delta segments. It returns
+// the first error of this flush or, failing that, any deferred error from
+// earlier periodic flushes.
+func (t *Tracker) Flush() error {
 	if t.store == nil {
-		return nil
+		return t.takeDeferred(nil)
 	}
+	t.waitDrained()
+	// Advance the cursor before snapshotting: triples logged before the
+	// cursor are guaranteed to be in the canonical write below; triples
+	// racing in afterwards may be included too, and will simply reappear in
+	// a later segment (the union dedupes).
+	t.mu.Lock()
+	prevCursor := t.cursor
+	t.cursor = t.graph.LogLen()
+	hadSegments := t.segSeq > 0
+	t.mu.Unlock()
 	// The graph is internally synchronized; serialization snapshots it via
 	// SortedTriples without cloning (cloning would double peak memory when
 	// thousands of rank trackers flush together).
 	if t.charge {
-		cost := t.cost.SerializeCost(t.graph.Len())
-		if periodic {
-			// The paper overlaps periodic serialization with computation;
-			// only a fraction of the cost lands on the critical path.
-			cost /= 8
-		}
-		t.clock.Advance(cost)
+		t.clock.Advance(t.cost.SerializeCost(t.graph.Len()))
 	}
-	return t.store.WriteSubgraph(t.pid, t.graph)
+	err := t.store.WriteSubgraph(t.pid, t.graph)
+	if err == nil && hadSegments {
+		err = t.store.RemoveSegments(t.pid)
+	}
+	if err != nil {
+		// Nothing was persisted for [prevCursor, cursor): roll back so a
+		// later periodic flush re-captures those triples.
+		t.mu.Lock()
+		if prevCursor < t.cursor {
+			t.cursor = prevCursor
+		}
+		t.mu.Unlock()
+	}
+	return t.takeDeferred(err)
 }
 
-// Close flushes and marks the tracker closed. Further tracking calls still
-// work (the paper's library tolerates trailing records) but Close should be
-// the last call.
+// Close flushes, compacts the process's segments into its canonical file,
+// stops the background writer, and marks the tracker closed. Further
+// tracking calls still work (the paper's library tolerates trailing
+// records; periodic flushes fall back to inline delta writes) but Close
+// should be the last call.
 func (t *Tracker) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -289,5 +479,16 @@ func (t *Tracker) Close() error {
 	}
 	t.closed = true
 	t.mu.Unlock()
-	return t.Flush()
+	err := t.Flush()
+	// Stop the writer. New periodic flushes observe closed under mu and
+	// write inline, and Flush drained the queue, so closing is race-free:
+	// every pending send completed before pending.Wait returned.
+	t.mu.Lock()
+	ch := t.flushCh
+	t.flushCh = nil
+	t.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+	return err
 }

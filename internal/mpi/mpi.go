@@ -23,6 +23,7 @@ type Comm struct {
 	cond    *sync.Cond
 	arrived int
 	phase   int
+	aborted bool
 }
 
 // NewComm creates a communicator with the given number of ranks.
@@ -60,6 +61,11 @@ func (r *Rank) Comm() *Comm { return r.comm }
 func (r *Rank) Barrier() {
 	c := r.comm
 	c.mu.Lock()
+	if c.aborted {
+		// A rank died; the communicator will never be complete again.
+		c.mu.Unlock()
+		return
+	}
 	phase := c.phase
 	c.arrived++
 	if c.arrived == c.size {
@@ -77,7 +83,7 @@ func (r *Rank) Barrier() {
 		c.phase++
 		c.cond.Broadcast()
 	} else {
-		for c.phase == phase {
+		for c.phase == phase && !c.aborted {
 			c.cond.Wait()
 		}
 	}
@@ -98,10 +104,11 @@ func Run(size int, fn func(r *Rank)) time.Duration {
 			defer func() {
 				if p := recover(); p != nil {
 					panicCh <- p
-					// Unblock ranks stuck in barriers: a real MPI job
-					// aborts the communicator on rank failure.
+					// Abort the communicator: unblock ranks stuck in
+					// barriers AND ranks that have not reached one yet,
+					// like a real MPI job aborting on rank failure.
 					c.mu.Lock()
-					c.phase += 1 << 20
+					c.aborted = true
 					c.cond.Broadcast()
 					c.mu.Unlock()
 				}

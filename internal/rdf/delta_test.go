@@ -1,0 +1,148 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randTriple draws from a small term pool so duplicate Adds are frequent —
+// the delta cursor must count only triples that actually entered the graph.
+func randTriple(rng *rand.Rand) Triple {
+	s := IRI(fmt.Sprintf("http://x/s%d", rng.Intn(20)))
+	p := IRI(fmt.Sprintf("http://x/p%d", rng.Intn(8)))
+	var o Term
+	if rng.Intn(2) == 0 {
+		o = IRI(fmt.Sprintf("http://x/o%d", rng.Intn(20)))
+	} else {
+		o = Literal(fmt.Sprintf("v%d", rng.Intn(30)))
+	}
+	return Triple{S: s, P: p, O: o}
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	equal := true
+	a.ForEachMatch(nil, nil, nil, func(t Triple) bool {
+		if !b.Has(t) {
+			equal = false
+		}
+		return equal
+	})
+	return equal
+}
+
+// TestTriplesSinceUnionEqualsGraph is the delta-path property: for any
+// interleaving of Adds and cursor snapshots, the union of all deltas equals
+// the full graph.
+func TestTriplesSinceUnionEqualsGraph(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		union := NewGraph()
+		cursor := 0
+		steps := 50 + rng.Intn(400)
+		for i := 0; i < steps; i++ {
+			g.Add(randTriple(rng))
+			if rng.Intn(7) == 0 {
+				for _, tr := range g.TriplesSince(cursor) {
+					union.Add(tr)
+				}
+				cursor = g.LogLen()
+			}
+		}
+		// Final delta closes the run (the tracker's Close analog).
+		for _, tr := range g.TriplesSince(cursor) {
+			union.Add(tr)
+		}
+		if !graphsEqual(g, union) {
+			t.Fatalf("seed %d: union of deltas (%d) != graph (%d)", seed, union.Len(), g.Len())
+		}
+	}
+}
+
+// TestTriplesSinceSkipsRemoved: removed triples drop out of later deltas,
+// and a re-add after removal surfaces again.
+func TestTriplesSinceSkipsRemoved(t *testing.T) {
+	g := NewGraph()
+	a := Triple{S: IRI("http://x/a"), P: IRI("http://x/p"), O: Literal("1")}
+	b := Triple{S: IRI("http://x/b"), P: IRI("http://x/p"), O: Literal("2")}
+	g.Add(a)
+	g.Add(b)
+	g.Remove(a)
+	if d := g.TriplesSince(0); len(d) != 1 || d[0] != b {
+		t.Fatalf("delta after remove = %v, want just b", d)
+	}
+	if g.LogLen() != 2 {
+		t.Errorf("LogLen = %d, want 2 (monotone under Remove)", g.LogLen())
+	}
+	g.Add(a) // re-add: new log entry
+	if d := g.TriplesSince(2); len(d) != 1 || d[0] != a {
+		t.Fatalf("delta after re-add = %v, want just a", d)
+	}
+}
+
+func TestTriplesSinceBounds(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{S: IRI("http://x/a"), P: IRI("http://x/p"), O: Literal("1")})
+	if d := g.TriplesSince(-5); len(d) != 1 {
+		t.Errorf("negative cursor: %v", d)
+	}
+	if d := g.TriplesSince(1); d != nil {
+		t.Errorf("cursor at end: %v", d)
+	}
+	if d := g.TriplesSince(99); d != nil {
+		t.Errorf("cursor past end: %v", d)
+	}
+}
+
+// TestTriplesSinceConcurrent runs adders concurrently with a delta
+// collector; after a final catch-up delta, the union must equal the graph
+// exactly. This mirrors the tracker's threads-vs-async-flusher interleaving.
+func TestTriplesSinceConcurrent(t *testing.T) {
+	g := NewGraph()
+	const adders = 6
+	const perAdder = 300
+	var wg sync.WaitGroup
+	for w := 0; w < adders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perAdder; i++ {
+				g.Add(randTriple(rng))
+			}
+		}(w)
+	}
+	union := NewGraph()
+	cursor := 0
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		// Capture the target position before extracting: triples added
+		// between the two calls are collected next round, never skipped.
+		next := g.LogLen()
+		for _, tr := range g.TriplesSince(cursor) {
+			union.Add(tr)
+		}
+		cursor = next
+	}
+	// One final catch-up after every adder finished.
+	for _, tr := range g.TriplesSince(cursor) {
+		union.Add(tr)
+	}
+	if !graphsEqual(g, union) {
+		t.Fatalf("concurrent deltas: union %d != graph %d", union.Len(), g.Len())
+	}
+}

@@ -29,8 +29,18 @@ type Graph struct {
 	pos map[termID]map[termID][]termID // p -> o -> subjects
 	osp map[termID]map[termID][]termID // o -> s -> predicates
 
+	// log records every successful Add in insertion order (12 bytes per
+	// triple). It backs the delta cursor of the flush pipeline: a flusher
+	// remembers the log position of its last flush and serializes only
+	// TriplesSince(position) instead of the whole graph.
+	log []tripleRef
+
 	size int
 }
+
+// tripleRef is one insertion-log entry: the dictionary IDs of an added
+// triple.
+type tripleRef struct{ s, p, o termID }
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
@@ -120,6 +130,7 @@ func (g *Graph) Add(t Triple) bool {
 	m3[o] = struct{}{}
 	appendList(g.pos, p, o, s)
 	appendList(g.osp, o, s, p)
+	g.log = append(g.log, tripleRef{s, p, o})
 	g.size++
 	return true
 }
@@ -215,6 +226,46 @@ func (g *Graph) TermCount() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.terms)
+}
+
+// LogLen returns the length of the insertion log: the total number of
+// successful Adds over the graph's lifetime. It is monotone — Remove does
+// not shrink it — which makes it usable as a delta cursor.
+func (g *Graph) LogLen() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.log)
+}
+
+// TriplesSince returns the triples appended at insertion-log positions >= n
+// that are still present in the graph, in insertion order.
+//
+// This is the delta cursor of the incremental flush pipeline: serializing
+// TriplesSince(c) and advancing c to LogLen() after each flush yields delta
+// segments whose union equals the full graph, while each flush stays
+// O(new triples) instead of O(graph). A triple removed and re-added after n
+// appears once per surviving log entry; downstream consumers union segments
+// into a set, so duplicates are harmless.
+func (g *Graph) TriplesSince(n int) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(g.log) {
+		return nil
+	}
+	out := make([]Triple, 0, len(g.log)-n)
+	for _, r := range g.log[n:] {
+		if m2, ok := g.spo[r.s]; ok {
+			if m3, ok := m2[r.p]; ok {
+				if _, ok := m3[r.o]; ok {
+					out = append(out, Triple{S: g.terms[r.s], P: g.terms[r.p], O: g.terms[r.o]})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // Find returns all triples matching the pattern. A nil pointer matches any

@@ -59,6 +59,11 @@ type CostModel struct {
 	// SerializePerTriple is the cost per triple of Turtle serialization
 	// during (asynchronous) flushes.
 	SerializePerTriple time.Duration
+	// FlushEnqueue is the critical-path cost of handing a delta segment to
+	// the asynchronous flush writer (snapshotting the delta and enqueueing
+	// it). When the writer's bounded queue is full the hot path additionally
+	// stalls until the modeled writer frees a slot (backpressure).
+	FlushEnqueue time.Duration
 }
 
 // Default returns the calibrated cost model used by all experiments.
@@ -78,6 +83,7 @@ func Default() CostModel {
 		TrackLogFactor:        25 * time.Microsecond,
 		TrackerInit:           150 * time.Millisecond,
 		SerializePerTriple:    2 * time.Microsecond,
+		FlushEnqueue:          40 * time.Microsecond,
 	}
 }
 
