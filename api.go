@@ -337,6 +337,12 @@ func ParseQuery(query string) (*sparql.Query, error) {
 	return sparql.Parse(query, model.Namespaces())
 }
 
+// ExplainQuery compiles the query against g and returns the planner's
+// EXPLAIN rendering — the cardinality-ordered join plan — without executing.
+func ExplainQuery(g *Graph, query string) (string, error) {
+	return sparql.Explain(g, query, model.Namespaces())
+}
+
 // VizOptions controls DOT rendering.
 type VizOptions = viz.Options
 

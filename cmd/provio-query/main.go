@@ -6,9 +6,11 @@
 //
 //	provio-query -store ./prov 'SELECT ?f WHERE { ?f a provio:File . }'
 //	provio-query -store ./prov -file query.rq
+//	provio-query -store ./prov -plan 'SELECT ?f WHERE { ?f a provio:File . }'
 //
 // The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
-// PREFIX declarations.
+// PREFIX declarations. -plan prints the planner's cardinality-ordered join
+// plan (EXPLAIN) without executing the query.
 package main
 
 import (
@@ -24,6 +26,7 @@ func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
 	queryFile := flag.String("file", "", "read the query from this file instead of argv")
 	format := flag.String("format", "tsv", "output format: tsv | json (W3C SPARQL results JSON)")
+	plan := flag.Bool("plan", false, "print the query plan (EXPLAIN) instead of executing")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -50,6 +53,14 @@ func main() {
 	g, err := store.Merge()
 	if err != nil {
 		fatalf("merge: %v", err)
+	}
+	if *plan {
+		out, err := provio.ExplainQuery(g, query)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Print(out)
+		return
 	}
 	res, err := provio.Query(g, query)
 	if err != nil {

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/sparql"
+	"github.com/hpc-io/prov-io/internal/vfs"
+	"github.com/hpc-io/prov-io/internal/workloads/dassa"
+	"github.com/hpc-io/prov-io/internal/workloads/h5bench"
+	"github.com/hpc-io/prov-io/internal/workloads/topreco"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// The paper's §6 query set (Table 5) pinned as W3C SPARQL results-JSON
+// golden fixtures. Deterministic GUIDs and the simulated clock make the
+// workload graphs reproducible, so any drift in parser, planner, executor,
+// or workload generation shows up as a fixture diff. Regenerate with
+// `go test ./internal/bench -run TestGoldenSection6Queries -update`.
+
+// section6Queries builds the Table 5 stores and returns each query with its
+// graph, keyed by a stable fixture name.
+func section6Queries(t *testing.T) []struct {
+	name  string
+	g     *rdf.Graph
+	query string
+} {
+	t.Helper()
+
+	// DASSA backward file lineage.
+	dassaCfg := dassa.Config{Files: 4, Ranks: 2, Lineage: dassa.FileLineage}
+	store := vfs.NewStore()
+	if err := dassa.GenerateInputs(store.NewView(), dassaCfg); err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dassa.Run(store, dassaCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := dres.Store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	product := model.NodeIRI(model.File, "/das/products/WestSac_0000.decimate.h5")
+	prog := model.NodeIRI(model.Program, "decimate-a1")
+	dassaQ := fmt.Sprintf(`SELECT DISTINCT ?file WHERE {
+		<%s> prov:wasAttributedTo ?program .
+		?file provio:wasReadBy ?api .
+		?api prov:wasAssociatedWith <%s> .
+	}`, product, prog)
+
+	// H5bench scenarios (2 answers q1+q2, 3 answers q3).
+	h5cfg := h5bench.Config{Ranks: 2, Steps: 2, Scenario: h5bench.Scenario2, Pattern: h5bench.WriteRead}
+	h5g2, err := runH5ForTable5(h5cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h5cfg.Scenario = h5bench.Scenario3
+	h5g3, err := runH5ForTable5(h5cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileNode := model.NodeIRI(model.File, "/scratch/vpic.h5")
+
+	// Top Reco metadata version control.
+	tres, err := topreco.Run(topreco.Config{Epochs: 5, Events: ScaleSmall.topRecoEvents(),
+		Instrument: topreco.InstrumentProvIO, Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := tres.Store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	return []struct {
+		name  string
+		g     *rdf.Graph
+		query string
+	}{
+		{"dassa_lineage", dg, dassaQ},
+		{"h5bench_q1_op_counts", h5g2,
+			`SELECT (COUNT(?api) AS ?n) WHERE { ?api prov:wasMemberOf prov:Activity . }`},
+		{"h5bench_q2_op_durations", h5g2,
+			`SELECT ?api ?duration WHERE {
+				?api prov:wasMemberOf prov:Activity ;
+				     provio:elapsed ?duration .
+			} ORDER BY ?api LIMIT 20`},
+		{"h5bench_q3_who_modified", h5g3, fmt.Sprintf(
+			`SELECT DISTINCT ?user WHERE {
+				<%s> prov:wasAttributedTo ?program .
+				?thread prov:actedOnBehalfOf ?program .
+				?program prov:actedOnBehalfOf ?user .
+			}`, fileNode)},
+		{"topreco_version_accuracy", tg,
+			`SELECT ?version ?accuracy WHERE {
+				?configuration provio:Version ?version ;
+				               provio:hasAccuracy ?accuracy .
+			}`},
+	}
+}
+
+func TestGoldenSection6Queries(t *testing.T) {
+	for _, c := range section6Queries(t) {
+		res, err := sparql.Exec(c.g, c.query, model.Namespaces())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: query returned no results", c.name)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		path := filepath.Join("testdata", "query_"+c.name+".json")
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", c.name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: results JSON drifted from golden fixture %s\ngot:\n%s\nwant:\n%s",
+				c.name, path, buf.Bytes(), want)
+		}
+	}
+}

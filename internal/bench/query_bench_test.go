@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/sparql"
+	"github.com/hpc-io/prov-io/internal/vfs"
+	"github.com/hpc-io/prov-io/internal/workloads/dassa"
+)
+
+// Benchmark pairs for the read path: each operation runs once against the
+// legacy term-space engine and once against the ID-space engine, on the same
+// DASSA provenance graph. Run with -benchmem — the ID engine's headline win
+// is allocations (no per-row Binding maps, no term materialization until the
+// Result), which compounds into time on join-heavy queries.
+
+var (
+	queryBenchOnce  sync.Once
+	queryBenchGraph *rdf.Graph
+	queryBenchQuery *sparql.Query
+	queryBenchRoot  rdf.Term
+)
+
+func queryBenchSetup(b *testing.B) (*rdf.Graph, *sparql.Query, rdf.Term) {
+	b.Helper()
+	queryBenchOnce.Do(func() {
+		cfg := dassa.Config{Files: 32, Ranks: 4, Lineage: dassa.AttrLineage}
+		store := vfs.NewStore()
+		if err := dassa.GenerateInputs(store.NewView(), cfg); err != nil {
+			panic(err)
+		}
+		res, err := dassa.Run(store, cfg)
+		if err != nil {
+			panic(err)
+		}
+		g, err := res.Store.Merge()
+		if err != nil {
+			panic(err)
+		}
+		prog := model.NodeIRI(model.Program, "decimate-a1")
+		q, err := sparql.Parse(fmt.Sprintf(
+			`SELECT DISTINCT ?file WHERE {
+				?file provio:wasReadBy ?api .
+				?api prov:wasAssociatedWith <%s> .
+			}`, prog), model.Namespaces())
+		if err != nil {
+			panic(err)
+		}
+		queryBenchGraph = g
+		queryBenchQuery = q
+		queryBenchRoot = rdf.IRI(model.NodeIRI(model.File, "/das/products/WestSac_0000.decimate.h5"))
+	})
+	return queryBenchGraph, queryBenchQuery, queryBenchRoot
+}
+
+func BenchmarkQueryBGP(b *testing.B) {
+	g, q, _ := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.Eval(g, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryBGPLegacy(b *testing.B) {
+	g, q, _ := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparql.EvalLegacy(g, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLineageReduce(b *testing.B) {
+	g, _, root := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ReduceLineage(g, []rdf.Term{root}, 0)
+	}
+}
+
+func BenchmarkLineageReduceLegacy(b *testing.B) {
+	g, _, root := queryBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ReduceLineageLegacy(g, []rdf.Term{root}, 0)
+	}
+}

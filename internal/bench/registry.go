@@ -35,6 +35,7 @@ var registry = map[string]Runner{
 	"abl-granularity": AblationGranularity,
 	"abl-format":      AblationFormat,
 	"abl-guid":        AblationGUIDMerge,
+	"abl-query":       AblationQuery,
 }
 
 // order lists experiment IDs in presentation order.

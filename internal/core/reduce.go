@@ -16,8 +16,115 @@ import (
 // before visualization keeps Figure-9-style renderings readable, and
 // reducing before repeated querying shrinks the search space.
 //
+// The traversal runs in dictionary-ID space (rdf.ForEachMatchIDs): the BFS
+// frontier, visited set, and relation-predicate set all hold uint32 IDs, and
+// terms are rehydrated only for the triples copied into the output graph.
+//
 // maxHops <= 0 means unbounded (full connected component).
 func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
+	keep := map[rdf.ID]int{}
+	var frontier []rdf.ID
+	for _, r := range roots {
+		if r.IsZero() {
+			continue
+		}
+		id, ok := g.TermID(r)
+		if !ok {
+			continue // a root absent from the graph has no neighborhood
+		}
+		keep[id] = 0
+		frontier = append(frontier, id)
+	}
+
+	relations := lineageRelationIDs(g)
+	terms := map[rdf.ID]rdf.Term{}
+	termOf := func(id rdf.ID) rdf.Term {
+		t, ok := terms[id]
+		if !ok {
+			t = g.TermOf(id)
+			terms[id] = t
+		}
+		return t
+	}
+
+	for len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		depth := keep[node]
+		if maxHops > 0 && depth >= maxHops {
+			continue
+		}
+		visit := func(next rdf.ID) {
+			if _, seen := keep[next]; seen {
+				return
+			}
+			if t := termOf(next); !t.IsIRI() && !t.IsBlank() {
+				return
+			}
+			keep[next] = depth + 1
+			frontier = append(frontier, next)
+		}
+		g.ForEachMatchIDs(node, rdf.NoID, rdf.NoID, func(_, p, o rdf.ID) bool {
+			if relations[p] {
+				visit(o)
+			}
+			return true
+		})
+		g.ForEachMatchIDs(rdf.NoID, rdf.NoID, node, func(s, p, _ rdf.ID) bool {
+			if relations[p] {
+				visit(s)
+			}
+			return true
+		})
+	}
+
+	out := rdf.NewGraph()
+	g.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+		if _, sKept := keep[s]; !sKept {
+			return true
+		}
+		if relations[p] {
+			// Relation edges only between kept nodes.
+			if _, oKept := keep[o]; oKept {
+				out.Add(rdf.Triple{S: termOf(s), P: termOf(p), O: termOf(o)})
+			}
+			return true
+		}
+		// Annotation triples (type, name, literals) of kept nodes.
+		out.Add(rdf.Triple{S: termOf(s), P: termOf(p), O: termOf(o)})
+		return true
+	})
+	return out
+}
+
+// lineageRelationIDs resolves the traversable relation predicates to their
+// dictionary IDs in g. prov:wasMemberOf is classification, not lineage —
+// following it would connect every entity through the shared super-class
+// nodes; it is kept as an annotation of retained nodes instead. Predicates
+// absent from the graph are simply omitted.
+func lineageRelationIDs(g *rdf.Graph) map[rdf.ID]bool {
+	relations := map[rdf.ID]bool{}
+	add := func(t rdf.Term) {
+		if id, ok := g.TermID(t); ok {
+			relations[id] = true
+		}
+	}
+	for _, rel := range model.AllRelations() {
+		if rel.IRI() == model.WasMemberOf.IRI() {
+			continue
+		}
+		add(rel.IRI())
+	}
+	for _, rel := range []model.Relation{model.PropType, model.PropConfig, model.PropMetric} {
+		add(rel.IRI())
+	}
+	return relations
+}
+
+// ReduceLineageLegacy is the previous term-space implementation of
+// ReduceLineage, kept as the ablation baseline for the abl-query benchmark.
+// It must stay semantically identical to ReduceLineage.
+func ReduceLineageLegacy(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 	keep := map[rdf.Term]int{}
 	frontier := make([]rdf.Term, 0, len(roots))
 	for _, r := range roots {
@@ -28,10 +135,6 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 		frontier = append(frontier, r)
 	}
 
-	// Traversal follows lineage relations only. prov:wasMemberOf is
-	// classification, not lineage — following it would connect every
-	// entity through the shared super-class nodes; it is kept as an
-	// annotation of retained nodes instead.
 	relations := map[rdf.Term]bool{}
 	for _, rel := range model.AllRelations() {
 		if rel.IRI() == model.WasMemberOf.IRI() {
@@ -82,13 +185,11 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 			return true
 		}
 		if relations[t.P] {
-			// Relation edges only between kept nodes.
 			if _, oKept := keep[t.O]; oKept {
 				out.Add(t)
 			}
 			return true
 		}
-		// Annotation triples (type, name, literals) of kept nodes.
 		out.Add(t)
 		return true
 	})

@@ -5,8 +5,23 @@ import (
 	"sync"
 )
 
-// termID is the dictionary index of an interned term.
-type termID uint32
+// ID is the dictionary index of an interned term. IDs are stable for the
+// lifetime of a graph: once a term is interned its ID never changes, and
+// Remove does not un-intern terms. The zero ID is a valid term ID; the
+// sentinel NoID never is.
+//
+// The ID-level API (TermID, TermOf, ForEachMatchIDs, CountMatchIDs) lets
+// read-path consumers — the SPARQL executor, lineage reduction, statistics,
+// DOT emission — stay in integer space end-to-end and rehydrate Terms only
+// when materializing output.
+type ID uint32
+
+// NoID is the wildcard/absent sentinel of the ID-level API: as a pattern
+// position it matches any term, as a register value it means "unbound".
+const NoID ID = ^ID(0)
+
+// termID is the internal alias kept for the storage layer.
+type termID = ID
 
 // Graph is an in-memory, dictionary-encoded RDF graph.
 //
@@ -29,6 +44,12 @@ type Graph struct {
 	pos map[termID]map[termID][]termID // p -> o -> subjects
 	osp map[termID]map[termID][]termID // o -> s -> predicates
 
+	// pstats maintains per-predicate cardinalities (triple count, distinct
+	// subjects, distinct objects) incrementally on Add/Remove. The query
+	// planner reads them through PredStats to order joins by estimated
+	// result size instead of a static heuristic.
+	pstats map[termID]*predStat
+
 	// log records every successful Add in insertion order (12 bytes per
 	// triple). It backs the delta cursor of the flush pipeline: a flusher
 	// remembers the log position of its last flush and serializes only
@@ -38,6 +59,13 @@ type Graph struct {
 	size int
 }
 
+// predStat is the per-predicate cardinality record behind PredStats.
+type predStat struct {
+	triples  int // triples with this predicate
+	subjects int // distinct subjects among them
+	objects  int // distinct objects among them
+}
+
 // tripleRef is one insertion-log entry: the dictionary IDs of an added
 // triple.
 type tripleRef struct{ s, p, o termID }
@@ -45,10 +73,11 @@ type tripleRef struct{ s, p, o termID }
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
 	return &Graph{
-		dict: make(map[Term]termID),
-		spo:  make(map[termID]map[termID]map[termID]struct{}),
-		pos:  make(map[termID]map[termID][]termID),
-		osp:  make(map[termID]map[termID][]termID),
+		dict:   make(map[Term]termID),
+		spo:    make(map[termID]map[termID]map[termID]struct{}),
+		pos:    make(map[termID]map[termID][]termID),
+		osp:    make(map[termID]map[termID][]termID),
+		pstats: make(map[termID]*predStat),
 	}
 }
 
@@ -69,6 +98,25 @@ func (g *Graph) intern(t Term) termID {
 func (g *Graph) lookup(t Term) (termID, bool) {
 	id, ok := g.dict[t]
 	return id, ok
+}
+
+// TermID returns the dictionary ID of t and whether t is interned. A term
+// that was never added to the graph (in any triple position) has no ID.
+func (g *Graph) TermID(t Term) (ID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.lookup(t)
+}
+
+// TermOf returns the term interned under id, or the zero Term if id is out
+// of range (including NoID).
+func (g *Graph) TermOf(id ID) Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if int(id) >= len(g.terms) {
+		return Term{}
+	}
+	return g.terms[id]
 }
 
 // appendList adds c to idx[a][b].
@@ -127,6 +175,20 @@ func (g *Graph) Add(t Triple) bool {
 	if _, dup := m3[o]; dup {
 		return false
 	}
+	ps := g.pstats[p]
+	if ps == nil {
+		ps = &predStat{}
+		g.pstats[p] = ps
+	}
+	ps.triples++
+	if len(m3) == 0 {
+		// First object under (s, p): s is a new distinct subject for p.
+		ps.subjects++
+	}
+	if len(g.pos[p][o]) == 0 {
+		// First subject under (p, o): o is a new distinct object for p.
+		ps.objects++
+	}
 	m3[o] = struct{}{}
 	appendList(g.pos, p, o, s)
 	appendList(g.osp, o, s, p)
@@ -174,6 +236,12 @@ func (g *Graph) Remove(t Triple) bool {
 		return false
 	}
 	delete(m3, o)
+	if ps := g.pstats[p]; ps != nil {
+		ps.triples--
+		if len(m3) == 0 {
+			ps.subjects--
+		}
+	}
 	if len(m3) == 0 {
 		delete(m2, p)
 		if len(m2) == 0 {
@@ -181,6 +249,14 @@ func (g *Graph) Remove(t Triple) bool {
 		}
 	}
 	removeList(g.pos, p, o, s)
+	if ps := g.pstats[p]; ps != nil {
+		if len(g.pos[p][o]) == 0 {
+			ps.objects--
+		}
+		if ps.triples == 0 {
+			delete(g.pstats, p)
+		}
+	}
 	removeList(g.osp, o, s, p)
 	g.size--
 	return true
@@ -226,6 +302,28 @@ func (g *Graph) TermCount() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return len(g.terms)
+}
+
+// PredStats returns the maintained cardinalities of predicate p: the number
+// of triples with that predicate, and the distinct subject and object counts
+// among them. All zero when p is not a predicate of any present triple.
+func (g *Graph) PredStats(p ID) (triples, subjects, objects int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ps := g.pstats[p]
+	if ps == nil {
+		return 0, 0, 0
+	}
+	return ps.triples, ps.subjects, ps.objects
+}
+
+// IndexStats returns the distinct subject, predicate, and object counts of
+// the graph — the global cardinalities the query planner divides by when a
+// join position is bound by an earlier pattern.
+func (g *Graph) IndexStats() (subjects, predicates, objects int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.spo), len(g.pos), len(g.osp)
 }
 
 // LogLen returns the length of the insertion log: the total number of
@@ -287,7 +385,7 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 
-	var sid, pid, oid termID
+	sid, pid, oid := NoID, NoID, NoID
 	if s != nil {
 		var ok bool
 		if sid, ok = g.lookup(*s); !ok {
@@ -306,17 +404,38 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 			return
 		}
 	}
-
-	emit := func(si, pi, oi termID) bool {
+	g.forEachIDs(sid, pid, oid, func(si, pi, oi ID) bool {
 		return fn(Triple{S: g.terms[si], P: g.terms[pi], O: g.terms[oi]})
-	}
+	})
+}
 
+// ForEachMatchIDs streams the dictionary IDs of all triples matching the
+// pattern to fn, without materializing Terms. NoID matches any term in that
+// position; any other ID that is not interned matches nothing. fn returning
+// false stops the iteration early.
+//
+// The callback must not mutate the graph. Nested read-only calls (TermOf,
+// further ForEachMatchIDs) are permitted, same as ForEachMatch.
+func (g *Graph) ForEachMatchIDs(s, p, o ID, fn func(s, p, o ID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := len(g.terms)
+	if (s != NoID && int(s) >= n) || (p != NoID && int(p) >= n) || (o != NoID && int(o) >= n) {
+		return
+	}
+	g.forEachIDs(s, p, o, fn)
+}
+
+// forEachIDs is the shared index-probe loop behind ForEachMatch and
+// ForEachMatchIDs. Caller must hold g.mu (read or write); NoID is the
+// wildcard.
+func (g *Graph) forEachIDs(sid, pid, oid ID, emit func(s, p, o ID) bool) {
 	switch {
-	case s != nil: // SPO index
+	case sid != NoID: // SPO index
 		m2 := g.spo[sid]
-		if p != nil {
+		if pid != NoID {
 			m3 := m2[pid]
-			if o != nil {
+			if oid != NoID {
 				if _, ok := m3[oid]; ok {
 					emit(sid, pid, oid)
 				}
@@ -331,7 +450,7 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 		}
 		for pi, m3 := range m2 {
 			for oi := range m3 {
-				if o != nil && oi != oid {
+				if oid != NoID && oi != oid {
 					continue
 				}
 				if !emit(sid, pi, oi) {
@@ -339,9 +458,9 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 				}
 			}
 		}
-	case p != nil: // POS index
+	case pid != NoID: // POS index
 		m2 := g.pos[pid]
-		if o != nil {
+		if oid != NoID {
 			for _, si := range m2[oid] {
 				if !emit(si, pid, oid) {
 					return
@@ -356,7 +475,7 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 				}
 			}
 		}
-	case o != nil: // OSP index
+	case oid != NoID: // OSP index
 		for si, preds := range g.osp[oid] {
 			for _, pi := range preds {
 				if !emit(si, pi, oid) {
@@ -374,6 +493,58 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 				}
 			}
 		}
+	}
+}
+
+// CountMatchIDs returns the exact number of triples matching the ID pattern
+// (NoID = wildcard) without enumerating them where an index or maintained
+// counter answers directly:
+//
+//	(s p o) -> 0/1 membership probe     (s p ?) -> len(spo[s][p])
+//	(? p o) -> len(pos[p][o])           (s ? o) -> len(osp[o][s])
+//	(? p ?) -> maintained predicate count
+//	(s ? ?), (? ? o) -> sum over one second-level index map
+//	(? ? ?) -> graph size
+//
+// This is the cardinality oracle behind the query planner's join ordering.
+func (g *Graph) CountMatchIDs(s, p, o ID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := len(g.terms)
+	if (s != NoID && int(s) >= n) || (p != NoID && int(p) >= n) || (o != NoID && int(o) >= n) {
+		return 0
+	}
+	switch {
+	case s != NoID && p != NoID && o != NoID:
+		if _, ok := g.spo[s][p][o]; ok {
+			return 1
+		}
+		return 0
+	case s != NoID && p != NoID:
+		return len(g.spo[s][p])
+	case p != NoID && o != NoID:
+		return len(g.pos[p][o])
+	case s != NoID && o != NoID:
+		return len(g.osp[o][s])
+	case p != NoID:
+		if ps := g.pstats[p]; ps != nil {
+			return ps.triples
+		}
+		return 0
+	case s != NoID:
+		c := 0
+		for _, m3 := range g.spo[s] {
+			c += len(m3)
+		}
+		return c
+	case o != NoID:
+		c := 0
+		for _, preds := range g.osp[o] {
+			c += len(preds)
+		}
+		return c
+	default:
+		return g.size
 	}
 }
 
@@ -418,7 +589,14 @@ func (g *Graph) Subjects() []Term {
 // Merge adds every triple of other into g, returning the number newly added.
 // Because PROV-IO node IDs are globally unique, merging per-process
 // sub-graphs deduplicates shared nodes naturally (paper §5).
+//
+// Merging a graph into itself is a no-op (returns 0): without the guard,
+// g.Merge(g) would deadlock — the iteration holds the read lock while Add
+// waits for the write lock on the same mutex.
 func (g *Graph) Merge(other *Graph) int {
+	if g == other {
+		return 0
+	}
 	n := 0
 	other.ForEachMatch(nil, nil, nil, func(t Triple) bool {
 		if g.Add(t) {

@@ -21,6 +21,12 @@ func (b Binding) clone() Binding {
 	return nb
 }
 
+// lookupVar implements env for the legacy term-space evaluator.
+func (b Binding) lookupVar(name string) (rdf.Term, bool) {
+	t, ok := b[name]
+	return t, ok
+}
+
 // Result is the solution sequence of a SELECT query.
 type Result struct {
 	// Vars are the projected variable names in order.
@@ -40,81 +46,25 @@ func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
 }
 
 // Eval evaluates a parsed query against a graph.
+//
+// Evaluation is split into two phases (the paper's "user engine" read path,
+// §4.4): Compile builds a Plan whose basic graph patterns are join-ordered
+// by index-cardinality estimates, and the executor runs the plan entirely in
+// dictionary-ID space — bindings are fixed-width []rdf.ID registers, and
+// terms are rehydrated only when the Result is materialized. EvalLegacy
+// keeps the previous term-space evaluator as a baseline.
 func Eval(g *rdf.Graph, q *Query) (*Result, error) {
-	bindings, err := evalGroup(g, q.Where, []Binding{{}})
+	return runPlan(g, Compile(g, q))
+}
+
+// Explain parses the query and returns the planner's EXPLAIN rendering —
+// the chosen join order with cardinality estimates — without executing it.
+func Explain(g *rdf.Graph, query string, base *rdf.Namespaces) (string, error) {
+	q, err := Parse(query, base)
 	if err != nil {
-		return nil, err
+		return "", err
 	}
-
-	// COUNT projection collapses the solution sequence to a single row.
-	if q.CountAs != "" {
-		n := 0
-		if q.CountAll {
-			n = len(bindings)
-		} else {
-			seen := make(map[rdf.Term]struct{})
-			for _, b := range bindings {
-				if t, ok := b[q.Count]; ok {
-					if q.Distinct {
-						seen[t] = struct{}{}
-					} else {
-						n++
-					}
-				}
-			}
-			if q.Distinct {
-				n = len(seen)
-			}
-		}
-		return &Result{
-			Vars: []string{q.CountAs},
-			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
-		}, nil
-	}
-
-	vars := q.Vars
-	if len(vars) == 0 { // SELECT *
-		set := map[string]struct{}{}
-		collectVars(q.Where, set)
-		for v := range set {
-			vars = append(vars, v)
-		}
-		sort.Strings(vars)
-	}
-
-	rows := make([]Binding, 0, len(bindings))
-	for _, b := range bindings {
-		row := make(Binding, len(vars))
-		for _, v := range vars {
-			if t, ok := b[v]; ok {
-				row[v] = t
-			}
-		}
-		rows = append(rows, row)
-	}
-
-	if q.Distinct {
-		rows = dedupeRows(vars, rows)
-	}
-	if len(q.OrderBy) > 0 {
-		sortRows(rows, q.OrderBy)
-	} else {
-		// Deterministic output even without ORDER BY: sort by projected
-		// values. SPARQL leaves this unspecified; determinism helps tests
-		// and reproducible experiment output.
-		sortRows(rows, orderKeysFor(vars))
-	}
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
-	}
-	return &Result{Vars: vars, Rows: rows}, nil
+	return Compile(g, q).String(), nil
 }
 
 func orderKeysFor(vars []string) []OrderKey {
@@ -148,56 +98,20 @@ func collectVars(g *Group, set map[string]struct{}) {
 	}
 }
 
-func dedupeRows(vars []string, rows []Binding) []Binding {
-	seen := make(map[string]struct{}, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		k := rowKey(vars, r)
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
-		out = append(out, r)
+// projectedVars resolves the projection list: the explicit SELECT vars, or
+// every variable of the WHERE clause (sorted) for SELECT *.
+func projectedVars(q *Query) []string {
+	if len(q.Vars) > 0 {
+		return q.Vars
 	}
-	return out
-}
-
-func rowKey(vars []string, r Binding) string {
-	var b strings.Builder
-	for _, v := range vars {
-		if t, ok := r[v]; ok {
-			b.WriteString(t.String())
-		}
-		b.WriteByte('\x00')
+	set := map[string]struct{}{}
+	collectVars(q.Where, set)
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
 	}
-	return b.String()
-}
-
-func sortRows(rows []Binding, keys []OrderKey) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			a, aok := rows[i][k.Var]
-			b, bok := rows[j][k.Var]
-			if !aok && !bok {
-				continue
-			}
-			if !aok {
-				return !k.Desc // unbound sorts first ascending
-			}
-			if !bok {
-				return k.Desc
-			}
-			c := compareTerms(a, b)
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
+	sort.Strings(vars)
+	return vars
 }
 
 // compareTerms orders terms: numerics numerically when both are numeric,
@@ -238,359 +152,14 @@ func numericValue(t rdf.Term) (float64, bool) {
 	return 0, false
 }
 
-// ---- group evaluation ----
-
-func evalGroup(g *rdf.Graph, grp *Group, in []Binding) ([]Binding, error) {
-	cur := in
-	var bgp []TriplePattern
-	flushBGP := func() {
-		if len(bgp) > 0 {
-			cur = evalBGP(g, bgp, cur)
-			bgp = nil
-		}
-	}
-	for _, e := range grp.Elems {
-		var err error
-		switch e := e.(type) {
-		case TriplePattern:
-			// Consecutive triple patterns form a basic graph pattern;
-			// they are join-order independent, so they are batched and
-			// reordered by selectivity in evalBGP.
-			bgp = append(bgp, e)
-			continue
-		case FilterElem:
-			flushBGP()
-			cur, err = applyFilter(e.Expr, cur)
-		case OptionalElem:
-			flushBGP()
-			cur, err = applyOptional(g, e.Group, cur)
-		case UnionElem:
-			flushBGP()
-			cur, err = applyUnion(g, e.Alternatives, cur)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(cur) == 0 {
-			return nil, nil
-		}
-	}
-	flushBGP()
-	if len(cur) == 0 {
-		return nil, nil
-	}
-	return cur, nil
-}
-
-// evalBGP evaluates a basic graph pattern with greedy join ordering: at each
-// step the most selective remaining pattern (most constant/already-bound
-// positions) runs next. This avoids the Cartesian blowups a naive
-// left-to-right evaluation hits when a query lists an unconstrained pattern
-// first — the difference between seconds and milliseconds on DASSA-sized
-// lineage graphs.
-func evalBGP(g *rdf.Graph, patterns []TriplePattern, in []Binding) []Binding {
-	bound := map[string]bool{}
-	for _, b := range in {
-		for v := range b {
-			bound[v] = true
-		}
-	}
-	remaining := append([]TriplePattern(nil), patterns...)
-	cur := in
-	for len(remaining) > 0 && len(cur) > 0 {
-		best, bestScore := 0, -1
-		for i, tp := range remaining {
-			s := selectivity(tp, bound)
-			if s > bestScore {
-				best, bestScore = i, s
-			}
-		}
-		tp := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-		cur = evalTriplePattern(g, tp, cur)
-		markBound(tp, bound)
-	}
-	return cur
-}
-
-// selectivity scores a pattern by how constrained it is under the current
-// bound-variable set: constants and bound variables count, with the
-// predicate position weighted highest (predicate-indexed lookups are the
-// cheapest in the store).
-func selectivity(tp TriplePattern, bound map[string]bool) int {
-	score := 0
-	posScore := func(n NodePattern, w int) int {
-		if !n.IsVar() || bound[n.Var] {
-			return w
-		}
-		return 0
-	}
-	score += posScore(tp.S, 2)
-	score += posScore(tp.O, 2)
-	if !tp.P.IsVar() {
-		score += 3
-		// Property paths with closure modifiers are costlier; prefer plain
-		// predicates at equal boundness.
-		for _, st := range tp.P.Steps {
-			if st.Mod != PathOnce {
-				score--
-				break
-			}
-		}
-	} else if bound[tp.P.Var] {
-		score += 3
-	}
-	return score
-}
-
-func markBound(tp TriplePattern, bound map[string]bool) {
-	if tp.S.IsVar() {
-		bound[tp.S.Var] = true
-	}
-	if tp.P.IsVar() {
-		bound[tp.P.Var] = true
-	}
-	if tp.O.IsVar() {
-		bound[tp.O.Var] = true
-	}
-}
-
-func applyFilter(expr Expr, in []Binding) ([]Binding, error) {
-	out := in[:0]
-	for _, b := range in {
-		ok, err := evalBool(expr, b)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, b)
-		}
-	}
-	return out, nil
-}
-
-func applyOptional(g *rdf.Graph, sub *Group, in []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, b := range in {
-		matched, err := evalGroup(g, sub, []Binding{b})
-		if err != nil {
-			return nil, err
-		}
-		if len(matched) == 0 {
-			out = append(out, b)
-		} else {
-			out = append(out, matched...)
-		}
-	}
-	return out, nil
-}
-
-func applyUnion(g *rdf.Graph, alts []*Group, in []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, alt := range alts {
-		matched, err := evalGroup(g, alt, cloneBindings(in))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, matched...)
-	}
-	return out, nil
-}
-
-func cloneBindings(in []Binding) []Binding {
-	out := make([]Binding, len(in))
-	for i, b := range in {
-		out[i] = b.clone()
-	}
-	return out
-}
-
-// evalTriplePattern extends each input binding with all graph matches.
-func evalTriplePattern(g *rdf.Graph, tp TriplePattern, in []Binding) []Binding {
-	var out []Binding
-	for _, b := range in {
-		out = append(out, matchPattern(g, tp, b)...)
-	}
-	return out
-}
-
-func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding) []Binding {
-	// Resolve bound positions.
-	s := resolveNode(tp.S, b)
-	o := resolveNode(tp.O, b)
-
-	if tp.P.IsVar() {
-		return matchVarPredicate(g, tp, s, o, b)
-	}
-	if len(tp.P.Steps) == 1 && tp.P.Steps[0].Mod == PathOnce && !tp.P.Steps[0].Inverse {
-		return matchSimple(g, tp, s, tp.P.Steps[0].IRI, o, b)
-	}
-	return matchPath(g, tp, s, o, b)
-}
-
-// resolveNode returns the concrete term for a pattern position, or nil if it
-// is an unbound variable.
-func resolveNode(n NodePattern, b Binding) *rdf.Term {
-	if n.IsVar() {
-		if t, ok := b[n.Var]; ok {
-			tt := t
-			return &tt
-		}
-		return nil
-	}
-	tt := n.Term
-	return &tt
-}
-
-func matchSimple(g *rdf.Graph, tp TriplePattern, s *rdf.Term, p rdf.Term, o *rdf.Term, b Binding) []Binding {
-	var out []Binding
-	g.ForEachMatch(s, &p, o, func(t rdf.Triple) bool {
-		nb := b.clone()
-		if tp.S.IsVar() {
-			nb[tp.S.Var] = t.S
-		}
-		if tp.O.IsVar() {
-			nb[tp.O.Var] = t.O
-		}
-		out = append(out, nb)
-		return true
-	})
-	return out
-}
-
-func matchVarPredicate(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
-	var pTerm *rdf.Term
-	if t, ok := b[tp.P.Var]; ok {
-		pTerm = &t
-	}
-	var out []Binding
-	g.ForEachMatch(s, pTerm, o, func(t rdf.Triple) bool {
-		nb := b.clone()
-		if tp.S.IsVar() {
-			nb[tp.S.Var] = t.S
-		}
-		nb[tp.P.Var] = t.P
-		if tp.O.IsVar() {
-			nb[tp.O.Var] = t.O
-		}
-		out = append(out, nb)
-		return true
-	})
-	return out
-}
-
-// matchPath evaluates a property path (sequence of steps with modifiers).
-func matchPath(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
-	// Enumerate start nodes.
-	starts := map[rdf.Term]struct{}{}
-	if s != nil {
-		starts[*s] = struct{}{}
-	} else {
-		// All subjects (and objects, for inverse-starting or zero-length
-		// paths) are candidate starts; to stay tractable we enumerate nodes
-		// reachable as subjects of the first step (or objects if inverted).
-		first := tp.P.Steps[0]
-		pred := first.IRI
-		g.ForEachMatch(nil, &pred, nil, func(t rdf.Triple) bool {
-			if first.Inverse {
-				starts[t.O] = struct{}{}
-			} else {
-				starts[t.S] = struct{}{}
-			}
-			return true
-		})
-	}
-
-	var out []Binding
-	for start := range starts {
-		ends := map[rdf.Term]struct{}{start: {}}
-		for _, step := range tp.P.Steps {
-			ends = walkStep(g, step, ends)
-			if len(ends) == 0 {
-				break
-			}
-		}
-		for end := range ends {
-			if o != nil && !o.Equal(end) {
-				continue
-			}
-			nb := b.clone()
-			if tp.S.IsVar() {
-				nb[tp.S.Var] = start
-			}
-			if tp.O.IsVar() {
-				nb[tp.O.Var] = end
-			}
-			out = append(out, nb)
-		}
-	}
-	return out
-}
-
-// walkStep advances a frontier of nodes across one path step.
-func walkStep(g *rdf.Graph, step PathStep, frontier map[rdf.Term]struct{}) map[rdf.Term]struct{} {
-	oneHop := func(nodes map[rdf.Term]struct{}) map[rdf.Term]struct{} {
-		next := map[rdf.Term]struct{}{}
-		pred := step.IRI
-		for n := range nodes {
-			nn := n
-			if step.Inverse {
-				g.ForEachMatch(nil, &pred, &nn, func(t rdf.Triple) bool {
-					next[t.S] = struct{}{}
-					return true
-				})
-			} else {
-				g.ForEachMatch(&nn, &pred, nil, func(t rdf.Triple) bool {
-					next[t.O] = struct{}{}
-					return true
-				})
-			}
-		}
-		return next
-	}
-
-	switch step.Mod {
-	case PathOnce:
-		return oneHop(frontier)
-	case PathZeroOrOne:
-		out := copySet(frontier)
-		for n := range oneHop(frontier) {
-			out[n] = struct{}{}
-		}
-		return out
-	case PathOneOrMore, PathZeroOrMore:
-		out := map[rdf.Term]struct{}{}
-		if step.Mod == PathZeroOrMore {
-			out = copySet(frontier)
-		}
-		cur := frontier
-		for {
-			next := oneHop(cur)
-			fresh := map[rdf.Term]struct{}{}
-			for n := range next {
-				if _, seen := out[n]; !seen {
-					out[n] = struct{}{}
-					fresh[n] = struct{}{}
-				}
-			}
-			if len(fresh) == 0 {
-				return out
-			}
-			cur = fresh
-		}
-	}
-	return nil
-}
-
-func copySet(s map[rdf.Term]struct{}) map[rdf.Term]struct{} {
-	out := make(map[rdf.Term]struct{}, len(s))
-	for k := range s {
-		out[k] = struct{}{}
-	}
-	return out
-}
-
 // ---- FILTER expression evaluation ----
+
+// env resolves variable references during FILTER evaluation. The legacy
+// evaluator passes Binding maps; the ID-space executor passes register rows
+// that hydrate terms on demand.
+type env interface {
+	lookupVar(name string) (rdf.Term, bool)
+}
 
 // value is the evaluated form of an expression: a term or an error state.
 type value struct {
@@ -598,7 +167,7 @@ type value struct {
 	valid bool
 }
 
-func evalBool(e Expr, b Binding) (bool, error) {
+func evalBool(e Expr, b env) (bool, error) {
 	v, err := evalExpr(e, b)
 	if err != nil {
 		return false, err
@@ -625,15 +194,15 @@ func effectiveBool(t rdf.Term) bool {
 	}
 }
 
-func evalExpr(e Expr, b Binding) (value, error) {
+func evalExpr(e Expr, b env) (value, error) {
 	switch e := e.(type) {
 	case VarExpr:
-		t, ok := b[e.Name]
+		t, ok := b.lookupVar(e.Name)
 		return value{term: t, valid: ok}, nil
 	case TermExpr:
 		return value{term: e.Term, valid: true}, nil
 	case BoundExpr:
-		_, ok := b[e.Name]
+		_, ok := b.lookupVar(e.Name)
 		return value{term: rdf.Boolean(ok), valid: true}, nil
 	case StrExpr:
 		v, err := evalExpr(e.X, b)
@@ -673,7 +242,7 @@ func evalExpr(e Expr, b Binding) (value, error) {
 	return value{}, &Error{Msg: "unknown expression node"}
 }
 
-func evalBinary(e BinaryExpr, b Binding) (value, error) {
+func evalBinary(e BinaryExpr, b env) (value, error) {
 	switch e.Op {
 	case "&&", "||":
 		lv, err := evalBool(e.L, b)

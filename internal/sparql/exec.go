@@ -1,0 +1,520 @@
+package sparql
+
+import (
+	"sort"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// The executor runs a compiled Plan entirely in dictionary-ID space: a
+// solution row is a fixed-width []rdf.ID register file indexed by the
+// plan's var→slot table (rdf.NoID = unbound), graph probes go through
+// ForEachMatchIDs, and DISTINCT/ORDER BY/COUNT compare raw IDs. Terms are
+// rehydrated — through a per-query cache — only for FILTER expressions,
+// ORDER BY comparisons between distinct IDs, and final Result
+// materialization. Fixed-width ID keys also close the separator-collision
+// hazard of the legacy evaluator's string rowKey.
+//
+// Rows are immutable once appended to a result set: every extension copies.
+// That lets OPTIONAL/UNION share row storage without the deep clones the
+// map-based evaluator needed.
+
+// idRow is one solution: a register per query variable.
+type idRow []rdf.ID
+
+type executor struct {
+	g     *rdf.Graph
+	plan  *Plan
+	width int
+	cache map[rdf.ID]rdf.Term
+	// strs caches Term.String() per ID for ORDER BY comparisons — String
+	// re-renders on every call, which would otherwise dominate allocations
+	// when sorting large results.
+	strs map[rdf.ID]string
+	// arena block-allocates rows: rows are append-only and live until the
+	// Result materializes, so carving them out of shared slabs turns one
+	// heap allocation per row into one per arenaRows rows.
+	arena []rdf.ID
+}
+
+// arenaRows is the slab size of the row arena, in rows.
+const arenaRows = 512
+
+// newRow carves a copy of src out of the arena.
+func (e *executor) newRow(src idRow) idRow {
+	w := e.width
+	if w == 0 {
+		return nil
+	}
+	if len(e.arena) < w {
+		e.arena = make([]rdf.ID, arenaRows*w)
+	}
+	r := e.arena[:w:w]
+	e.arena = e.arena[w:]
+	copy(r, src)
+	return r
+}
+
+// runPlan executes a compiled plan and materializes the Result.
+func runPlan(g *rdf.Graph, p *Plan) (*Result, error) {
+	e := &executor{g: g, plan: p, width: len(p.vars), cache: make(map[rdf.ID]rdf.Term)}
+	seed := make(idRow, e.width)
+	for i := range seed {
+		seed[i] = rdf.NoID
+	}
+	rows, err := e.execGroup(p.root, []idRow{seed})
+	if err != nil {
+		return nil, err
+	}
+	q := p.q
+
+	// COUNT projection collapses the solution sequence to a single row.
+	if q.CountAs != "" {
+		n := 0
+		if q.CountAll {
+			n = len(rows)
+		} else if slot, ok := p.slots[q.Count]; ok {
+			if q.Distinct {
+				seen := make(map[rdf.ID]struct{})
+				for _, r := range rows {
+					if r[slot] != rdf.NoID {
+						seen[r[slot]] = struct{}{}
+					}
+				}
+				n = len(seen)
+			} else {
+				for _, r := range rows {
+					if r[slot] != rdf.NoID {
+						n++
+					}
+				}
+			}
+		}
+		return &Result{
+			Vars: []string{q.CountAs},
+			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
+		}, nil
+	}
+
+	if q.Distinct {
+		rows = e.dedupe(rows)
+	}
+	if len(q.OrderBy) > 0 {
+		e.sortRows(rows, q.OrderBy)
+	} else {
+		// Deterministic output even without ORDER BY: sort by projected
+		// values (same contract as the legacy evaluator).
+		e.sortRows(rows, orderKeysFor(p.project))
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+
+	res := &Result{Vars: p.project, Rows: make([]Binding, 0, len(rows))}
+	for _, r := range rows {
+		row := make(Binding, len(p.project))
+		for i, v := range p.project {
+			if s := p.projSlots[i]; s >= 0 && r[s] != rdf.NoID {
+				row[v] = e.term(r[s])
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// term rehydrates an ID through the per-query cache.
+func (e *executor) term(id rdf.ID) rdf.Term {
+	if t, ok := e.cache[id]; ok {
+		return t
+	}
+	t := e.g.TermOf(id)
+	e.cache[id] = t
+	return t
+}
+
+// ---- group execution ----
+
+func (e *executor) execGroup(grp *planGroup, in []idRow) ([]idRow, error) {
+	cur := in
+	for _, st := range grp.steps {
+		var err error
+		switch st := st.(type) {
+		case *bgpStep:
+			for _, cp := range st.patterns {
+				if len(cur) == 0 {
+					break
+				}
+				cur = e.extend(cp, cur)
+			}
+		case *filterStep:
+			cur, err = e.applyFilter(st.expr, cur)
+		case *optionalStep:
+			cur, err = e.applyOptional(st.group, cur)
+		case *unionStep:
+			cur, err = e.applyUnion(st.alts, cur)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+// resolveRef resolves a compiled position against a row: the constant's ID,
+// the register value for a bound variable, or the NoID wildcard for an
+// unbound one. dead reports a constant that is not interned in the graph
+// (the pattern can never match).
+func resolveRef(p posRef, r idRow) (id rdf.ID, dead bool) {
+	if p.isVar() {
+		return r[p.slot], false
+	}
+	if p.id == rdf.NoID {
+		return 0, true
+	}
+	return p.id, false
+}
+
+// trySet writes id into the row's register for a variable position,
+// reporting false on a conflict with an already-set value (the same
+// variable matched two different terms within one pattern).
+func trySet(r idRow, slot int, id rdf.ID) bool {
+	if slot < 0 {
+		return true
+	}
+	if cur := r[slot]; cur != rdf.NoID {
+		return cur == id
+	}
+	r[slot] = id
+	return true
+}
+
+// extend joins one compiled pattern against every input row.
+func (e *executor) extend(cp compiledPattern, in []idRow) []idRow {
+	var out []idRow
+	for _, r := range in {
+		s, dead := resolveRef(cp.s, r)
+		if dead {
+			continue
+		}
+		o, dead := resolveRef(cp.o, r)
+		if dead {
+			continue
+		}
+		if cp.p.isPath() {
+			out = e.extendPath(cp, r, s, o, out)
+			continue
+		}
+		var p rdf.ID
+		if cp.p.isVar() {
+			p = r[cp.p.slot] // NoID when unbound: wildcard
+		} else {
+			if cp.p.id == rdf.NoID {
+				continue
+			}
+			p = cp.p.id
+		}
+		e.g.ForEachMatchIDs(s, p, o, func(si, pi, oi rdf.ID) bool {
+			nr := e.newRow(r)
+			if trySet(nr, cp.s.slot, si) && trySet(nr, cp.p.slot, pi) && trySet(nr, cp.o.slot, oi) {
+				out = append(out, nr)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// extendPath evaluates a property-path pattern for one row, in ID space.
+func (e *executor) extendPath(cp compiledPattern, r idRow, s, o rdf.ID, out []idRow) []idRow {
+	starts := map[rdf.ID]struct{}{}
+	if s != rdf.NoID {
+		starts[s] = struct{}{}
+	} else {
+		// Candidate starts: subjects of the first step (objects if the
+		// first step is inverted) — same enumeration as the legacy
+		// evaluator, which keeps unanchored closures tractable.
+		first := cp.p.steps[0]
+		if firstID := cp.p.stepIDs[0]; firstID != rdf.NoID {
+			e.g.ForEachMatchIDs(rdf.NoID, firstID, rdf.NoID, func(si, _, oi rdf.ID) bool {
+				if first.Inverse {
+					starts[oi] = struct{}{}
+				} else {
+					starts[si] = struct{}{}
+				}
+				return true
+			})
+		}
+	}
+	for start := range starts {
+		ends := map[rdf.ID]struct{}{start: {}}
+		for i, step := range cp.p.steps {
+			ends = e.walkStep(step, cp.p.stepIDs[i], ends)
+			if len(ends) == 0 {
+				break
+			}
+		}
+		for end := range ends {
+			if o != rdf.NoID && o != end {
+				continue
+			}
+			nr := e.newRow(r)
+			if trySet(nr, cp.s.slot, start) && trySet(nr, cp.o.slot, end) {
+				out = append(out, nr)
+			}
+		}
+	}
+	return out
+}
+
+// walkStep advances a frontier of node IDs across one path step. pid is the
+// step predicate's dictionary ID (rdf.NoID when the predicate is absent
+// from the graph: a hop matches nothing, zero-length passes survive).
+func (e *executor) walkStep(step PathStep, pid rdf.ID, frontier map[rdf.ID]struct{}) map[rdf.ID]struct{} {
+	oneHop := func(nodes map[rdf.ID]struct{}) map[rdf.ID]struct{} {
+		next := map[rdf.ID]struct{}{}
+		if pid == rdf.NoID {
+			return next
+		}
+		for n := range nodes {
+			if step.Inverse {
+				e.g.ForEachMatchIDs(rdf.NoID, pid, n, func(si, _, _ rdf.ID) bool {
+					next[si] = struct{}{}
+					return true
+				})
+			} else {
+				e.g.ForEachMatchIDs(n, pid, rdf.NoID, func(_, _, oi rdf.ID) bool {
+					next[oi] = struct{}{}
+					return true
+				})
+			}
+		}
+		return next
+	}
+
+	switch step.Mod {
+	case PathOnce:
+		return oneHop(frontier)
+	case PathZeroOrOne:
+		out := copyIDSet(frontier)
+		for n := range oneHop(frontier) {
+			out[n] = struct{}{}
+		}
+		return out
+	case PathOneOrMore, PathZeroOrMore:
+		out := map[rdf.ID]struct{}{}
+		if step.Mod == PathZeroOrMore {
+			out = copyIDSet(frontier)
+		}
+		cur := frontier
+		for {
+			next := oneHop(cur)
+			fresh := map[rdf.ID]struct{}{}
+			for n := range next {
+				if _, seen := out[n]; !seen {
+					out[n] = struct{}{}
+					fresh[n] = struct{}{}
+				}
+			}
+			if len(fresh) == 0 {
+				return out
+			}
+			cur = fresh
+		}
+	}
+	return nil
+}
+
+func copyIDSet(s map[rdf.ID]struct{}) map[rdf.ID]struct{} {
+	out := make(map[rdf.ID]struct{}, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+// ---- FILTER / OPTIONAL / UNION ----
+
+// rowEnv adapts a register row to the FILTER env, hydrating terms lazily.
+type rowEnv struct {
+	e *executor
+	r idRow
+}
+
+func (re rowEnv) lookupVar(name string) (rdf.Term, bool) {
+	slot, ok := re.e.plan.slots[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	id := re.r[slot]
+	if id == rdf.NoID {
+		return rdf.Term{}, false
+	}
+	return re.e.term(id), true
+}
+
+func (e *executor) applyFilter(expr Expr, in []idRow) ([]idRow, error) {
+	out := in[:0]
+	for _, r := range in {
+		ok, err := evalBool(expr, rowEnv{e: e, r: r})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (e *executor) applyOptional(sub *planGroup, in []idRow) ([]idRow, error) {
+	var out []idRow
+	for _, r := range in {
+		matched, err := e.execGroup(sub, []idRow{r})
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) == 0 {
+			out = append(out, r)
+		} else {
+			out = append(out, matched...)
+		}
+	}
+	return out, nil
+}
+
+func (e *executor) applyUnion(alts []*planGroup, in []idRow) ([]idRow, error) {
+	var out []idRow
+	for _, alt := range alts {
+		// Rows are immutable, but a FILTER inside an alternative compacts
+		// its input slice in place — give each alternative its own slice.
+		cp := append([]idRow(nil), in...)
+		matched, err := e.execGroup(alt, cp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matched...)
+	}
+	return out, nil
+}
+
+// ---- DISTINCT / ORDER BY in ID space ----
+
+// dedupe removes rows whose projected registers are identical. The key is
+// the fixed-width little-endian byte image of the projected IDs — collision
+// free by construction, unlike the legacy separator-joined string key.
+func (e *executor) dedupe(rows []idRow) []idRow {
+	seen := make(map[string]struct{}, len(rows))
+	buf := make([]byte, 0, 4*len(e.plan.projSlots))
+	out := rows[:0]
+	for _, r := range rows {
+		buf = buf[:0]
+		for _, s := range e.plan.projSlots {
+			id := rdf.NoID
+			if s >= 0 {
+				id = r[s]
+			}
+			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		k := string(buf)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// compareIDs orders two distinct term IDs with compareTerms semantics,
+// memoizing the rendered string forms.
+func (e *executor) compareIDs(a, b rdf.ID) int {
+	ta, tb := e.term(a), e.term(b)
+	if av, aok := numericValue(ta); aok {
+		if bv, bok := numericValue(tb); bok {
+			switch {
+			case av < bv:
+				return -1
+			case av > bv:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	as, bs := e.termStr(a, ta), e.termStr(b, tb)
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (e *executor) termStr(id rdf.ID, t rdf.Term) string {
+	if s, ok := e.strs[id]; ok {
+		return s
+	}
+	if e.strs == nil {
+		e.strs = make(map[rdf.ID]string)
+	}
+	s := t.String()
+	e.strs[id] = s
+	return s
+}
+
+// sortRows orders rows by the keys, comparing IDs first (equal IDs are the
+// same term) and rehydrating terms only when IDs differ.
+func (e *executor) sortRows(rows []idRow, keys []OrderKey) {
+	slots := make([]int, len(keys))
+	for i, k := range keys {
+		if s, ok := e.plan.slots[k.Var]; ok {
+			slots[i] = s
+		} else {
+			slots[i] = -1
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for ki, k := range keys {
+			s := slots[ki]
+			a, b := rdf.NoID, rdf.NoID
+			if s >= 0 {
+				a, b = rows[i][s], rows[j][s]
+			}
+			aok, bok := a != rdf.NoID, b != rdf.NoID
+			if !aok && !bok {
+				continue
+			}
+			if !aok {
+				return !k.Desc // unbound sorts first ascending
+			}
+			if !bok {
+				return k.Desc
+			}
+			if a == b {
+				continue
+			}
+			c := e.compareIDs(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}

@@ -1,0 +1,517 @@
+package sparql
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// This file preserves the term-space evaluator that predates the ID-space
+// planner/executor split. It materializes a map[string]rdf.Term binding per
+// candidate row and probes the graph through ForEachMatch, rehydrating every
+// matched triple into full Terms. It is kept verbatim as:
+//
+//   - the baseline of the abl-query ablation (ID-space vs term-space), and
+//   - the oracle of the planner parity tests: EvalLegacyNaive evaluates
+//     basic graph patterns in textual left-to-right order with no
+//     reordering, so any planner bug that changes the solution multiset
+//     shows up against it.
+
+// EvalLegacy evaluates a parsed query with the term-space evaluator, using
+// the static greedy selectivity heuristic for BGP join order.
+func EvalLegacy(g *rdf.Graph, q *Query) (*Result, error) {
+	return evalLegacy(g, q, true)
+}
+
+// EvalLegacyNaive evaluates a parsed query with the term-space evaluator in
+// naive textual order: basic graph patterns run left-to-right exactly as
+// written. Join order is a pure optimization, so the solution multiset must
+// equal Eval's for every query.
+func EvalLegacyNaive(g *rdf.Graph, q *Query) (*Result, error) {
+	return evalLegacy(g, q, false)
+}
+
+func evalLegacy(g *rdf.Graph, q *Query, reorder bool) (*Result, error) {
+	bindings, err := evalGroupTerms(g, q.Where, []Binding{{}}, reorder)
+	if err != nil {
+		return nil, err
+	}
+
+	// COUNT projection collapses the solution sequence to a single row.
+	if q.CountAs != "" {
+		n := 0
+		if q.CountAll {
+			n = len(bindings)
+		} else {
+			seen := make(map[rdf.Term]struct{})
+			for _, b := range bindings {
+				if t, ok := b[q.Count]; ok {
+					if q.Distinct {
+						seen[t] = struct{}{}
+					} else {
+						n++
+					}
+				}
+			}
+			if q.Distinct {
+				n = len(seen)
+			}
+		}
+		return &Result{
+			Vars: []string{q.CountAs},
+			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
+		}, nil
+	}
+
+	vars := projectedVars(q)
+
+	rows := make([]Binding, 0, len(bindings))
+	for _, b := range bindings {
+		row := make(Binding, len(vars))
+		for _, v := range vars {
+			if t, ok := b[v]; ok {
+				row[v] = t
+			}
+		}
+		rows = append(rows, row)
+	}
+
+	if q.Distinct {
+		rows = dedupeRows(vars, rows)
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(rows, q.OrderBy)
+	} else {
+		// Deterministic output even without ORDER BY: sort by projected
+		// values. SPARQL leaves this unspecified; determinism helps tests
+		// and reproducible experiment output.
+		sortRows(rows, orderKeysFor(vars))
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: rows}, nil
+}
+
+func dedupeRows(vars []string, rows []Binding) []Binding {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := rowKey(vars, r)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+// rowKey builds a dedupe key by concatenating term strings with a \x00
+// separator. A literal containing the separator can collide with an
+// adjacent column; the ID-space executor replaced this with fixed-width
+// ID keys, which cannot collide. Kept for the legacy baseline only.
+func rowKey(vars []string, r Binding) string {
+	var b strings.Builder
+	for _, v := range vars {
+		if t, ok := r[v]; ok {
+			b.WriteString(t.String())
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+func sortRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, aok := rows[i][k.Var]
+			b, bok := rows[j][k.Var]
+			if !aok && !bok {
+				continue
+			}
+			if !aok {
+				return !k.Desc // unbound sorts first ascending
+			}
+			if !bok {
+				return k.Desc
+			}
+			c := compareTerms(a, b)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// ---- group evaluation ----
+
+func evalGroupTerms(g *rdf.Graph, grp *Group, in []Binding, reorder bool) ([]Binding, error) {
+	cur := in
+	var bgp []TriplePattern
+	flushBGP := func() {
+		if len(bgp) > 0 {
+			cur = evalBGPTerms(g, bgp, cur, reorder)
+			bgp = nil
+		}
+	}
+	for _, e := range grp.Elems {
+		var err error
+		switch e := e.(type) {
+		case TriplePattern:
+			// Consecutive triple patterns form a basic graph pattern;
+			// they are join-order independent, so they are batched and
+			// (when reorder is set) reordered by selectivity.
+			bgp = append(bgp, e)
+			continue
+		case FilterElem:
+			flushBGP()
+			cur, err = applyFilterTerms(e.Expr, cur)
+		case OptionalElem:
+			flushBGP()
+			cur, err = applyOptionalTerms(g, e.Group, cur, reorder)
+		case UnionElem:
+			flushBGP()
+			cur, err = applyUnionTerms(g, e.Alternatives, cur, reorder)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	flushBGP()
+	if len(cur) == 0 {
+		return nil, nil
+	}
+	return cur, nil
+}
+
+// evalBGPTerms evaluates a basic graph pattern. With reorder set it uses
+// the static greedy heuristic (most constant/already-bound positions first);
+// otherwise patterns run in textual order.
+func evalBGPTerms(g *rdf.Graph, patterns []TriplePattern, in []Binding, reorder bool) []Binding {
+	if !reorder {
+		cur := in
+		for _, tp := range patterns {
+			if len(cur) == 0 {
+				return cur
+			}
+			cur = evalTriplePattern(g, tp, cur)
+		}
+		return cur
+	}
+	bound := map[string]bool{}
+	for _, b := range in {
+		for v := range b {
+			bound[v] = true
+		}
+	}
+	remaining := append([]TriplePattern(nil), patterns...)
+	cur := in
+	for len(remaining) > 0 && len(cur) > 0 {
+		best, bestScore := 0, -1
+		for i, tp := range remaining {
+			s := staticSelectivity(tp, bound)
+			if s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		tp := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		cur = evalTriplePattern(g, tp, cur)
+		markBound(tp, bound)
+	}
+	return cur
+}
+
+// staticSelectivity scores a pattern by how constrained it is under the
+// current bound-variable set: constants and bound variables count, with the
+// predicate position weighted highest. This is the pre-planner heuristic;
+// the ID-space planner replaced it with index-cardinality estimates.
+func staticSelectivity(tp TriplePattern, bound map[string]bool) int {
+	score := 0
+	posScore := func(n NodePattern, w int) int {
+		if !n.IsVar() || bound[n.Var] {
+			return w
+		}
+		return 0
+	}
+	score += posScore(tp.S, 2)
+	score += posScore(tp.O, 2)
+	if !tp.P.IsVar() {
+		score += 3
+		// Property paths with closure modifiers are costlier; prefer plain
+		// predicates at equal boundness.
+		for _, st := range tp.P.Steps {
+			if st.Mod != PathOnce {
+				score--
+				break
+			}
+		}
+	} else if bound[tp.P.Var] {
+		score += 3
+	}
+	return score
+}
+
+func markBound(tp TriplePattern, bound map[string]bool) {
+	if tp.S.IsVar() {
+		bound[tp.S.Var] = true
+	}
+	if tp.P.IsVar() {
+		bound[tp.P.Var] = true
+	}
+	if tp.O.IsVar() {
+		bound[tp.O.Var] = true
+	}
+}
+
+func applyFilterTerms(expr Expr, in []Binding) ([]Binding, error) {
+	out := in[:0]
+	for _, b := range in {
+		ok, err := evalBool(expr, b)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+func applyOptionalTerms(g *rdf.Graph, sub *Group, in []Binding, reorder bool) ([]Binding, error) {
+	var out []Binding
+	for _, b := range in {
+		matched, err := evalGroupTerms(g, sub, []Binding{b}, reorder)
+		if err != nil {
+			return nil, err
+		}
+		if len(matched) == 0 {
+			out = append(out, b)
+		} else {
+			out = append(out, matched...)
+		}
+	}
+	return out, nil
+}
+
+func applyUnionTerms(g *rdf.Graph, alts []*Group, in []Binding, reorder bool) ([]Binding, error) {
+	var out []Binding
+	for _, alt := range alts {
+		matched, err := evalGroupTerms(g, alt, cloneBindings(in), reorder)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, matched...)
+	}
+	return out, nil
+}
+
+func cloneBindings(in []Binding) []Binding {
+	out := make([]Binding, len(in))
+	for i, b := range in {
+		out[i] = b.clone()
+	}
+	return out
+}
+
+// evalTriplePattern extends each input binding with all graph matches.
+func evalTriplePattern(g *rdf.Graph, tp TriplePattern, in []Binding) []Binding {
+	var out []Binding
+	for _, b := range in {
+		out = append(out, matchPattern(g, tp, b)...)
+	}
+	return out
+}
+
+func matchPattern(g *rdf.Graph, tp TriplePattern, b Binding) []Binding {
+	// Resolve bound positions.
+	s := resolveNode(tp.S, b)
+	o := resolveNode(tp.O, b)
+
+	if tp.P.IsVar() {
+		return matchVarPredicate(g, tp, s, o, b)
+	}
+	if len(tp.P.Steps) == 1 && tp.P.Steps[0].Mod == PathOnce && !tp.P.Steps[0].Inverse {
+		return matchSimple(g, tp, s, tp.P.Steps[0].IRI, o, b)
+	}
+	return matchPath(g, tp, s, o, b)
+}
+
+// resolveNode returns the concrete term for a pattern position, or nil if it
+// is an unbound variable.
+func resolveNode(n NodePattern, b Binding) *rdf.Term {
+	if n.IsVar() {
+		if t, ok := b[n.Var]; ok {
+			tt := t
+			return &tt
+		}
+		return nil
+	}
+	tt := n.Term
+	return &tt
+}
+
+func matchSimple(g *rdf.Graph, tp TriplePattern, s *rdf.Term, p rdf.Term, o *rdf.Term, b Binding) []Binding {
+	var out []Binding
+	g.ForEachMatch(s, &p, o, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if tp.S.IsVar() {
+			nb[tp.S.Var] = t.S
+		}
+		if tp.O.IsVar() {
+			nb[tp.O.Var] = t.O
+		}
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+func matchVarPredicate(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
+	var pTerm *rdf.Term
+	if t, ok := b[tp.P.Var]; ok {
+		pTerm = &t
+	}
+	var out []Binding
+	g.ForEachMatch(s, pTerm, o, func(t rdf.Triple) bool {
+		nb := b.clone()
+		if tp.S.IsVar() {
+			nb[tp.S.Var] = t.S
+		}
+		nb[tp.P.Var] = t.P
+		if tp.O.IsVar() {
+			nb[tp.O.Var] = t.O
+		}
+		out = append(out, nb)
+		return true
+	})
+	return out
+}
+
+// matchPath evaluates a property path (sequence of steps with modifiers).
+func matchPath(g *rdf.Graph, tp TriplePattern, s, o *rdf.Term, b Binding) []Binding {
+	// Enumerate start nodes.
+	starts := map[rdf.Term]struct{}{}
+	if s != nil {
+		starts[*s] = struct{}{}
+	} else {
+		// All subjects (and objects, for inverse-starting or zero-length
+		// paths) are candidate starts; to stay tractable we enumerate nodes
+		// reachable as subjects of the first step (or objects if inverted).
+		first := tp.P.Steps[0]
+		pred := first.IRI
+		g.ForEachMatch(nil, &pred, nil, func(t rdf.Triple) bool {
+			if first.Inverse {
+				starts[t.O] = struct{}{}
+			} else {
+				starts[t.S] = struct{}{}
+			}
+			return true
+		})
+	}
+
+	var out []Binding
+	for start := range starts {
+		ends := map[rdf.Term]struct{}{start: {}}
+		for _, step := range tp.P.Steps {
+			ends = walkStep(g, step, ends)
+			if len(ends) == 0 {
+				break
+			}
+		}
+		for end := range ends {
+			if o != nil && !o.Equal(end) {
+				continue
+			}
+			nb := b.clone()
+			if tp.S.IsVar() {
+				nb[tp.S.Var] = start
+			}
+			if tp.O.IsVar() {
+				nb[tp.O.Var] = end
+			}
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// walkStep advances a frontier of nodes across one path step.
+func walkStep(g *rdf.Graph, step PathStep, frontier map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+	oneHop := func(nodes map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+		next := map[rdf.Term]struct{}{}
+		pred := step.IRI
+		for n := range nodes {
+			nn := n
+			if step.Inverse {
+				g.ForEachMatch(nil, &pred, &nn, func(t rdf.Triple) bool {
+					next[t.S] = struct{}{}
+					return true
+				})
+			} else {
+				g.ForEachMatch(&nn, &pred, nil, func(t rdf.Triple) bool {
+					next[t.O] = struct{}{}
+					return true
+				})
+			}
+		}
+		return next
+	}
+
+	switch step.Mod {
+	case PathOnce:
+		return oneHop(frontier)
+	case PathZeroOrOne:
+		out := copySet(frontier)
+		for n := range oneHop(frontier) {
+			out[n] = struct{}{}
+		}
+		return out
+	case PathOneOrMore, PathZeroOrMore:
+		out := map[rdf.Term]struct{}{}
+		if step.Mod == PathZeroOrMore {
+			out = copySet(frontier)
+		}
+		cur := frontier
+		for {
+			next := oneHop(cur)
+			fresh := map[rdf.Term]struct{}{}
+			for n := range next {
+				if _, seen := out[n]; !seen {
+					out[n] = struct{}{}
+					fresh[n] = struct{}{}
+				}
+			}
+			if len(fresh) == 0 {
+				return out
+			}
+			cur = fresh
+		}
+	}
+	return nil
+}
+
+func copySet(s map[rdf.Term]struct{}) map[rdf.Term]struct{} {
+	out := make(map[rdf.Term]struct{}, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}

@@ -1,0 +1,524 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// The planner compiles a parsed Query against a concrete graph into a Plan:
+// every variable gets a fixed register slot, every pattern position is
+// resolved to a dictionary ID (or a slot), and each basic graph pattern is
+// join-ordered by index-cardinality estimates read from the graph's
+// maintained statistics (Graph.CountMatchIDs / PredStats / IndexStats).
+// This replaces the static boundness heuristic the term-space evaluator
+// used: "how many triples will this probe actually touch" beats "how many
+// positions are constant" whenever predicates differ wildly in frequency,
+// which provenance graphs — few relation predicates carrying most triples,
+// many annotation predicates carrying few — guarantee.
+//
+// A Plan is tied to the graph it was compiled against (the estimates and
+// term IDs are graph-specific) and is valid as long as no triples are
+// removed; concurrent Adds only make estimates stale, never wrong.
+
+// Plan is a compiled, EXPLAIN-able query plan.
+type Plan struct {
+	q *Query
+	// vars lists every variable of the query in slot order; slots maps a
+	// variable name to its register index in the executor's rows.
+	vars  []string
+	slots map[string]int
+	// project lists the output variable names in order.
+	project []string
+	// projSlots are the register slots of project (-1 when the variable
+	// never occurs in the WHERE clause and is therefore always unbound).
+	projSlots []int
+	// root is the compiled WHERE group.
+	root *planGroup
+	// graphLen records the graph size at compile time (shown by EXPLAIN).
+	graphLen int
+}
+
+// planGroup is a compiled group graph pattern.
+type planGroup struct {
+	steps []planStep
+}
+
+// planStep is one executable step of a group.
+type planStep interface{ planStep() }
+
+// bgpStep is a basic graph pattern whose patterns run in planned order.
+type bgpStep struct {
+	patterns []compiledPattern
+}
+
+// filterStep applies a FILTER constraint.
+type filterStep struct {
+	expr Expr
+}
+
+// optionalStep is a compiled OPTIONAL group.
+type optionalStep struct {
+	group *planGroup
+}
+
+// unionStep is a compiled UNION of alternatives.
+type unionStep struct {
+	alts []*planGroup
+}
+
+func (*bgpStep) planStep()      {}
+func (*filterStep) planStep()   {}
+func (*optionalStep) planStep() {}
+func (*unionStep) planStep()    {}
+
+// posRef is a compiled subject/object position: a register slot for a
+// variable, or a constant resolved to its dictionary ID (rdf.NoID when the
+// constant is not interned in the graph — such a pattern matches nothing).
+type posRef struct {
+	slot int // >= 0: variable slot; -1: constant
+	id   rdf.ID
+}
+
+func (p posRef) isVar() bool { return p.slot >= 0 }
+
+// predRef is a compiled predicate position.
+type predRef struct {
+	slot   int  // >= 0: variable slot; -1 otherwise
+	simple bool // single forward PathOnce step (plain predicate)
+	id     rdf.ID
+	// steps/stepIDs hold the property path when not simple; stepIDs[i] is
+	// the dictionary ID of steps[i].IRI (rdf.NoID when absent).
+	steps   []PathStep
+	stepIDs []rdf.ID
+}
+
+func (p predRef) isVar() bool  { return p.slot >= 0 }
+func (p predRef) isPath() bool { return p.slot < 0 && !p.simple }
+
+// compiledPattern is one triple pattern with its plan annotations.
+type compiledPattern struct {
+	src  TriplePattern
+	s, o posRef
+	p    predRef
+	// est is the planner's cardinality estimate at the position the
+	// pattern was placed; approx marks estimates scaled by bound-variable
+	// divisors (exact index counts otherwise). idx names the index the
+	// executor will probe.
+	est    int
+	approx bool
+	idx    string
+}
+
+// Compile builds the plan for q against g.
+func Compile(g *rdf.Graph, q *Query) *Plan {
+	set := map[string]struct{}{}
+	collectVars(q.Where, set)
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	slots := make(map[string]int, len(vars))
+	for i, v := range vars {
+		slots[v] = i
+	}
+
+	p := &Plan{
+		q:        q,
+		vars:     vars,
+		slots:    slots,
+		project:  projectedVars(q),
+		graphLen: g.Len(),
+	}
+	p.projSlots = make([]int, len(p.project))
+	for i, v := range p.project {
+		if s, ok := slots[v]; ok {
+			p.projSlots[i] = s
+		} else {
+			p.projSlots[i] = -1
+		}
+	}
+	bound := map[int]bool{}
+	p.root = compileGroup(g, q.Where, slots, bound)
+	return p
+}
+
+func compileGroup(g *rdf.Graph, grp *Group, slots map[string]int, bound map[int]bool) *planGroup {
+	out := &planGroup{}
+	var bgp []compiledPattern
+	flush := func() {
+		if len(bgp) > 0 {
+			out.steps = append(out.steps, &bgpStep{patterns: orderBGP(g, bgp, bound)})
+			bgp = nil
+		}
+	}
+	for _, e := range grp.Elems {
+		switch e := e.(type) {
+		case TriplePattern:
+			bgp = append(bgp, compilePattern(g, e, slots))
+		case FilterElem:
+			flush()
+			out.steps = append(out.steps, &filterStep{expr: e.Expr})
+		case OptionalElem:
+			flush()
+			// Optional vars stay out of the outer bound set: at runtime
+			// they may be unbound, so later estimates cannot rely on them.
+			sub := compileGroup(g, e.Group, slots, copyBoundSet(bound))
+			out.steps = append(out.steps, &optionalStep{group: sub})
+		case UnionElem:
+			flush()
+			us := &unionStep{}
+			for _, alt := range e.Alternatives {
+				us.alts = append(us.alts, compileGroup(g, alt, slots, copyBoundSet(bound)))
+			}
+			out.steps = append(out.steps, us)
+		}
+	}
+	flush()
+	return out
+}
+
+func copyBoundSet(b map[int]bool) map[int]bool {
+	nb := make(map[int]bool, len(b))
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+func compilePattern(g *rdf.Graph, tp TriplePattern, slots map[string]int) compiledPattern {
+	cp := compiledPattern{src: tp}
+	cp.s = compilePos(g, tp.S, slots)
+	cp.o = compilePos(g, tp.O, slots)
+	switch {
+	case tp.P.IsVar():
+		cp.p = predRef{slot: slots[tp.P.Var]}
+	case len(tp.P.Steps) == 1 && tp.P.Steps[0].Mod == PathOnce && !tp.P.Steps[0].Inverse:
+		id, ok := g.TermID(tp.P.Steps[0].IRI)
+		if !ok {
+			id = rdf.NoID
+		}
+		cp.p = predRef{slot: -1, simple: true, id: id}
+	default:
+		pr := predRef{slot: -1, steps: tp.P.Steps}
+		pr.stepIDs = make([]rdf.ID, len(tp.P.Steps))
+		for i, st := range tp.P.Steps {
+			id, ok := g.TermID(st.IRI)
+			if !ok {
+				id = rdf.NoID
+			}
+			pr.stepIDs[i] = id
+		}
+		cp.p = pr
+	}
+	return cp
+}
+
+func compilePos(g *rdf.Graph, n NodePattern, slots map[string]int) posRef {
+	if n.IsVar() {
+		return posRef{slot: slots[n.Var]}
+	}
+	id, ok := g.TermID(n.Term)
+	if !ok {
+		id = rdf.NoID
+	}
+	return posRef{slot: -1, id: id}
+}
+
+// orderBGP greedily orders a basic graph pattern by cardinality estimate:
+// at each step the remaining pattern with the smallest estimated result
+// under the current bound-variable set runs next (ties resolve to textual
+// order). Estimates are stamped onto the returned patterns for EXPLAIN.
+func orderBGP(g *rdf.Graph, patterns []compiledPattern, bound map[int]bool) []compiledPattern {
+	remaining := append([]compiledPattern(nil), patterns...)
+	out := make([]compiledPattern, 0, len(patterns))
+	for len(remaining) > 0 {
+		best := 0
+		bestEst, bestApprox, bestIdx := estimatePattern(g, remaining[0], bound)
+		for i := 1; i < len(remaining); i++ {
+			est, approx, idx := estimatePattern(g, remaining[i], bound)
+			if est < bestEst {
+				best, bestEst, bestApprox, bestIdx = i, est, approx, idx
+			}
+		}
+		cp := remaining[best]
+		cp.est, cp.approx, cp.idx = bestEst, bestApprox, bestIdx
+		out = append(out, cp)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		markSlotsBound(cp, bound)
+	}
+	return out
+}
+
+func markSlotsBound(cp compiledPattern, bound map[int]bool) {
+	if cp.s.isVar() {
+		bound[cp.s.slot] = true
+	}
+	if cp.p.isVar() {
+		bound[cp.p.slot] = true
+	}
+	if cp.o.isVar() {
+		bound[cp.o.slot] = true
+	}
+}
+
+// estimatePattern returns the planner's cardinality estimate for cp under
+// the bound-variable set, whether the estimate was scaled by bound-variable
+// divisors (approx), and the index the executor will probe.
+//
+// The base is an exact index count with constants resolved (CountMatchIDs);
+// each position held by an already-bound variable then divides the base by
+// the relevant distinct-value count — subjects/objects of the predicate
+// when it is constant (PredStats), the graph-wide distinct counts otherwise
+// (IndexStats) — because one concrete value selects on average base/distinct
+// of the matching triples.
+func estimatePattern(g *rdf.Graph, cp compiledPattern, bound map[int]bool) (est int, approx bool, idx string) {
+	sBound := cp.s.isVar() && bound[cp.s.slot]
+	oBound := cp.o.isVar() && bound[cp.o.slot]
+	pBound := cp.p.isVar() && bound[cp.p.slot]
+
+	sKnown := !cp.s.isVar() || sBound
+	oKnown := !cp.o.isVar() || oBound
+	pKnown := !cp.p.isVar() || pBound
+
+	switch {
+	case cp.p.isPath():
+		idx = "PATH"
+	case sKnown:
+		idx = "SPO"
+	case pKnown:
+		idx = "POS"
+	case oKnown:
+		idx = "OSP"
+	default:
+		idx = "SCAN"
+	}
+
+	// Pattern positions for the base count: constants only.
+	s0, p0, o0 := rdf.NoID, rdf.NoID, rdf.NoID
+	if !cp.s.isVar() {
+		if cp.s.id == rdf.NoID {
+			return 0, false, idx
+		}
+		s0 = cp.s.id
+	}
+	if !cp.o.isVar() {
+		if cp.o.id == rdf.NoID {
+			return 0, false, idx
+		}
+		o0 = cp.o.id
+	}
+	predConst := rdf.NoID
+	switch {
+	case cp.p.isVar():
+		// wildcard
+	case cp.p.simple:
+		if cp.p.id == rdf.NoID {
+			return 0, false, idx
+		}
+		p0, predConst = cp.p.id, cp.p.id
+	default:
+		// Property path: estimate from the first step's predicate count;
+		// closure modifiers can expand beyond it, but it still ranks the
+		// pattern against its peers.
+		first := cp.p.stepIDs[0]
+		if first == rdf.NoID {
+			if cp.p.steps[0].Mod == PathZeroOrOne || cp.p.steps[0].Mod == PathZeroOrMore {
+				return 1, true, idx // zero-length hop survives an absent predicate
+			}
+			return 0, false, idx
+		}
+		p0, predConst = first, first
+		// The path's own endpoints don't map onto a single index probe;
+		// count the first step only.
+		s0, o0 = rdf.NoID, rdf.NoID
+	}
+
+	est = g.CountMatchIDs(s0, p0, o0)
+	if est == 0 {
+		return 0, false, idx
+	}
+
+	div := func(d int) {
+		if d < 1 {
+			d = 1
+		}
+		est = (est + d - 1) / d
+		approx = true
+	}
+	gSub, gPred, gObj := 0, 0, 0
+	needGlobal := (sBound && predConst == rdf.NoID) || (oBound && predConst == rdf.NoID) || pBound
+	if needGlobal {
+		gSub, gPred, gObj = g.IndexStats()
+	}
+	var pTriples, pSubjects, pObjects int
+	if predConst != rdf.NoID && (sBound || oBound) {
+		pTriples, pSubjects, pObjects = g.PredStats(predConst)
+		_ = pTriples
+	}
+	if sBound {
+		if predConst != rdf.NoID {
+			div(pSubjects)
+		} else {
+			div(gSub)
+		}
+	}
+	if oBound {
+		if predConst != rdf.NoID {
+			div(pObjects)
+		} else {
+			div(gObj)
+		}
+	}
+	if pBound {
+		div(gPred)
+	}
+	return est, approx, idx
+}
+
+// ---- EXPLAIN rendering ----
+
+// String renders the plan in EXPLAIN form: the slot table, each group step,
+// and for basic graph patterns the chosen join order with per-pattern
+// cardinality estimates and probe indexes.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "QUERY PLAN (graph: %d triples)\n", p.graphLen)
+	if len(p.vars) > 0 {
+		b.WriteString("slots:")
+		for i, v := range p.vars {
+			fmt.Fprintf(&b, " ?%s=%d", v, i)
+		}
+		b.WriteByte('\n')
+	}
+	p.writeGroup(&b, p.root, 0)
+	b.WriteString("project:")
+	if p.q.CountAs != "" {
+		what := "*"
+		if !p.q.CountAll {
+			what = "?" + p.q.Count
+		}
+		fmt.Fprintf(&b, " COUNT(%s) AS ?%s", what, p.q.CountAs)
+	} else {
+		for _, v := range p.project {
+			b.WriteString(" ?" + v)
+		}
+	}
+	b.WriteByte('\n')
+	var mods []string
+	if p.q.Distinct {
+		mods = append(mods, "DISTINCT")
+	}
+	for _, k := range p.q.OrderBy {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		mods = append(mods, fmt.Sprintf("ORDER BY %s(?%s)", dir, k.Var))
+	}
+	if p.q.Offset > 0 {
+		mods = append(mods, fmt.Sprintf("OFFSET %d", p.q.Offset))
+	}
+	if p.q.Limit >= 0 {
+		mods = append(mods, fmt.Sprintf("LIMIT %d", p.q.Limit))
+	}
+	if len(mods) > 0 {
+		b.WriteString("modifiers: " + strings.Join(mods, " ") + "\n")
+	}
+	return b.String()
+}
+
+func (p *Plan) writeGroup(b *strings.Builder, grp *planGroup, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, st := range grp.steps {
+		switch st := st.(type) {
+		case *bgpStep:
+			fmt.Fprintf(b, "%sBGP (%d pattern(s), cardinality join order):\n", ind, len(st.patterns))
+			for i, cp := range st.patterns {
+				rel := "="
+				if cp.approx {
+					rel = "~"
+				}
+				fmt.Fprintf(b, "%s  %d. %-44s est%s%-8d via %s\n",
+					ind, i+1, p.patternString(cp.src), rel, cp.est, cp.idx)
+			}
+		case *filterStep:
+			fmt.Fprintf(b, "%sFILTER %s\n", ind, exprString(st.expr))
+		case *optionalStep:
+			fmt.Fprintf(b, "%sOPTIONAL:\n", ind)
+			p.writeGroup(b, st.group, depth+1)
+		case *unionStep:
+			fmt.Fprintf(b, "%sUNION (%d alternatives):\n", ind, len(st.alts))
+			for i, alt := range st.alts {
+				fmt.Fprintf(b, "%s  alt %d:\n", ind, i+1)
+				p.writeGroup(b, alt, depth+2)
+			}
+		}
+	}
+}
+
+func (p *Plan) patternString(tp TriplePattern) string {
+	return p.nodeString(tp.S) + " " + p.pathString(tp.P) + " " + p.nodeString(tp.O)
+}
+
+func (p *Plan) nodeString(n NodePattern) string {
+	if n.IsVar() {
+		return "?" + n.Var
+	}
+	return p.termString(n.Term)
+}
+
+func (p *Plan) termString(t rdf.Term) string {
+	if t.IsIRI() && p.q.Prefixes != nil {
+		if c, ok := p.q.Prefixes.Shrink(t.Value); ok {
+			return c
+		}
+	}
+	return t.String()
+}
+
+func (p *Plan) pathString(pp PathPattern) string {
+	if pp.IsVar() {
+		return "?" + pp.Var
+	}
+	parts := make([]string, len(pp.Steps))
+	for i, st := range pp.Steps {
+		s := p.termString(st.IRI)
+		if st.Inverse {
+			s = "^" + s
+		}
+		switch st.Mod {
+		case PathOneOrMore:
+			s += "+"
+		case PathZeroOrMore:
+			s += "*"
+		case PathZeroOrOne:
+			s += "?"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, "/")
+}
+
+func exprString(e Expr) string {
+	switch e := e.(type) {
+	case VarExpr:
+		return "?" + e.Name
+	case TermExpr:
+		return e.Term.String()
+	case BoundExpr:
+		return "BOUND(?" + e.Name + ")"
+	case StrExpr:
+		return "STR(" + exprString(e.X) + ")"
+	case NotExpr:
+		return "!(" + exprString(e.X) + ")"
+	case RegexExpr:
+		return fmt.Sprintf("REGEX(%s, %q)", exprString(e.X), e.Pattern)
+	case BinaryExpr:
+		return "(" + exprString(e.L) + " " + e.Op + " " + exprString(e.R) + ")"
+	}
+	return "?expr"
+}

@@ -50,6 +50,10 @@ func (p *ObjectProfile) total() int {
 }
 
 // Compute derives a Summary from a provenance graph.
+//
+// All scans run in dictionary-ID space (rdf.ForEachMatchIDs): predicate and
+// class terms are resolved to IDs once up front, per-triple work is integer
+// map probes, and subject terms are hydrated only when a count is recorded.
 func Compute(g *rdf.Graph) *Summary {
 	s := &Summary{
 		OpCounts:     map[string]int{},
@@ -57,32 +61,53 @@ func Compute(g *rdf.Graph) *Summary {
 		ObjectAccess: map[string]*ObjectProfile{},
 	}
 
-	// Activities: nodes typed with an I/O API sub-class.
-	typePred := rdf.IRI(rdf.RDFType)
-	apiClasses := map[rdf.Term]bool{}
-	for _, c := range []model.Class{model.Create, model.Open, model.Read, model.Write, model.Fsync, model.Rename} {
-		apiClasses[c.IRI()] = true
-	}
-	g.ForEachMatch(nil, &typePred, nil, func(t rdf.Triple) bool {
-		if !apiClasses[t.O] {
-			return true
+	idOf := func(t rdf.Term) rdf.ID {
+		if id, ok := g.TermID(t); ok {
+			return id
 		}
-		s.Activities++
-		s.OpCounts[apiNameOf(t.S.Value)]++
-		return true
-	})
+		return rdf.NoID
+	}
+	// apiName memoizes the IRI→API-name extraction per subject ID.
+	names := map[rdf.ID]string{}
+	apiName := func(id rdf.ID) string {
+		n, ok := names[id]
+		if !ok {
+			n = apiNameOf(g.TermOf(id).Value)
+			names[id] = n
+		}
+		return n
+	}
+
+	// Activities: nodes typed with an I/O API sub-class.
+	apiClasses := map[rdf.ID]bool{}
+	for _, c := range []model.Class{model.Create, model.Open, model.Read, model.Write, model.Fsync, model.Rename} {
+		if id := idOf(c.IRI()); id != rdf.NoID {
+			apiClasses[id] = true
+		}
+	}
+	if typeID := idOf(rdf.IRI(rdf.RDFType)); typeID != rdf.NoID {
+		g.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(sub, _, o rdf.ID) bool {
+			if !apiClasses[o] {
+				return true
+			}
+			s.Activities++
+			s.OpCounts[apiName(sub)]++
+			return true
+		})
+	}
 
 	// Durations.
-	elapsed := model.PropElapsed.IRI()
-	g.ForEachMatch(nil, &elapsed, nil, func(t rdf.Triple) bool {
-		ns, err := strconv.ParseInt(t.O.Value, 10, 64)
-		if err != nil {
+	if elapsedID := idOf(model.PropElapsed.IRI()); elapsedID != rdf.NoID {
+		g.ForEachMatchIDs(rdf.NoID, elapsedID, rdf.NoID, func(sub, _, o rdf.ID) bool {
+			ns, err := strconv.ParseInt(g.TermOf(o).Value, 10, 64)
+			if err != nil {
+				return true
+			}
+			s.HasDurations = true
+			s.OpTotal[apiName(sub)] += time.Duration(ns)
 			return true
-		}
-		s.HasDurations = true
-		s.OpTotal[apiNameOf(t.S.Value)] += time.Duration(ns)
-		return true
-	})
+		})
+	}
 
 	// Per-object access profiles from the six provio relations.
 	rels := []struct {
@@ -96,20 +121,27 @@ func Compute(g *rdf.Graph) *Summary {
 		{model.WasFlushedBy, func(p *ObjectProfile) *int { return &p.Flushes }},
 		{model.WasModifiedBy, func(p *ObjectProfile) *int { return &p.Renames }},
 	}
-	namePred := model.PropName.IRI()
+	nameID := idOf(model.PropName.IRI())
+	typeID := idOf(rdf.IRI(rdf.RDFType))
+	profiles := map[rdf.ID]*ObjectProfile{}
 	for _, r := range rels {
-		pred := r.rel.IRI()
-		g.ForEachMatch(nil, &pred, nil, func(t rdf.Triple) bool {
-			key := t.S.Value
-			prof, ok := s.ObjectAccess[key]
+		pred := idOf(r.rel.IRI())
+		if pred == rdf.NoID {
+			continue
+		}
+		g.ForEachMatchIDs(rdf.NoID, pred, rdf.NoID, func(sub, _, _ rdf.ID) bool {
+			prof, ok := profiles[sub]
 			if !ok {
-				prof = &ObjectProfile{Name: key, Class: classNameOf(g, t.S)}
+				key := g.TermOf(sub).Value
+				prof = &ObjectProfile{Name: key, Class: classNameOfID(g, sub, typeID)}
 				// Prefer the display name when recorded.
-				np := t.S
-				g.ForEachMatch(&np, &namePred, nil, func(n rdf.Triple) bool {
-					prof.Name = n.O.Value
-					return false
-				})
+				if nameID != rdf.NoID {
+					g.ForEachMatchIDs(sub, nameID, rdf.NoID, func(_, _, o rdf.ID) bool {
+						prof.Name = g.TermOf(o).Value
+						return false
+					})
+				}
+				profiles[sub] = prof
 				s.ObjectAccess[key] = prof
 			}
 			*r.field(prof)++
@@ -135,13 +167,16 @@ func apiNameOf(iri string) string {
 	return name
 }
 
-// classNameOf returns the model class name of a node (empty if untyped).
-func classNameOf(g *rdf.Graph, node rdf.Term) string {
-	typePred := rdf.IRI(rdf.RDFType)
+// classNameOfID returns the model class name of a node (empty if untyped or
+// when typeID is rdf.NoID, i.e. no rdf:type triple exists in the graph).
+func classNameOfID(g *rdf.Graph, node, typeID rdf.ID) string {
 	out := ""
-	g.ForEachMatch(&node, &typePred, nil, func(t rdf.Triple) bool {
-		if strings.HasPrefix(t.O.Value, model.ProvIONS) {
-			out = strings.TrimPrefix(t.O.Value, model.ProvIONS)
+	if typeID == rdf.NoID {
+		return out
+	}
+	g.ForEachMatchIDs(node, typeID, rdf.NoID, func(_, _, o rdf.ID) bool {
+		if v := g.TermOf(o).Value; strings.HasPrefix(v, model.ProvIONS) {
+			out = strings.TrimPrefix(v, model.ProvIONS)
 			return false
 		}
 		return true
@@ -154,22 +189,30 @@ func classNameOf(g *rdf.Graph, node rdf.Term) string {
 // per-rank breakdown for workloads tracked with Thread agents enabled.
 func PerAgent(g *rdf.Graph) map[string]int {
 	out := map[string]int{}
-	assoc := model.AssociatedWith.IRI()
-	namePred := model.PropName.IRI()
-	nameOf := map[string]string{}
-	g.ForEachMatch(nil, &assoc, nil, func(t rdf.Triple) bool {
-		if !t.O.IsIRI() {
-			return true
-		}
-		key, ok := nameOf[t.O.Value]
+	assoc, ok := g.TermID(model.AssociatedWith.IRI())
+	if !ok {
+		return out
+	}
+	nameID := rdf.NoID
+	if id, ok := g.TermID(model.PropName.IRI()); ok {
+		nameID = id
+	}
+	nameOf := map[rdf.ID]string{}
+	g.ForEachMatchIDs(rdf.NoID, assoc, rdf.NoID, func(_, _, o rdf.ID) bool {
+		key, ok := nameOf[o]
 		if !ok {
-			key = t.O.Value
-			agent := t.O
-			g.ForEachMatch(&agent, &namePred, nil, func(n rdf.Triple) bool {
-				key = n.O.Value
-				return false
-			})
-			nameOf[t.O.Value] = key
+			agent := g.TermOf(o)
+			if !agent.IsIRI() {
+				return true
+			}
+			key = agent.Value
+			if nameID != rdf.NoID {
+				g.ForEachMatchIDs(o, nameID, rdf.NoID, func(_, _, n rdf.ID) bool {
+					key = g.TermOf(n).Value
+					return false
+				})
+			}
+			nameOf[o] = key
 		}
 		out[key]++
 		return true

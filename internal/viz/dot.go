@@ -42,42 +42,67 @@ func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", opts.Title)
 	}
 
+	// All scans below run in dictionary-ID space; node terms are hydrated
+	// once through the cache and reused across the type/name/edge passes.
+	terms := map[rdf.ID]rdf.Term{}
+	termOf := func(id rdf.ID) rdf.Term {
+		t, ok := terms[id]
+		if !ok {
+			t = g.TermOf(id)
+			terms[id] = t
+		}
+		return t
+	}
+	predID := func(t rdf.Term) rdf.ID {
+		if id, ok := g.TermID(t); ok {
+			return id
+		}
+		return rdf.NoID
+	}
+
 	// Classify nodes by rdf:type.
 	kind := map[string]string{} // IRI -> shape class
 	label := map[string]string{}
-	typePred := rdf.IRI(rdf.RDFType)
-	g.ForEachMatch(nil, &typePred, nil, func(t rdf.Triple) bool {
-		if !t.S.IsIRI() || !t.O.IsIRI() {
+	if typeID := predID(rdf.IRI(rdf.RDFType)); typeID != rdf.NoID {
+		g.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(s, _, o rdf.ID) bool {
+			st, ot := termOf(s), termOf(o)
+			if !st.IsIRI() || !ot.IsIRI() {
+				return true
+			}
+			if cls := classOf(ot.Value); cls != "" {
+				kind[st.Value] = cls
+			}
 			return true
-		}
-		if cls := classOf(t.O.Value); cls != "" {
-			kind[t.S.Value] = cls
-		}
-		return true
-	})
-	namePred := model.PropName.IRI()
-	g.ForEachMatch(nil, &namePred, nil, func(t rdf.Triple) bool {
-		if t.S.IsIRI() && t.O.IsLiteral() {
-			label[t.S.Value] = t.O.Value
-		}
-		return true
-	})
+		})
+	}
+	if nameID := predID(model.PropName.IRI()); nameID != rdf.NoID {
+		g.ForEachMatchIDs(rdf.NoID, nameID, rdf.NoID, func(s, _, o rdf.ID) bool {
+			st, ot := termOf(s), termOf(o)
+			if st.IsIRI() && ot.IsLiteral() {
+				label[st.Value] = ot.Value
+			}
+			return true
+		})
+	}
 
-	// Collect nodes appearing in relation edges.
+	// Collect nodes appearing in relation edges. Drawable predicates are
+	// resolved to IDs once, so the full scan is a map probe per triple.
+	relLabel := relationLabelIDs(g)
 	nodes := map[string]bool{}
 	type edge struct{ from, to, lbl string }
 	var edges []edge
-	g.ForEachMatch(nil, nil, nil, func(t rdf.Triple) bool {
-		if !t.S.IsIRI() || !t.O.IsIRI() {
-			return true
-		}
-		lbl, ok := relationLabel(t.P.Value, ns)
+	g.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+		lbl, ok := relLabel[p]
 		if !ok {
 			return true
 		}
-		nodes[t.S.Value] = true
-		nodes[t.O.Value] = true
-		edges = append(edges, edge{from: t.S.Value, to: t.O.Value, lbl: lbl})
+		st, ot := termOf(s), termOf(o)
+		if !st.IsIRI() || !ot.IsIRI() {
+			return true
+		}
+		nodes[st.Value] = true
+		nodes[ot.Value] = true
+		edges = append(edges, edge{from: st.Value, to: ot.Value, lbl: lbl})
 		return true
 	})
 
@@ -165,20 +190,23 @@ func shapeFor(class string) (shape, style string) {
 	}
 }
 
-// relationLabel returns the CURIE label for predicates worth drawing.
-func relationLabel(iri string, ns *rdf.Namespaces) (string, bool) {
-	for _, r := range model.AllRelations() {
-		if r.IRI().Value == iri {
-			return r.CURIE(), true
+// relationLabelIDs maps the dictionary ID of every drawable predicate
+// present in g to its CURIE edge label.
+func relationLabelIDs(g *rdf.Graph) map[rdf.ID]string {
+	out := map[rdf.ID]string{}
+	add := func(t rdf.Term, curie string) {
+		if id, ok := g.TermID(t); ok {
+			out[id] = curie
 		}
+	}
+	for _, r := range model.AllRelations() {
+		add(r.IRI(), r.CURIE())
 	}
 	// Extensible-record links are drawn too.
 	for _, r := range []model.Relation{model.PropType, model.PropConfig, model.PropMetric} {
-		if r.IRI().Value == iri {
-			return r.CURIE(), true
-		}
+		add(r.IRI(), r.CURIE())
 	}
-	return "", false
+	return out
 }
 
 func shortIRI(iri string, ns *rdf.Namespaces) string {
@@ -196,24 +224,42 @@ func shortIRI(iri string, ns *rdf.Namespaces) string {
 // programs those entities are attributed to — the blue path of Figure 9.
 func LineageHighlight(g *rdf.Graph, product rdf.Term) map[string]bool {
 	out := map[string]bool{product.Value: true}
-	frontier := []rdf.Term{product}
-	derived := model.WasDerivedFrom.IRI()
-	attr := model.WasAttributedTo.IRI()
+	root, ok := g.TermID(product)
+	if !ok {
+		return out
+	}
+	idOf := func(t rdf.Term) rdf.ID {
+		if id, ok := g.TermID(t); ok {
+			return id
+		}
+		return rdf.NoID
+	}
+	derived := idOf(model.WasDerivedFrom.IRI())
+	attr := idOf(model.WasAttributedTo.IRI())
+	seen := map[rdf.ID]bool{root: true}
+	frontier := []rdf.ID{root}
 	for len(frontier) > 0 {
 		cur := frontier[0]
 		frontier = frontier[1:]
-		curT := cur
-		g.ForEachMatch(&curT, &derived, nil, func(t rdf.Triple) bool {
-			if !out[t.O.Value] {
-				out[t.O.Value] = true
-				frontier = append(frontier, t.O)
-			}
-			return true
-		})
-		g.ForEachMatch(&curT, &attr, nil, func(t rdf.Triple) bool {
-			out[t.O.Value] = true
-			return true
-		})
+		if derived != rdf.NoID {
+			g.ForEachMatchIDs(cur, derived, rdf.NoID, func(_, _, o rdf.ID) bool {
+				if !seen[o] {
+					seen[o] = true
+					out[g.TermOf(o).Value] = true
+					frontier = append(frontier, o)
+				}
+				return true
+			})
+		}
+		if attr != rdf.NoID {
+			g.ForEachMatchIDs(cur, attr, rdf.NoID, func(_, _, o rdf.ID) bool {
+				if !seen[o] {
+					seen[o] = true
+					out[g.TermOf(o).Value] = true
+				}
+				return true
+			})
+		}
 	}
 	return out
 }
