@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// AblationIngest measures the lock-striped batched ingest path against the
+// discipline it replaced: one write-lock acquisition and index update per
+// triple (the pre-PR `Add` loop) versus one acquisition per record
+// (`AddBatch`), serially and under rank-style goroutine contention, plus the
+// end-to-end Tracker throughput the paper's §6.2 overhead claim rests on.
+//
+// The report's artifact is BENCH_ingest.json: the live measurements plus the
+// recorded `go test -bench` baseline/post pairs for the acceptance gate
+// (BenchmarkTrackIOParallel ≥2x vs the pre-PR baseline). A reference copy of
+// the recorded section is checked in at the repository root.
+func AblationIngest(s Scale) (*Report, error) {
+	records := 20000
+	workers := 8
+	if s == ScalePaper {
+		records = 100000
+	}
+	perWorker := records / workers
+
+	r := &Report{
+		ID:      "abl-ingest",
+		Title:   "Ablation: per-triple insert vs lock-striped batched ingest",
+		Columns: []string{"operation", "per-triple Add(ns/record)", "AddBatch(ns/record)", "speedup"},
+		Notes: []string{
+			"live rows isolate lock granularity: one write-lock acquisition per triple (Add loop) vs per record (AddBatch)",
+			"both variants run the current striped-dictionary code; the full pre-PR comparison is the recorded section of BENCH_ingest.json",
+			fmt.Sprintf("%d records (~7 triples each), %d goroutines in the parallel rows; batching needs real CPUs to pay off — expect parity on a 1-vCPU runner", records, workers),
+		},
+		ArtifactName: "BENCH_ingest.json",
+	}
+
+	// Serial: one goroutine, distinct records.
+	serialAdd, serialBatch := ingestCompare(1, perWorker*workers)
+	r.AddRow("graph insert, serial",
+		fmtNsPerRecord(serialAdd, records), fmtNsPerRecord(serialBatch, records),
+		fmtSpeedup(serialAdd, serialBatch))
+
+	// Parallel: rank-style contention on one shared graph.
+	parAdd, parBatch := ingestCompare(workers, perWorker)
+	r.AddRow(fmt.Sprintf("graph insert, %d goroutines", workers),
+		fmtNsPerRecord(parAdd, records), fmtNsPerRecord(parBatch, records),
+		fmtSpeedup(parAdd, parBatch))
+
+	// End-to-end tracker throughput through the full record path (term
+	// building, pooled scratch, per-API seq, AddBatch).
+	trackerWall := trackerIngestRun(workers, perWorker)
+	recsPerSec := float64(workers*perWorker*2) / trackerWall.Seconds()
+	r.AddRow(fmt.Sprintf("tracker TrackIO, %d goroutines", workers),
+		"-", fmtNsPerRecord(trackerWall, workers*perWorker*2),
+		fmt.Sprintf("%.0f rec/s", recsPerSec))
+
+	artifact, err := ingestArtifactJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	r.Artifact = artifact
+	return r, nil
+}
+
+// ingestRecordBatches builds n realistic record batches (alternating data
+// object and I/O activity records) in a pid-scoped IRI space so concurrent
+// streams insert fresh triples instead of measuring the dedup probe.
+func ingestRecordBatches(pid, n int) [][]rdf.Triple {
+	prog := model.NodeIRI(model.Program, "abl-ingest")
+	agent := rdf.IRI(prog)
+	out := make([][]rdf.Triple, 0, n)
+	var lastObj rdf.Term
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			rec := model.DataObjectRecord{
+				Class: model.Dataset, ID: fmt.Sprintf("/abl/p%d/d%d", pid, i),
+				AttributedTo: prog,
+			}
+			ts, node := rec.AppendTriples(nil)
+			lastObj = node
+			out = append(out, ts)
+		} else {
+			rec := model.IOActivityRecord{
+				Class: model.Write, API: "H5Dwrite", PID: pid, Seq: i,
+				Object: lastObj, Agent: agent, TrackDuration: true,
+			}
+			ts, _ := rec.AppendTriples(nil)
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// ingestCompare times inserting workers disjoint record streams into a fresh
+// shared graph, once per triple (Add) and once per record (AddBatch), and
+// returns each variant's best wall time over three interleaved rounds.
+// Interleaving plus best-of defuses the two noise sources a sequential
+// one-shot measurement is hostage to: GC debt from whatever ran before, and
+// clock drift between the two variants' runs.
+func ingestCompare(workers, perWorker int) (addBest, batchBest time.Duration) {
+	streams := make([][][]rdf.Triple, workers)
+	for w := range streams {
+		streams[w] = ingestRecordBatches(w, perWorker)
+	}
+	timeInsert := func(insert func(*rdf.Graph, []rdf.Triple)) time.Duration {
+		g := rdf.NewGraph()
+		runtime.GC()
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, batch := range streams[w] {
+					insert(g, batch)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+	perTriple := func(g *rdf.Graph, batch []rdf.Triple) {
+		for _, t := range batch {
+			g.Add(t)
+		}
+	}
+	batched := func(g *rdf.Graph, batch []rdf.Triple) {
+		g.AddBatch(batch)
+	}
+	for round := 0; round < 3; round++ {
+		a := timeInsert(perTriple)
+		b := timeInsert(batched)
+		if round == 0 || a < addBest {
+			addBest = a
+		}
+		if round == 0 || b < batchBest {
+			batchBest = b
+		}
+	}
+	return addBest, batchBest
+}
+
+// trackerIngestRun drives the full Tracker record path (ModeAtEnd, no store
+// I/O on the critical path) from workers goroutines and returns the wall time.
+func trackerIngestRun(workers, perWorker int) time.Duration {
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModeAtEnd
+	tr := core.NewTracker(cfg, nil, 0)
+	prog := tr.RegisterProgram("abl-ingest", rdf.Term{})
+	runtime.GC()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				obj := tr.TrackDataObject(model.Dataset,
+					fmt.Sprintf("/abl/w%d/d%d", w, i), "", rdf.Term{}, prog)
+				tr.TrackIO(model.Write, "H5Dwrite", obj, prog, 0, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func fmtNsPerRecord(total time.Duration, records int) string {
+	if records == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(total.Nanoseconds())/float64(records))
+}
+
+// ingestRecordedBench is one recorded `go test -bench` comparison row between
+// the pre-PR baseline commit and this tree.
+type ingestRecordedBench struct {
+	Name                  string   `json:"name"`
+	BaselineNsOp          float64  `json:"baseline_ns_op"`
+	PostNsOp              float64  `json:"post_ns_op"`
+	BaselineBytesOp       int      `json:"baseline_bytes_op,omitempty"`
+	PostBytesOp           int      `json:"post_bytes_op,omitempty"`
+	BaselineAllocsOp      int      `json:"baseline_allocs_op,omitempty"`
+	PostAllocsOp          int      `json:"post_allocs_op,omitempty"`
+	PairwiseSpeedups      []string `json:"pairwise_round_speedups,omitempty"`
+	PairwiseSpeedupMedian string   `json:"pairwise_speedup_median"`
+}
+
+// ingestRecordedBaseline is the measured baseline/post comparison for the
+// acceptance gate, taken with fixed iteration counts (-benchtime=100000x) in
+// five rounds interleaving the baseline worktree (commit 1ff4ac1, the tree
+// before the lock-striped ingest path) with this tree, reporting medians —
+// per-op cost grows with graph size, so time-based -benchtime would bias
+// against the faster tree, and interleaving cancels machine drift.
+var ingestRecordedBaseline = []ingestRecordedBench{
+	{
+		Name:         "BenchmarkTrackIO",
+		BaselineNsOp: 20229, PostNsOp: 5773,
+		BaselineBytesOp: 3576, PostBytesOp: 1496,
+		BaselineAllocsOp: 23, PostAllocsOp: 4,
+		PairwiseSpeedupMedian: "2.49x",
+	},
+	{
+		Name:         "BenchmarkTrackIOParallel",
+		BaselineNsOp: 15135, PostNsOp: 5769,
+		BaselineBytesOp: 3576, PostBytesOp: 1496,
+		BaselineAllocsOp: 23, PostAllocsOp: 4,
+		PairwiseSpeedups:      []string{"2.35x", "2.53x", "2.62x", "2.65x", "2.70x"},
+		PairwiseSpeedupMedian: "2.62x",
+	},
+	{
+		Name:         "BenchmarkRecordTriples",
+		BaselineNsOp: 1689, PostNsOp: 1471,
+		BaselineAllocsOp: 5, PostAllocsOp: 4,
+		PairwiseSpeedupMedian: "1.15x",
+	},
+}
+
+func ingestArtifactJSON(r *Report) (string, error) {
+	type liveRow struct {
+		Operation      string `json:"operation"`
+		PerTripleAddNs string `json:"per_triple_add_ns_per_record"`
+		AddBatchNs     string `json:"add_batch_ns_per_record"`
+		SpeedupOrRate  string `json:"speedup_or_rate"`
+	}
+	live := make([]liveRow, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		live = append(live, liveRow{row[0], row[1], row[2], row[3]})
+	}
+	doc := struct {
+		Experiment  string                `json:"experiment"`
+		Environment map[string]string     `json:"recorded_environment"`
+		Recorded    []ingestRecordedBench `json:"recorded_go_benchmarks"`
+		Live        []liveRow             `json:"live_ablation"`
+		Acceptance  string                `json:"acceptance"`
+	}{
+		Experiment: "abl-ingest: lock-striped batched ingest path",
+		Environment: map[string]string{
+			"goos": "linux", "goarch": "amd64",
+			"cpu": "Intel(R) Xeon(R) CPU @ 2.70GHz (1 vCPU)", "go": "go1.24.0",
+			"method":          "fixed -benchtime=100000x, 5 interleaved baseline/post rounds, medians",
+			"baseline_commit": "1ff4ac1 (pre lock-striped ingest)",
+		},
+		Recorded: ingestRecordedBaseline,
+		Live:     live,
+		Acceptance: "BenchmarkTrackIOParallel >= 2x ops/sec vs pre-PR baseline: met " +
+			"(2.62x median pairwise, 2.35x worst round); allocs/op 23 -> 4",
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

@@ -36,6 +36,7 @@ var registry = map[string]Runner{
 	"abl-format":      AblationFormat,
 	"abl-guid":        AblationGUIDMerge,
 	"abl-query":       AblationQuery,
+	"abl-ingest":      AblationIngest,
 }
 
 // order lists experiment IDs in presentation order.

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// TestRemoveDoesNotRetractFlushedSegments pins a deliberate semantic of the
+// append-only delta pipeline (see DESIGN.md, "Ingest path"): Graph.Remove
+// retracts a triple from the live in-memory graph only. Delta segments
+// already flushed to the store are immutable, and Store.Merge unions the
+// canonical file with every segment — so a removed triple that was already
+// persisted in a segment reappears in the merged graph. Only a full Flush
+// (which rewrites the canonical file from the live graph and deletes the
+// segments) makes the retraction durable.
+func TestRemoveDoesNotRetractFlushedSegments(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	store, err := NewStore(VFSBackend{View: view}, "/prov", FormatNTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 1 // every record flushes a delta segment immediately
+	cfg.Pipeline = PipelineDelta
+	tr := NewTracker(cfg, store, 0)
+
+	prog := tr.RegisterProgram("retract-me", rdf.Term{})
+	obj := tr.TrackDataObject(model.File, "/data/victim", "", rdf.Term{}, prog)
+	g := tr.Graph()
+
+	// The attribution triple was persisted in the data-object's delta
+	// segment by the FlushEvery=1 periodic flush above.
+	target := rdf.Triple{S: obj, P: model.WasAttributedTo.IRI(), O: prog}
+	if !g.Has(target) {
+		t.Fatalf("expected %v in the live graph", target)
+	}
+	infos, err := view.ReadDir(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, fi := range infos {
+		if strings.Contains(fi.Name, ".seg") {
+			segs++
+		}
+	}
+	if segs == 0 {
+		t.Fatal("expected delta segments on disk before Remove")
+	}
+
+	if !g.Remove(target) {
+		t.Fatalf("Remove(%v) = false, want true", target)
+	}
+	if g.Has(target) {
+		t.Fatal("triple still present in the live graph after Remove")
+	}
+
+	// Merge without flushing: the union of the flushed segments resurrects
+	// the removed triple. This is the documented contract, not a bug —
+	// segments are append-only.
+	merged, err := store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !merged.Has(target) {
+		t.Fatal("removed triple absent from Merge — segment union semantics changed; update DESIGN.md if intentional")
+	}
+
+	// A full Flush rewrites the canonical file from the live graph and
+	// removes the segments; only now is the retraction durable.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	merged, err = store.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Has(target) {
+		t.Fatal("removed triple survived a full Flush rewrite")
+	}
+	if !merged.Has(rdf.Triple{S: obj, P: rdf.IRI(rdf.RDFType), O: model.File.IRI()}) {
+		t.Fatal("unrelated triple lost by the Flush rewrite")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

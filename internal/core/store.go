@@ -158,6 +158,19 @@ func (s *Store) WriteDeltaSegment(pid, seg int, triples []rdf.Triple) error {
 	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
 }
 
+// WriteDeltaSegmentRefs is WriteDeltaSegment in ID space: the delta arrives
+// as insertion-log refs and is rendered through the tracker's memoized
+// per-ID term cache, so a flush materializes no []rdf.Triple and re-renders
+// no term an earlier flush already rendered. The file contents are
+// byte-identical to WriteDeltaSegment on the materialized triples.
+func (s *Store) WriteDeltaSegmentRefs(pid, seg int, refs []rdf.TripleID, r *rdf.TermRenderer) error {
+	var buf bytes.Buffer
+	if err := r.WriteNTriples(&buf, refs); err != nil {
+		return err
+	}
+	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
+}
+
 // RemoveSegments deletes every delta segment of a process (after its
 // contents were folded into the canonical file).
 func (s *Store) RemoveSegments(pid int) error {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpc-io/prov-io/internal/model"
@@ -24,9 +26,20 @@ type Tracker struct {
 
 	mu      sync.Mutex
 	graph   *rdf.Graph
-	seq     map[string]int // per-API invocation counters
-	records int            // records since last flush
+	records int // records since last flush
 	closed  bool
+
+	// seqs holds the per-API invocation counters off the tracker mutex:
+	// apiName -> *atomic.Int64. TrackIO is the hottest tracking call, and
+	// with the graph's own ingest path batched and striped, a shared map
+	// under mu would be the one remaining cross-thread serialization point.
+	seqs sync.Map
+
+	// render memoizes the N-Triples rendering of this tracker's terms by
+	// dictionary ID, so across all delta flushes each distinct term is
+	// rendered once (the read path's memoization trick applied to the write
+	// side).
+	render *rdf.TermRenderer
 
 	// Flush pipeline state (all guarded by mu).
 	cursor   int   // graph insertion-log position already handed to the store
@@ -44,8 +57,12 @@ type Tracker struct {
 	// Modeled writer timeline for deterministic simclock accounting: the
 	// virtual completion times of queued segments. Backpressure is charged
 	// from this model, not from real goroutine scheduling, so experiment
-	// results stay reproducible.
+	// results stay reproducible. wHead indexes the oldest live entry —
+	// retiring advances it instead of re-slicing, so the backing array is
+	// reused rather than leaked entry by entry, and the slice is reset
+	// whenever it fully drains.
 	wQueue []time.Duration
+	wHead  int
 
 	clock *simclock.Clock
 	cost  simclock.CostModel
@@ -57,10 +74,13 @@ type Tracker struct {
 	nTriples int64
 }
 
-// flushJob is one delta segment handed to the background writer.
+// flushJob is one delta segment handed to the background writer: the
+// insertion-log refs of the delta (12 bytes per triple — the terms are
+// rehydrated by the tracker's memoized renderer at write time, not
+// materialized at snapshot time).
 type flushJob struct {
-	seg   int
-	delta []rdf.Triple
+	seg  int
+	refs []rdf.TripleID
 }
 
 // NewTracker creates a tracker for process pid writing to store. A nil
@@ -71,8 +91,8 @@ func NewTracker(cfg *Config, store *Store, pid int) *Tracker {
 		store: store,
 		pid:   pid,
 		graph: rdf.NewGraph(),
-		seq:   make(map[string]int),
 	}
+	t.render = rdf.NewTermRenderer(t.graph)
 	t.drained = sync.NewCond(&t.mu)
 	return t
 }
@@ -108,14 +128,22 @@ func (t *Tracker) Stats() (records, triples int64) {
 	return t.nRecords, t.nTriples
 }
 
+// recordScratch recycles the per-record triple slice across tracking calls.
+// A record's triples are copied into the graph's dictionary and indexes by
+// AddBatch, so once addRecord returns nothing references the slice and it
+// can be handed to the next record.
+var scratchPool = sync.Pool{New: func() any { return &recordScratch{} }}
+
+type recordScratch struct{ ts []rdf.Triple }
+
 // addRecord inserts a record's triples, charges its cost, and handles
 // periodic flushing. Caller passes the triples already built.
 func (t *Tracker) addRecord(triples []rdf.Triple) {
-	t.mu.Lock()
-	for _, tr := range triples {
-		t.graph.Add(tr)
-	}
+	// One lock acquisition in the graph for the whole record; interning
+	// happens against the striped dictionary before the graph lock is taken.
+	t.graph.AddBatch(triples)
 	graphSize := t.graph.Len()
+	t.mu.Lock()
 	t.nRecords++
 	t.nTriples += int64(len(triples))
 	t.records++
@@ -128,13 +156,13 @@ func (t *Tracker) addRecord(triples []rdf.Triple) {
 		case PipelineInline:
 			// Handled below, outside the lock (full re-serialization).
 		default:
-			// Snapshot the delta since the last flush under mu: cursor
-			// advances atomically with extraction, so concurrent periodic
-			// flushes produce disjoint segments and no record is lost or
-			// duplicated.
-			job.delta = t.graph.TriplesSince(t.cursor)
-			t.cursor = t.graph.LogLen()
-			if len(job.delta) == 0 {
+			// Snapshot the delta since the last flush under mu: RefsSince
+			// captures the refs and the end-of-log position under one graph
+			// lock, and the cursor advances atomically with the extraction
+			// under mu, so concurrent periodic flushes produce disjoint
+			// segments and no record is lost or duplicated.
+			job.refs, t.cursor = t.graph.RefsSince(t.cursor)
+			if len(job.refs) == 0 {
 				needFlush = false
 				break
 			}
@@ -143,7 +171,7 @@ func (t *Tracker) addRecord(triples []rdf.Triple) {
 			if t.cfg.Pipeline == PipelineAsync && !t.closed {
 				ch = t.startWriterLocked()
 				t.pendingN++
-				t.chargeAsyncFlushLocked(len(job.delta))
+				t.chargeAsyncFlushLocked(len(job.refs))
 			}
 		}
 	}
@@ -171,9 +199,9 @@ func (t *Tracker) addRecord(triples []rdf.Triple) {
 		// Inline delta (PipelineDelta, or async after Close stopped the
 		// writer): the write is on the critical path but only O(delta).
 		if t.charge {
-			t.clock.Advance(t.cost.SerializeCost(len(job.delta)))
+			t.clock.Advance(t.cost.SerializeCost(len(job.refs)))
 		}
-		t.recordFlushErr(t.store.WriteDeltaSegment(t.pid, job.seg, job.delta))
+		t.recordFlushErr(t.store.WriteDeltaSegmentRefs(t.pid, job.seg, job.refs, t.render))
 	}
 }
 
@@ -196,7 +224,7 @@ func (t *Tracker) startWriterLocked() chan flushJob {
 // and surface on the next Flush/Close/Drain instead of being dropped.
 func (t *Tracker) writerLoop(ch chan flushJob) {
 	for job := range ch {
-		t.recordFlushErr(t.store.WriteDeltaSegment(t.pid, job.seg, job.delta))
+		t.recordFlushErr(t.store.WriteDeltaSegmentRefs(t.pid, job.seg, job.refs, t.render))
 		t.mu.Lock()
 		t.pendingN--
 		if t.pendingN == 0 {
@@ -226,23 +254,37 @@ func (t *Tracker) chargeAsyncFlushLocked(deltaTriples int) {
 	}
 	t.clock.Advance(t.cost.FlushEnqueue)
 	now := t.clock.Now()
-	// Retire modeled segments the writer has already finished.
-	for len(t.wQueue) > 0 && t.wQueue[0] <= now {
-		t.wQueue = t.wQueue[1:]
+	// Retire modeled segments the writer has already finished by advancing
+	// the head index. Re-slicing (wQueue = wQueue[1:]) would keep every
+	// retired entry reachable through the backing array for the tracker's
+	// lifetime; the head index lets the compaction below reuse the array.
+	for t.wHead < len(t.wQueue) && t.wQueue[t.wHead] <= now {
+		t.wHead++
 	}
 	qcap := t.cfg.FlushQueue
 	if qcap <= 0 {
 		qcap = 4
 	}
-	if len(t.wQueue) >= qcap {
+	if len(t.wQueue)-t.wHead >= qcap {
 		// Queue full: stall until the oldest modeled segment completes.
-		t.clock.AdvanceTo(t.wQueue[0])
-		now = t.wQueue[0]
-		t.wQueue = t.wQueue[1:]
+		t.clock.AdvanceTo(t.wQueue[t.wHead])
+		now = t.wQueue[t.wHead]
+		t.wHead++
 	}
 	start := now
-	if n := len(t.wQueue); n > 0 && t.wQueue[n-1] > start {
+	if n := len(t.wQueue); n > t.wHead && t.wQueue[n-1] > start {
 		start = t.wQueue[n-1] // writer busy with earlier segments
+	}
+	// Compact: the live window is at most qcap entries, so slide it back to
+	// the array start whenever the queue drains or the dead prefix grows,
+	// keeping the backing array bounded by O(qcap) instead of O(flushes).
+	if t.wHead == len(t.wQueue) {
+		t.wQueue = t.wQueue[:0]
+		t.wHead = 0
+	} else if t.wHead >= 2*qcap {
+		n := copy(t.wQueue, t.wQueue[t.wHead:])
+		t.wQueue = t.wQueue[:n]
+		t.wHead = 0
 	}
 	t.wQueue = append(t.wQueue, start+t.cost.SerializeCost(deltaTriples))
 }
@@ -272,14 +314,40 @@ func (t *Tracker) takeDeferred(primary error) error {
 	return def
 }
 
+// record is any provenance record that can append its triples to a reusable
+// slice, returning the record node. Generic (not an interface parameter) so
+// the record value is not boxed on the hot path.
+type record interface {
+	AppendTriples([]rdf.Triple) ([]rdf.Triple, rdf.Term)
+}
+
+// track builds rec's triples into a pooled scratch slice, inserts them as
+// one batch, recycles the scratch, and returns the record node.
+func track[R record](t *Tracker, rec R) rdf.Term {
+	sc := scratchPool.Get().(*recordScratch)
+	ts, node := rec.AppendTriples(sc.ts[:0])
+	t.addRecord(ts)
+	sc.ts = ts
+	scratchPool.Put(sc)
+	return node
+}
+
+// nextSeq returns the next per-API invocation sequence number (1-based),
+// using a lock-free counter per API name.
+func (t *Tracker) nextSeq(apiName string) int {
+	v, ok := t.seqs.Load(apiName)
+	if !ok {
+		v, _ = t.seqs.LoadOrStore(apiName, new(atomic.Int64))
+	}
+	return int(v.(*atomic.Int64).Add(1))
+}
+
 // RegisterUser records a User agent and returns its node.
 func (t *Tracker) RegisterUser(name string) rdf.Term {
 	if !t.cfg.Enabled(model.User) {
 		return rdf.Term{}
 	}
-	rec := model.AgentRecord{Class: model.User, ID: name, Rank: -1}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, model.AgentRecord{Class: model.User, ID: name, Rank: -1})
 }
 
 // RegisterProgram records a Program agent (optionally on behalf of a user)
@@ -292,8 +360,7 @@ func (t *Tracker) RegisterProgram(name string, user rdf.Term) rdf.Term {
 	if !user.IsZero() {
 		rec.OnBehalfOf = user.Value
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // RegisterThread records a Thread agent with its MPI rank (optionally on
@@ -304,14 +371,13 @@ func (t *Tracker) RegisterThread(rank int, program rdf.Term) rdf.Term {
 	}
 	rec := model.AgentRecord{
 		Class: model.Thread,
-		ID:    fmt.Sprintf("MPI_rank_%d", rank),
+		ID:    "MPI_rank_" + strconv.Itoa(rank),
 		Rank:  rank,
 	}
 	if !program.IsZero() {
 		rec.OnBehalfOf = program.Value
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackDataObject records an Entity node of the given Data Object sub-class
@@ -327,8 +393,7 @@ func (t *Tracker) TrackDataObject(class model.Class, id, name string, container,
 	if !attributedTo.IsZero() {
 		rec.AttributedTo = attributedTo.Value
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackIO records one I/O API invocation of the given Activity sub-class.
@@ -338,18 +403,13 @@ func (t *Tracker) TrackIO(class model.Class, apiName string, object, agent rdf.T
 	if !t.cfg.Enabled(class) {
 		return rdf.Term{}
 	}
-	t.mu.Lock()
-	t.seq[apiName]++
-	seq := t.seq[apiName]
-	t.mu.Unlock()
 	rec := model.IOActivityRecord{
-		Class: class, API: apiName, PID: t.pid, Seq: seq,
+		Class: class, API: apiName, PID: t.pid, Seq: t.nextSeq(apiName),
 		Object: object, Agent: agent,
 		Started: started, Elapsed: elapsed,
 		TrackDuration: t.cfg.Duration,
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackDerivation records prov:wasDerivedFrom between two entities —
@@ -358,7 +418,11 @@ func (t *Tracker) TrackDerivation(product, source rdf.Term) {
 	if product.IsZero() || source.IsZero() {
 		return
 	}
-	t.addRecord([]rdf.Triple{{S: product, P: model.WasDerivedFrom.IRI(), O: source}})
+	sc := scratchPool.Get().(*recordScratch)
+	ts := append(sc.ts[:0], rdf.Triple{S: product, P: model.WasDerivedFrom.IRI(), O: source})
+	t.addRecord(ts)
+	sc.ts = ts
+	scratchPool.Put(sc)
 }
 
 // TrackType records the workflow Type extensible record.
@@ -370,8 +434,7 @@ func (t *Tracker) TrackType(owner rdf.Term, workflowType string) rdf.Term {
 		Class: model.Type, Owner: owner.Value, Key: "type",
 		Value: rdf.Literal(workflowType), Version: -1,
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackConfiguration records one Configuration key/value at a version.
@@ -383,8 +446,7 @@ func (t *Tracker) TrackConfiguration(owner rdf.Term, key string, value rdf.Term,
 		Class: model.Configuration, Owner: owner.Value, Key: key,
 		Value: value, Version: version,
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackConfigurationAccuracy records a Configuration version annotated with
@@ -398,8 +460,7 @@ func (t *Tracker) TrackConfigurationAccuracy(owner rdf.Term, key string, value r
 		Value: value, Version: version,
 		Accuracy: accuracy, HasAccuracy: true,
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // TrackMetric records one Metrics key/value (e.g. training accuracy per
@@ -412,8 +473,7 @@ func (t *Tracker) TrackMetric(owner rdf.Term, key string, value rdf.Term, versio
 		Class: model.Metrics, Owner: owner.Value, Key: key,
 		Value: value, Version: version,
 	}
-	t.addRecord(rec.Triples())
-	return rec.IRI()
+	return track(t, rec)
 }
 
 // Drain blocks until the background flush writer has persisted every delta

@@ -4,7 +4,11 @@
 // maps the model onto triples following W3C PROV-O.
 package model
 
-import "github.com/hpc-io/prov-io/internal/rdf"
+import (
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
 
 // Namespace IRIs used by the PROV-IO vocabulary.
 const (
@@ -64,10 +68,17 @@ type Class struct {
 	// Description is the Table 2 description column.
 	Description string
 	iri         string
+	// iriTerm and nodePrefix are precomputed at class construction so the
+	// ingest hot path builds no strings for them: iriTerm is the class IRI
+	// as a ready Term, nodePrefix is the minted-node IRI prefix
+	// (namespace + lowercased class name + "/") NodeIRI concatenates
+	// identities onto.
+	iriTerm    rdf.Term
+	nodePrefix string
 }
 
 // IRI returns the class IRI term.
-func (c Class) IRI() rdf.Term { return rdf.IRI(c.iri) }
+func (c Class) IRI() rdf.Term { return c.iriTerm }
 
 // String returns the class name.
 func (c Class) String() string { return c.Name }
@@ -75,20 +86,29 @@ func (c Class) String() string { return c.Name }
 // IsZero reports whether c is the zero Class.
 func (c Class) IsZero() bool { return c.Name == "" }
 
+func newClass(super Super, stereotype, name, desc string) Class {
+	return Class{
+		Super: super, Stereotype: stereotype, Name: name, Description: desc,
+		iri:        ProvIONS + name,
+		iriTerm:    rdf.IRI(ProvIONS + name),
+		nodePrefix: ProvIONS + strings.ToLower(name) + "/",
+	}
+}
+
 func entityClass(name, desc string) Class {
-	return Class{Super: SuperEntity, Stereotype: "Data Object", Name: name, Description: desc, iri: ProvIONS + name}
+	return newClass(SuperEntity, "Data Object", name, desc)
 }
 
 func activityClass(name, desc string) Class {
-	return Class{Super: SuperActivity, Stereotype: "I/O API", Name: name, Description: desc, iri: ProvIONS + name}
+	return newClass(SuperActivity, "I/O API", name, desc)
 }
 
 func agentClass(name, desc string) Class {
-	return Class{Super: SuperAgent, Name: name, Description: desc, iri: ProvIONS + name}
+	return newClass(SuperAgent, "", name, desc)
 }
 
 func extClass(name, desc string) Class {
-	return Class{Super: SuperExtensible, Name: name, Description: desc, iri: ProvIONS + name}
+	return newClass(SuperExtensible, "", name, desc)
 }
 
 // Entity sub-classes: the seven Data Object kinds.
@@ -154,20 +174,22 @@ type Relation struct {
 	Name        string
 	Description string
 	iri         string
+	iriTerm     rdf.Term
 }
 
-// IRI returns the relation's predicate term.
-func (r Relation) IRI() rdf.Term { return rdf.IRI(r.iri) }
+// IRI returns the relation's predicate term (precomputed — the ingest path
+// calls this per record).
+func (r Relation) IRI() rdf.Term { return r.iriTerm }
 
 // CURIE returns the compact name, e.g. "provio:wasReadBy".
 func (r Relation) CURIE() string { return r.Prefix + ":" + r.Name }
 
 func provRel(name, desc string) Relation {
-	return Relation{Prefix: "prov", Name: name, Description: desc, iri: ProvNS + name}
+	return Relation{Prefix: "prov", Name: name, Description: desc, iri: ProvNS + name, iriTerm: rdf.IRI(ProvNS + name)}
 }
 
 func provioRel(name, desc string) Relation {
-	return Relation{Prefix: "provio", Name: name, Description: desc, iri: ProvIONS + name}
+	return Relation{Prefix: "provio", Name: name, Description: desc, iri: ProvIONS + name, iriTerm: rdf.IRI(ProvIONS + name)}
 }
 
 // Relations inherited from W3C PROV.
@@ -234,17 +256,27 @@ func IORelationFor(api Class) (Relation, bool) {
 	return Relation{}, false
 }
 
+// Hot constant terms of the record builders, constructed once at package
+// initialization so the ingest path never rebuilds them.
+var (
+	rdfTypeTerm         = rdf.IRI(rdf.RDFType)
+	superEntityTerm     = rdf.IRI(ProvNS + "Entity")
+	superActivityTerm   = rdf.IRI(ProvNS + "Activity")
+	superAgentTerm      = rdf.IRI(ProvNS + "Agent")
+	superExtensibleTerm = rdf.IRI(ProvIONS + "ExtensibleClass")
+)
+
 // SuperIRI returns the W3C PROV super-class IRI for a sub-class, used for
 // prov:wasMemberOf membership triples.
 func SuperIRI(s Super) rdf.Term {
 	switch s {
 	case SuperEntity:
-		return rdf.IRI(ProvNS + "Entity")
+		return superEntityTerm
 	case SuperActivity:
-		return rdf.IRI(ProvNS + "Activity")
+		return superActivityTerm
 	case SuperAgent:
-		return rdf.IRI(ProvNS + "Agent")
+		return superAgentTerm
 	default:
-		return rdf.IRI(ProvIONS + "ExtensibleClass")
+		return superExtensibleTerm
 	}
 }

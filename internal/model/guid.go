@@ -3,7 +3,7 @@ package model
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -16,14 +16,31 @@ import (
 // IRIs — which denote individual API invocations — additionally embed the
 // process and a per-process sequence number, mirroring the paper's
 // "H5Dcreate2-b1" style identifiers.
+//
+// The class's namespace prefix is precomputed at class construction, so for
+// the common already-IRI-safe identity this is one string concatenation.
 func NodeIRI(class Class, identity string) string {
-	return ProvIONS + strings.ToLower(class.Name) + "/" + escapeIdentity(identity)
+	prefix := class.nodePrefix
+	if prefix == "" {
+		// Zero or hand-built Class: fall back to computing the prefix.
+		prefix = ProvIONS + strings.ToLower(class.Name) + "/"
+	}
+	return prefix + escapeIdentity(identity)
 }
 
 // ActivityIRI mints the IRI of one I/O API invocation: the API name, the
-// process ID, and a per-process sequence number.
+// process ID, and a per-process sequence number. Built by appending into a
+// stack buffer — one allocation for the final string, no fmt machinery.
 func ActivityIRI(apiName string, pid, seq int) string {
-	return fmt.Sprintf("%sapi/%s-p%d-b%d", ProvIONS, apiName, pid, seq)
+	var buf [96]byte
+	b := append(buf[:0], ProvIONS...)
+	b = append(b, "api/"...)
+	b = append(b, apiName...)
+	b = append(b, "-p"...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, "-b"...)
+	b = strconv.AppendInt(b, int64(seq), 10)
+	return string(b)
 }
 
 // escapeIdentity makes an arbitrary identity string safe inside an IRI while

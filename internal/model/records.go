@@ -26,23 +26,31 @@ func (r DataObjectRecord) IRI() rdf.Term { return rdf.IRI(NodeIRI(r.Class, r.ID)
 
 // Triples renders the record as RDF.
 func (r DataObjectRecord) Triples() []rdf.Triple {
+	ts, _ := r.AppendTriples(nil)
+	return ts
+}
+
+// AppendTriples appends the record's triples to dst — which the tracker
+// recycles across records — and returns the extended slice plus the record
+// node (same term IRI() mints, built once).
+func (r DataObjectRecord) AppendTriples(dst []rdf.Triple) ([]rdf.Triple, rdf.Term) {
 	node := r.IRI()
 	name := r.Name
 	if name == "" {
 		name = r.ID
 	}
-	ts := []rdf.Triple{
-		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
-		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperEntity)},
-		{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
-	}
+	dst = append(dst,
+		rdf.Triple{S: node, P: rdfTypeTerm, O: r.Class.IRI()},
+		rdf.Triple{S: node, P: WasMemberOf.IRI(), O: superEntityTerm},
+		rdf.Triple{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
+	)
 	if r.Container != "" {
-		ts = append(ts, rdf.Triple{S: node, P: WasDerivedFrom.IRI(), O: rdf.IRI(r.Container)})
+		dst = append(dst, rdf.Triple{S: node, P: WasDerivedFrom.IRI(), O: rdf.IRI(r.Container)})
 	}
 	if r.AttributedTo != "" {
-		ts = append(ts, rdf.Triple{S: node, P: WasAttributedTo.IRI(), O: rdf.IRI(r.AttributedTo)})
+		dst = append(dst, rdf.Triple{S: node, P: WasAttributedTo.IRI(), O: rdf.IRI(r.AttributedTo)})
 	}
-	return ts
+	return dst, node
 }
 
 // IOActivityRecord describes one I/O API invocation (an Activity node) and
@@ -68,26 +76,34 @@ func (r IOActivityRecord) IRI() rdf.Term { return rdf.IRI(ActivityIRI(r.API, r.P
 // Triples renders the record as RDF. The Data Object is linked to the
 // activity with the class-specific provio relation (Table 2).
 func (r IOActivityRecord) Triples() []rdf.Triple {
+	ts, _ := r.AppendTriples(nil)
+	return ts
+}
+
+// AppendTriples appends the record's triples to dst and returns the extended
+// slice plus the activity node (minted once — this record is the ingest hot
+// path, one per tracked API call).
+func (r IOActivityRecord) AppendTriples(dst []rdf.Triple) ([]rdf.Triple, rdf.Term) {
 	node := r.IRI()
-	ts := []rdf.Triple{
-		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
-		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperActivity)},
-	}
+	dst = append(dst,
+		rdf.Triple{S: node, P: rdfTypeTerm, O: r.Class.IRI()},
+		rdf.Triple{S: node, P: WasMemberOf.IRI(), O: superActivityTerm},
+	)
 	if !r.Object.IsZero() {
 		if rel, ok := IORelationFor(r.Class); ok {
-			ts = append(ts, rdf.Triple{S: r.Object, P: rel.IRI(), O: node})
+			dst = append(dst, rdf.Triple{S: r.Object, P: rel.IRI(), O: node})
 		}
 	}
 	if !r.Agent.IsZero() {
-		ts = append(ts, rdf.Triple{S: node, P: AssociatedWith.IRI(), O: r.Agent})
+		dst = append(dst, rdf.Triple{S: node, P: AssociatedWith.IRI(), O: r.Agent})
 	}
 	if r.TrackDuration {
-		ts = append(ts,
+		dst = append(dst,
 			rdf.Triple{S: node, P: PropElapsed.IRI(), O: rdf.Integer(r.Elapsed.Nanoseconds())},
 			rdf.Triple{S: node, P: PropTimestamp.IRI(), O: rdf.Integer(r.Started.Nanoseconds())},
 		)
 	}
-	return ts
+	return dst, node
 }
 
 // AgentRecord describes a User, Thread, or Program agent.
@@ -107,23 +123,30 @@ func (r AgentRecord) IRI() rdf.Term { return rdf.IRI(NodeIRI(r.Class, r.ID)) }
 
 // Triples renders the record as RDF.
 func (r AgentRecord) Triples() []rdf.Triple {
+	ts, _ := r.AppendTriples(nil)
+	return ts
+}
+
+// AppendTriples appends the record's triples to dst and returns the extended
+// slice plus the agent node (minted once).
+func (r AgentRecord) AppendTriples(dst []rdf.Triple) ([]rdf.Triple, rdf.Term) {
 	node := r.IRI()
 	name := r.Name
 	if name == "" {
 		name = r.ID
 	}
-	ts := []rdf.Triple{
-		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
-		{S: node, P: WasMemberOf.IRI(), O: SuperIRI(SuperAgent)},
-		{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
-	}
+	dst = append(dst,
+		rdf.Triple{S: node, P: rdfTypeTerm, O: r.Class.IRI()},
+		rdf.Triple{S: node, P: WasMemberOf.IRI(), O: superAgentTerm},
+		rdf.Triple{S: node, P: PropName.IRI(), O: rdf.Literal(name)},
+	)
 	if r.OnBehalfOf != "" {
-		ts = append(ts, rdf.Triple{S: node, P: ActedOnBehalfOf.IRI(), O: rdf.IRI(r.OnBehalfOf)})
+		dst = append(dst, rdf.Triple{S: node, P: ActedOnBehalfOf.IRI(), O: rdf.IRI(r.OnBehalfOf)})
 	}
 	if r.Class.Name == Thread.Name && r.Rank >= 0 {
-		ts = append(ts, rdf.Triple{S: node, P: PropRank.IRI(), O: rdf.Integer(int64(r.Rank))})
+		dst = append(dst, rdf.Triple{S: node, P: PropRank.IRI(), O: rdf.Integer(int64(r.Rank))})
 	}
-	return ts
+	return dst, node
 }
 
 // ExtensibleRecord describes a Type, Configuration, or Metrics node — the
@@ -170,19 +193,26 @@ func cutPrefix(s, prefix string) (string, bool) {
 
 // Triples renders the record as RDF.
 func (r ExtensibleRecord) Triples() []rdf.Triple {
+	ts, _ := r.AppendTriples(nil)
+	return ts
+}
+
+// AppendTriples appends the record's triples to dst and returns the extended
+// slice plus the record node (minted once).
+func (r ExtensibleRecord) AppendTriples(dst []rdf.Triple) ([]rdf.Triple, rdf.Term) {
 	node := r.IRI()
-	ts := []rdf.Triple{
-		{S: node, P: rdf.IRI(rdf.RDFType), O: r.Class.IRI()},
-		{S: node, P: PropName.IRI(), O: rdf.Literal(r.Key)},
-	}
+	dst = append(dst,
+		rdf.Triple{S: node, P: rdfTypeTerm, O: r.Class.IRI()},
+		rdf.Triple{S: node, P: PropName.IRI(), O: rdf.Literal(r.Key)},
+	)
 	if !r.Value.IsZero() {
-		ts = append(ts, rdf.Triple{S: node, P: PropValue.IRI(), O: r.Value})
+		dst = append(dst, rdf.Triple{S: node, P: PropValue.IRI(), O: r.Value})
 	}
 	if r.Version >= 0 {
-		ts = append(ts, rdf.Triple{S: node, P: PropVersion.IRI(), O: rdf.Integer(int64(r.Version))})
+		dst = append(dst, rdf.Triple{S: node, P: PropVersion.IRI(), O: rdf.Integer(int64(r.Version))})
 	}
 	if r.HasAccuracy {
-		ts = append(ts, rdf.Triple{S: node, P: PropAccuracy.IRI(), O: rdf.Double(r.Accuracy)})
+		dst = append(dst, rdf.Triple{S: node, P: PropAccuracy.IRI(), O: rdf.Double(r.Accuracy)})
 	}
 	if r.Owner != "" {
 		var link Relation
@@ -194,9 +224,9 @@ func (r ExtensibleRecord) Triples() []rdf.Triple {
 		default:
 			link = PropMetric
 		}
-		ts = append(ts, rdf.Triple{S: rdf.IRI(r.Owner), P: link.IRI(), O: node})
+		dst = append(dst, rdf.Triple{S: rdf.IRI(r.Owner), P: link.IRI(), O: node})
 	}
-	return ts
+	return dst, node
 }
 
 func itoa(n int) string {

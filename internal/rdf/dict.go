@@ -1,0 +1,136 @@
+package rdf
+
+import "sync"
+
+// dictShardCount is the number of stripes in the term dictionary. Interning
+// is the first step of every insert, and before striping all rank threads of
+// a process serialized on the graph mutex just to map terms to IDs. 16 shards
+// push the collision probability low enough that interning is effectively
+// uncontended at realistic thread counts, while keeping the per-graph
+// footprint (16 small maps) negligible.
+const dictShardCount = 16
+
+// dictShard is one stripe: a Term -> ID map under its own read-write lock.
+// The read lock is the fast path — after warm-up nearly every record's terms
+// (predicates, class IRIs, repeated subjects) are already interned.
+type dictShard struct {
+	mu sync.RWMutex
+	m  map[Term]ID
+}
+
+// termDict is the graph's striped, append-only term dictionary. It has two
+// halves with separate locks:
+//
+//   - per-shard Term -> ID maps, striped by a cheap term hash, so concurrent
+//     interning by many rank threads does not serialize;
+//   - a global append-only ID -> Term table guarded by tmu, whose IDs are
+//     dense indexes (allocation order), preserving the pre-striping ID
+//     semantics the query planner and insertion log rely on.
+//
+// Lock ordering: a shard lock may be held while acquiring tmu; tmu is never
+// held while acquiring a shard lock.
+//
+// Terms are never removed (Remove does not un-intern), so the ID -> Term
+// table only grows and readers can snapshot the slice header once and index
+// it freely: entries below the observed length are immutable.
+type termDict struct {
+	shards [dictShardCount]dictShard
+
+	tmu   sync.RWMutex
+	terms []Term
+}
+
+// init allocates the shard maps. Called once from NewGraph.
+func (d *termDict) init() {
+	for i := range d.shards {
+		d.shards[i].m = make(map[Term]ID)
+	}
+}
+
+// shardOf picks the stripe for a term. The hash is FNV-1a over the tail of
+// the lexical value plus the cheap discriminators (kind, lengths): PROV-IO
+// IRIs share long namespace prefixes, so the tail carries nearly all the
+// entropy and hashing it alone keeps the probe cost independent of IRI
+// length.
+func (d *termDict) shardOf(t Term) *dictShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+		tail     = 16
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(t.Kind)) * prime32
+	h = (h ^ uint32(len(t.Value))) * prime32
+	h = (h ^ uint32(len(t.Lang))) * prime32
+	h = (h ^ uint32(len(t.Datatype))) * prime32
+	v := t.Value
+	if len(v) > tail {
+		v = v[len(v)-tail:]
+	}
+	for i := 0; i < len(v); i++ {
+		h = (h ^ uint32(v[i])) * prime32
+	}
+	return &d.shards[h&(dictShardCount-1)]
+}
+
+// intern returns the dictionary ID for t, adding it if new. Safe for
+// concurrent use; the common (already-interned) case takes only one shard
+// read lock.
+func (d *termDict) intern(t Term) ID {
+	sh := d.shardOf(t)
+	sh.mu.RLock()
+	id, ok := sh.m[t]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.m[t]; ok {
+		return id
+	}
+	d.tmu.Lock()
+	id = ID(len(d.terms))
+	d.terms = append(d.terms, t)
+	d.tmu.Unlock()
+	sh.m[t] = id
+	return id
+}
+
+// lookup returns the ID for t and whether it is interned.
+func (d *termDict) lookup(t Term) (ID, bool) {
+	sh := d.shardOf(t)
+	sh.mu.RLock()
+	id, ok := sh.m[t]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// snapshot returns the current ID -> Term table. The returned slice is
+// immutable: concurrent interning may grow d.terms, but entries below the
+// snapshot length never change, so any ID observed before the snapshot was
+// taken indexes it safely.
+func (d *termDict) snapshot() []Term {
+	d.tmu.RLock()
+	t := d.terms
+	d.tmu.RUnlock()
+	return t
+}
+
+// count returns the number of interned terms.
+func (d *termDict) count() int {
+	d.tmu.RLock()
+	n := len(d.terms)
+	d.tmu.RUnlock()
+	return n
+}
+
+// termAt returns the term interned under id, or the zero Term if id is out
+// of range (including NoID).
+func (d *termDict) termAt(id ID) Term {
+	terms := d.snapshot()
+	if int(id) >= len(terms) {
+		return Term{}
+	}
+	return terms[id]
+}

@@ -25,30 +25,42 @@ type termID = ID
 
 // Graph is an in-memory, dictionary-encoded RDF graph.
 //
-// Storage layout: the SPO index is a nested map and serves as the
-// authoritative membership structure; the POS and OSP indexes store the
-// third position in small slices, appended only after SPO has established
-// the triple is new. This keeps per-triple memory near 200 bytes, which
-// matters when a 4096-rank workload holds millions of triples across its
-// per-process sub-graphs.
+// Storage layout: each index level maps a single term ID to one pointer-held
+// adjacency node, and everything below that first map level lives inline in
+// the node — the SPO index keeps a subject's (predicate, object-set) entries
+// in a small in-node array, the OSP index inlines an object's first
+// (subject, predicate) source, and posting lists inline their first element.
+// Provenance workloads make the inline cases overwhelmingly common: a record
+// node has at most six predicates with one object each, and is referenced by
+// exactly one other node. Compared to the classic three-level nested-map
+// layout this removes roughly eight small heap objects per ingested record
+// and cuts per-insert hash-map operations by about two thirds, which matters
+// twice over on the ingest path: fewer allocations per insert, and far fewer
+// map entries to rehash and scan once a 4096-rank workload holds millions of
+// triples.
 //
 // A Graph is safe for concurrent use. In the PROV-IO architecture each
 // process owns one sub-graph, but within a process many threads (simulated
 // MPI ranks or OpenMP workers) may insert records concurrently.
 type Graph struct {
-	mu    sync.RWMutex
-	dict  map[Term]termID
-	terms []Term
+	mu sync.RWMutex
 
-	spo map[termID]map[termID]map[termID]struct{}
-	pos map[termID]map[termID][]termID // p -> o -> subjects
-	osp map[termID]map[termID][]termID // o -> s -> predicates
+	// dict is the striped term dictionary. It has its own internal locks so
+	// interning — the first step of every insert — happens outside g.mu and
+	// concurrent rank threads do not serialize on the graph write lock just
+	// to map terms to IDs (see termDict).
+	dict termDict
 
-	// pstats maintains per-predicate cardinalities (triple count, distinct
-	// subjects, distinct objects) incrementally on Add/Remove. The query
-	// planner reads them through PredStats to order joins by estimated
-	// result size instead of a static heuristic.
-	pstats map[termID]*predStat
+	// spo is the authoritative membership index: subject -> adjacency node.
+	// A key is present iff the subject has at least one triple.
+	spo map[termID]*subjNode
+	// pos maps predicate -> per-predicate node holding the o -> subjects
+	// posting lists plus the predicate's maintained cardinalities. The
+	// vocabulary is small, so this map stays tiny while its nodes carry the
+	// bulk; p-bound iteration is the query engine's workhorse.
+	pos map[termID]*predNode
+	// osp maps object -> (s, p) sources.
+	osp map[termID]*srcSet
 
 	// log records every successful Add in insertion order (12 bytes per
 	// triple). It backs the delta cursor of the flush pipeline: a flusher
@@ -59,6 +71,263 @@ type Graph struct {
 	size int
 }
 
+// objSet is the set of objects under one (subject, predicate) pair. The
+// single object is stored inline; the set spills to a map on the second
+// distinct object. n is the set size.
+type objSet struct {
+	single termID
+	multi  map[termID]struct{}
+	n      int32
+}
+
+func (s *objSet) len() int { return int(s.n) }
+
+func (s *objSet) has(o termID) bool {
+	if s.multi != nil {
+		_, ok := s.multi[o]
+		return ok
+	}
+	return s.n == 1 && s.single == o
+}
+
+// add inserts o, reporting whether it was new.
+func (s *objSet) add(o termID) bool {
+	if s.multi != nil {
+		if _, dup := s.multi[o]; dup {
+			return false
+		}
+		s.multi[o] = struct{}{}
+		s.n++
+		return true
+	}
+	if s.n == 0 {
+		s.single, s.n = o, 1
+		return true
+	}
+	if s.single == o {
+		return false
+	}
+	s.multi = map[termID]struct{}{s.single: {}, o: {}}
+	s.n = 2
+	return true
+}
+
+// remove deletes o, reporting whether it was present. When the spilled set
+// shrinks back to one element it is re-inlined.
+func (s *objSet) remove(o termID) bool {
+	if s.multi != nil {
+		if _, ok := s.multi[o]; !ok {
+			return false
+		}
+		delete(s.multi, o)
+		s.n--
+		if s.n == 1 {
+			for v := range s.multi {
+				s.single = v
+			}
+			s.multi = nil
+		}
+		return true
+	}
+	if s.n == 1 && s.single == o {
+		s.n = 0
+		return true
+	}
+	return false
+}
+
+// forEach streams the objects; fn returning false stops early. Returns false
+// iff stopped.
+func (s *objSet) forEach(fn func(termID) bool) bool {
+	if s.multi != nil {
+		for o := range s.multi {
+			if !fn(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if s.n == 1 {
+		return fn(s.single)
+	}
+	return true
+}
+
+// pentry is one (predicate, object set) adjacency entry of a subject.
+type pentry struct {
+	p    termID
+	objs objSet
+}
+
+// subjNode is a subject's adjacency: its distinct predicates with their
+// object sets. The first entries live in a small in-node array — five slots
+// cover every record shape the model emits — with overflow in a slice.
+// Entry order is unspecified. Probes are linear: a subject's distinct
+// predicate count is bounded by the vocabulary, and scanning a handful of
+// inline entries is cheaper than a hash lookup.
+type subjNode struct {
+	n    int32
+	arr  [5]pentry
+	rest []pentry
+}
+
+// entry returns the adjacency entry for p, or nil.
+func (nd *subjNode) entry(p termID) *pentry {
+	n := int(nd.n)
+	for i := 0; i < n && i < len(nd.arr); i++ {
+		if nd.arr[i].p == p {
+			return &nd.arr[i]
+		}
+	}
+	for i := range nd.rest {
+		if nd.rest[i].p == p {
+			return &nd.rest[i]
+		}
+	}
+	return nil
+}
+
+// entryOrNew returns the adjacency entry for p, creating it if absent, and
+// reports whether it was created. The pointer is valid until the next
+// mutation of the node.
+func (nd *subjNode) entryOrNew(p termID) (*pentry, bool) {
+	if pe := nd.entry(p); pe != nil {
+		return pe, false
+	}
+	if int(nd.n) < len(nd.arr) {
+		pe := &nd.arr[nd.n]
+		*pe = pentry{p: p}
+		nd.n++
+		return pe, true
+	}
+	nd.rest = append(nd.rest, pentry{p: p})
+	nd.n++
+	return &nd.rest[len(nd.rest)-1], true
+}
+
+// removeEntry drops the (now empty) entry for p by swap-delete.
+func (nd *subjNode) removeEntry(p termID) {
+	total := int(nd.n)
+	for i := 0; i < total; i++ {
+		var pe *pentry
+		if i < len(nd.arr) {
+			pe = &nd.arr[i]
+		} else {
+			pe = &nd.rest[i-len(nd.arr)]
+		}
+		if pe.p != p {
+			continue
+		}
+		last := total - 1
+		var lv pentry
+		if last < len(nd.arr) {
+			lv = nd.arr[last]
+			nd.arr[last] = pentry{}
+		} else {
+			lv = nd.rest[len(nd.rest)-1]
+			nd.rest = nd.rest[:len(nd.rest)-1]
+		}
+		if i != last {
+			if i < len(nd.arr) {
+				nd.arr[i] = lv
+			} else {
+				nd.rest[i-len(nd.arr)] = lv
+			}
+		} else if last < len(nd.arr) {
+			nd.arr[last] = pentry{}
+		}
+		nd.n--
+		return
+	}
+}
+
+// forEach streams the (predicate, object set) entries; fn returning false
+// stops early. Returns false iff stopped.
+func (nd *subjNode) forEach(fn func(p termID, objs *objSet) bool) bool {
+	n := int(nd.n)
+	for i := 0; i < n && i < len(nd.arr); i++ {
+		if !fn(nd.arr[i].p, &nd.arr[i].objs) {
+			return false
+		}
+	}
+	for i := range nd.rest {
+		if !fn(nd.rest[i].p, &nd.rest[i].objs) {
+			return false
+		}
+	}
+	return true
+}
+
+// idList is a posting list of term IDs (subjects under a (p, o) pair,
+// predicates under an (o, s) pair). The first element is inline; duplicates
+// are the caller's responsibility, as membership is established against the
+// SPO index before any posting list is touched. Order is unspecified.
+type idList struct {
+	single termID
+	rest   []termID
+	n      int32
+}
+
+func (l *idList) len() int { return int(l.n) }
+
+func (l *idList) add(v termID) {
+	if l.n == 0 {
+		l.single = v
+		l.n = 1
+		return
+	}
+	l.rest = append(l.rest, v)
+	l.n++
+}
+
+func (l *idList) remove(v termID) bool {
+	if l.n == 0 {
+		return false
+	}
+	if l.single == v {
+		if l.n == 1 {
+			l.n = 0
+			return true
+		}
+		l.single = l.rest[len(l.rest)-1]
+		l.rest = l.rest[:len(l.rest)-1]
+		l.n--
+		return true
+	}
+	for i, x := range l.rest {
+		if x == v {
+			l.rest[i] = l.rest[len(l.rest)-1]
+			l.rest = l.rest[:len(l.rest)-1]
+			l.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (l *idList) forEach(fn func(termID) bool) bool {
+	if l.n >= 1 {
+		if !fn(l.single) {
+			return false
+		}
+	}
+	for _, v := range l.rest {
+		if !fn(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// predNode is the per-predicate index node: the o -> subjects posting lists
+// plus the predicate's maintained cardinalities (the stats the query planner
+// reads through PredStats). Folding the stats into the index node means one
+// map probe serves both on the insert path.
+type predNode struct {
+	m     map[termID]*idList
+	stats predStat
+}
+
 // predStat is the per-predicate cardinality record behind PredStats.
 type predStat struct {
 	triples  int // triples with this predicate
@@ -66,146 +335,247 @@ type predStat struct {
 	objects  int // distinct objects among them
 }
 
+// spair is one (subject, predicate) source pair of an OSP entry: 8 scalar
+// bytes, so source slices carry no pointers for the GC to trace.
+type spair struct{ s, p termID }
+
+// srcSet is one OSP entry: the (subject, predicate) sources of an object.
+// The first source is inline — a freshly minted record node is referenced
+// exactly once — with further sources in a flat append-only slice. Membership
+// is the SPO index's job (add is only called for triples established new
+// there), so appends need no dedup probe: inserting a source is a plain
+// append instead of a hash-map insert, which keeps hot objects — class IRIs,
+// super-class terms, shared agents, each referenced once per record — off
+// the map-growth path entirely. The trade is that predsOf and remove scan
+// the slice, which only serve the rare (s ? o) count pattern and Remove.
+type srcSet struct {
+	s1, p1 termID
+	pairs  []spair // sources beyond the first
+	n      int32
+}
+
+func (ss *srcSet) add(s, p termID) {
+	if ss.n == 0 {
+		ss.s1, ss.p1, ss.n = s, p, 1
+		return
+	}
+	ss.pairs = append(ss.pairs, spair{s, p})
+	ss.n++
+}
+
+func (ss *srcSet) remove(s, p termID) bool {
+	if ss.n == 0 {
+		return false
+	}
+	if ss.s1 == s && ss.p1 == p {
+		if ss.n > 1 {
+			last := ss.pairs[len(ss.pairs)-1]
+			ss.pairs = ss.pairs[:len(ss.pairs)-1]
+			ss.s1, ss.p1 = last.s, last.p
+		}
+		ss.n--
+		return true
+	}
+	for i, pr := range ss.pairs {
+		if pr.s == s && pr.p == p {
+			ss.pairs[i] = ss.pairs[len(ss.pairs)-1]
+			ss.pairs = ss.pairs[:len(ss.pairs)-1]
+			ss.n--
+			return true
+		}
+	}
+	return false
+}
+
+// predsOf returns the number of predicates linking s to this object.
+func (ss *srcSet) predsOf(s termID) int {
+	c := 0
+	if ss.n >= 1 && ss.s1 == s {
+		c++
+	}
+	for _, pr := range ss.pairs {
+		if pr.s == s {
+			c++
+		}
+	}
+	return c
+}
+
+func (ss *srcSet) forEach(fn func(s, p termID) bool) bool {
+	if ss.n >= 1 {
+		if !fn(ss.s1, ss.p1) {
+			return false
+		}
+	}
+	for _, pr := range ss.pairs {
+		if !fn(pr.s, pr.p) {
+			return false
+		}
+	}
+	return true
+}
+
 // tripleRef is one insertion-log entry: the dictionary IDs of an added
 // triple.
 type tripleRef struct{ s, p, o termID }
 
+// TripleID is a triple in dictionary-ID form: the public counterpart of the
+// insertion-log entry. The delta flush pipeline serializes segments straight
+// from these 12-byte refs (RefsSince + TermRenderer) instead of
+// materializing []Triple.
+type TripleID struct{ S, P, O ID }
+
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{
-		dict:   make(map[Term]termID),
-		spo:    make(map[termID]map[termID]map[termID]struct{}),
-		pos:    make(map[termID]map[termID][]termID),
-		osp:    make(map[termID]map[termID][]termID),
-		pstats: make(map[termID]*predStat),
+	g := &Graph{
+		spo: make(map[termID]*subjNode),
+		pos: make(map[termID]*predNode),
+		osp: make(map[termID]*srcSet),
 	}
+	g.dict.init()
+	return g
 }
 
-// intern returns the dictionary ID for t, adding it if new.
-// Caller must hold g.mu for writing.
-func (g *Graph) intern(t Term) termID {
-	if id, ok := g.dict[t]; ok {
-		return id
-	}
-	id := termID(len(g.terms))
-	g.dict[t] = id
-	g.terms = append(g.terms, t)
-	return id
-}
-
-// lookup returns the ID for t and whether it is interned.
-// Caller must hold g.mu (read or write).
+// lookup returns the ID for t and whether it is interned. The dictionary has
+// its own locks; holding g.mu is not required.
 func (g *Graph) lookup(t Term) (termID, bool) {
-	id, ok := g.dict[t]
-	return id, ok
+	return g.dict.lookup(t)
 }
 
 // TermID returns the dictionary ID of t and whether t is interned. A term
 // that was never added to the graph (in any triple position) has no ID.
 func (g *Graph) TermID(t Term) (ID, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.lookup(t)
+	return g.dict.lookup(t)
 }
 
 // TermOf returns the term interned under id, or the zero Term if id is out
 // of range (including NoID).
 func (g *Graph) TermOf(id ID) Term {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if int(id) >= len(g.terms) {
-		return Term{}
-	}
-	return g.terms[id]
-}
-
-// appendList adds c to idx[a][b].
-func appendList(idx map[termID]map[termID][]termID, a, b, c termID) {
-	m2, ok := idx[a]
-	if !ok {
-		m2 = make(map[termID][]termID, 1)
-		idx[a] = m2
-	}
-	m2[b] = append(m2[b], c)
-}
-
-// removeList deletes c from idx[a][b].
-func removeList(idx map[termID]map[termID][]termID, a, b, c termID) {
-	m2, ok := idx[a]
-	if !ok {
-		return
-	}
-	list := m2[b]
-	for i, v := range list {
-		if v == c {
-			list[i] = list[len(list)-1]
-			list = list[:len(list)-1]
-			break
-		}
-	}
-	if len(list) == 0 {
-		delete(m2, b)
-		if len(m2) == 0 {
-			delete(idx, a)
-		}
-	} else {
-		m2[b] = list
-	}
+	return g.dict.termAt(id)
 }
 
 // Add inserts a triple. It reports whether the triple was new.
 // Invalid triples are rejected (returns false).
+//
+// Add is a 1-element batch: the term interning happens against the striped
+// dictionary outside the graph lock, and only the index insertion runs under
+// g.mu.
 func (g *Graph) Add(t Triple) bool {
 	if !t.Valid() {
 		return false
 	}
+	r := tripleRef{g.dict.intern(t.S), g.dict.intern(t.P), g.dict.intern(t.O)}
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	s, p, o := g.intern(t.S), g.intern(t.P), g.intern(t.O)
-	m2, ok := g.spo[s]
-	if !ok {
-		m2 = make(map[termID]map[termID]struct{}, 1)
-		g.spo[s] = m2
+	added := g.addRefLocked(r)
+	g.mu.Unlock()
+	return added
+}
+
+// addRefLocked inserts one pre-interned triple into the indexes, maintaining
+// predicate stats and the insertion log. It reports whether the triple was
+// new. Caller must hold g.mu for writing.
+func (g *Graph) addRefLocked(r tripleRef) bool {
+	s, p, o := r.s, r.p, r.o
+	nd := g.spo[s]
+	if nd == nil {
+		nd = &subjNode{}
+		g.spo[s] = nd
 	}
-	m3, ok := m2[p]
-	if !ok {
-		m3 = make(map[termID]struct{}, 1)
-		m2[p] = m3
-	}
-	if _, dup := m3[o]; dup {
+	pe, pairNew := nd.entryOrNew(p)
+	if !pe.objs.add(o) {
 		return false
 	}
-	ps := g.pstats[p]
-	if ps == nil {
-		ps = &predStat{}
-		g.pstats[p] = ps
+	pn := g.pos[p]
+	if pn == nil {
+		pn = &predNode{m: make(map[termID]*idList, 1)}
+		g.pos[p] = pn
 	}
-	ps.triples++
-	if len(m3) == 0 {
+	pn.stats.triples++
+	if pairNew {
 		// First object under (s, p): s is a new distinct subject for p.
-		ps.subjects++
+		pn.stats.subjects++
 	}
-	if len(g.pos[p][o]) == 0 {
+	l := pn.m[o]
+	if l == nil {
 		// First subject under (p, o): o is a new distinct object for p.
-		ps.objects++
+		l = &idList{}
+		pn.m[o] = l
+		pn.stats.objects++
 	}
-	m3[o] = struct{}{}
-	appendList(g.pos, p, o, s)
-	appendList(g.osp, o, s, p)
-	g.log = append(g.log, tripleRef{s, p, o})
+	l.add(s)
+	ss := g.osp[o]
+	if ss == nil {
+		ss = &srcSet{}
+		g.osp[o] = ss
+	}
+	ss.add(s, p)
+	g.log = append(g.log, r)
 	g.size++
 	return true
 }
 
-// AddAll inserts every triple in ts and returns the number newly added.
-func (g *Graph) AddAll(ts []Triple) int {
-	n := 0
+// AddBatch inserts a whole record's triples under one lock acquisition and
+// returns the number newly added. Invalid triples are skipped. The graph
+// state, per-predicate statistics, and insertion-log order are identical to
+// calling Add per triple; the difference is cost: terms are interned against
+// the striped dictionary before g.mu is taken, so the critical section is
+// just the index insertions, and concurrent rank threads contend once per
+// record instead of once per triple.
+func (g *Graph) AddBatch(ts []Triple) int {
+	if len(ts) == 0 {
+		return 0
+	}
+	// Intern outside the lock. Records repeat terms across adjacent triples
+	// (the subject of every triple is usually the record node; rdf:type and
+	// class IRIs recur), so reuse the previous triple's IDs when the term is
+	// identical — for terms minted once per record the comparison is a
+	// pointer-equal string check.
+	var arr [12]tripleRef
+	refs := arr[:0]
+	if len(ts) > len(arr) {
+		refs = make([]tripleRef, 0, len(ts))
+	}
+	var prev Triple
+	var pref tripleRef
+	havePrev := false
 	for _, t := range ts {
-		if g.Add(t) {
+		if !t.Valid() {
+			continue
+		}
+		var r tripleRef
+		if havePrev && t.S == prev.S {
+			r.s = pref.s
+		} else {
+			r.s = g.dict.intern(t.S)
+		}
+		if havePrev && t.P == prev.P {
+			r.p = pref.p
+		} else {
+			r.p = g.dict.intern(t.P)
+		}
+		if havePrev && t.O == prev.O {
+			r.o = pref.o
+		} else {
+			r.o = g.dict.intern(t.O)
+		}
+		prev, pref, havePrev = t, r, true
+		refs = append(refs, r)
+	}
+	n := 0
+	g.mu.Lock()
+	for _, r := range refs {
+		if g.addRefLocked(r) {
 			n++
 		}
 	}
+	g.mu.Unlock()
 	return n
+}
+
+// AddAll inserts every triple in ts and returns the number newly added. It
+// is AddBatch under its historical name.
+func (g *Graph) AddAll(ts []Triple) int {
+	return g.AddBatch(ts)
 }
 
 // Remove deletes a triple. It reports whether the triple was present.
@@ -224,42 +594,49 @@ func (g *Graph) Remove(t Triple) bool {
 	if !ok {
 		return false
 	}
-	m2, ok := g.spo[s]
-	if !ok {
+	nd := g.spo[s]
+	if nd == nil {
 		return false
 	}
-	m3, ok := m2[p]
-	if !ok {
+	pe := nd.entry(p)
+	if pe == nil || !pe.objs.remove(o) {
 		return false
 	}
-	if _, ok := m3[o]; !ok {
-		return false
-	}
-	delete(m3, o)
-	if ps := g.pstats[p]; ps != nil {
-		ps.triples--
-		if len(m3) == 0 {
-			ps.subjects--
-		}
-	}
-	if len(m3) == 0 {
-		delete(m2, p)
-		if len(m2) == 0 {
+	pairEmptied := pe.objs.len() == 0
+	if pairEmptied {
+		nd.removeEntry(p)
+		if nd.n == 0 {
 			delete(g.spo, s)
 		}
 	}
-	removeList(g.pos, p, o, s)
-	if ps := g.pstats[p]; ps != nil {
-		if len(g.pos[p][o]) == 0 {
-			ps.objects--
+	if pn := g.pos[p]; pn != nil {
+		pn.stats.triples--
+		if pairEmptied {
+			pn.stats.subjects--
 		}
-		if ps.triples == 0 {
-			delete(g.pstats, p)
+		if l := pn.m[o]; l != nil && l.remove(s) && l.len() == 0 {
+			delete(pn.m, o)
+			pn.stats.objects--
+		}
+		if pn.stats.triples == 0 {
+			delete(g.pos, p)
 		}
 	}
-	removeList(g.osp, o, s, p)
+	if ss := g.osp[o]; ss != nil && ss.remove(s, p) && ss.n == 0 {
+		delete(g.osp, o)
+	}
 	g.size--
 	return true
+}
+
+// hasLocked reports membership of (s, p, o). Caller must hold g.mu.
+func (g *Graph) hasLocked(s, p, o termID) bool {
+	nd := g.spo[s]
+	if nd == nil {
+		return false
+	}
+	pe := nd.entry(p)
+	return pe != nil && pe.objs.has(o)
 }
 
 // Has reports whether the graph contains the triple.
@@ -278,16 +655,7 @@ func (g *Graph) Has(t Triple) bool {
 	if !ok {
 		return false
 	}
-	m2, ok := g.spo[s]
-	if !ok {
-		return false
-	}
-	m3, ok := m2[p]
-	if !ok {
-		return false
-	}
-	_, ok = m3[o]
-	return ok
+	return g.hasLocked(s, p, o)
 }
 
 // Len returns the number of triples in the graph.
@@ -299,9 +667,7 @@ func (g *Graph) Len() int {
 
 // TermCount returns the number of distinct interned terms.
 func (g *Graph) TermCount() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return len(g.terms)
+	return g.dict.count()
 }
 
 // PredStats returns the maintained cardinalities of predicate p: the number
@@ -310,11 +676,11 @@ func (g *Graph) TermCount() int {
 func (g *Graph) PredStats(p ID) (triples, subjects, objects int) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	ps := g.pstats[p]
-	if ps == nil {
+	pn := g.pos[p]
+	if pn == nil {
 		return 0, 0, 0
 	}
-	return ps.triples, ps.subjects, ps.objects
+	return pn.stats.triples, pn.stats.subjects, pn.stats.objects
 }
 
 // IndexStats returns the distinct subject, predicate, and object counts of
@@ -353,17 +719,42 @@ func (g *Graph) TriplesSince(n int) []Triple {
 	if n >= len(g.log) {
 		return nil
 	}
+	terms := g.dict.snapshot()
 	out := make([]Triple, 0, len(g.log)-n)
 	for _, r := range g.log[n:] {
-		if m2, ok := g.spo[r.s]; ok {
-			if m3, ok := m2[r.p]; ok {
-				if _, ok := m3[r.o]; ok {
-					out = append(out, Triple{S: g.terms[r.s], P: g.terms[r.p], O: g.terms[r.o]})
-				}
-			}
+		if g.hasLocked(r.s, r.p, r.o) {
+			out = append(out, Triple{S: terms[r.s], P: terms[r.p], O: terms[r.o]})
 		}
 	}
 	return out
+}
+
+// RefsSince is TriplesSince in ID space: the surviving insertion-log entries
+// at positions >= n as 12-byte TripleIDs, plus the log position the delta
+// extends to (the caller's next cursor). Capturing the end position under
+// the same lock as the refs closes the race TriplesSince+LogLen had: no
+// insert can slip between the snapshot and the cursor advance.
+//
+// This is the write-side ID-space path: the flush pipeline hands these refs
+// to a TermRenderer, which rehydrates each distinct term at most once across
+// all of a tracker's flushes, instead of materializing a []Triple per delta.
+func (g *Graph) RefsSince(n int) (refs []TripleID, end int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if n < 0 {
+		n = 0
+	}
+	end = len(g.log)
+	if n >= end {
+		return nil, end
+	}
+	refs = make([]TripleID, 0, end-n)
+	for _, r := range g.log[n:] {
+		if g.hasLocked(r.s, r.p, r.o) {
+			refs = append(refs, TripleID{S: r.s, P: r.p, O: r.o})
+		}
+	}
+	return refs, end
 }
 
 // Find returns all triples matching the pattern. A nil pointer matches any
@@ -404,8 +795,9 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 			return
 		}
 	}
+	terms := g.dict.snapshot()
 	g.forEachIDs(sid, pid, oid, func(si, pi, oi ID) bool {
-		return fn(Triple{S: g.terms[si], P: g.terms[pi], O: g.terms[oi]})
+		return fn(Triple{S: terms[si], P: terms[pi], O: terms[oi]})
 	})
 }
 
@@ -419,7 +811,7 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 func (g *Graph) ForEachMatchIDs(s, p, o ID, fn func(s, p, o ID) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	n := len(g.terms)
+	n := g.dict.count()
 	if (s != NoID && int(s) >= n) || (p != NoID && int(p) >= n) || (o != NoID && int(o) >= n) {
 		return
 	}
@@ -432,65 +824,60 @@ func (g *Graph) ForEachMatchIDs(s, p, o ID, fn func(s, p, o ID) bool) {
 func (g *Graph) forEachIDs(sid, pid, oid ID, emit func(s, p, o ID) bool) {
 	switch {
 	case sid != NoID: // SPO index
-		m2 := g.spo[sid]
+		nd := g.spo[sid]
+		if nd == nil {
+			return
+		}
 		if pid != NoID {
-			m3 := m2[pid]
+			pe := nd.entry(pid)
+			if pe == nil {
+				return
+			}
 			if oid != NoID {
-				if _, ok := m3[oid]; ok {
+				if pe.objs.has(oid) {
 					emit(sid, pid, oid)
 				}
 				return
 			}
-			for oi := range m3 {
-				if !emit(sid, pid, oi) {
-					return
-				}
-			}
+			pe.objs.forEach(func(oi termID) bool { return emit(sid, pid, oi) })
 			return
 		}
-		for pi, m3 := range m2 {
-			for oi := range m3 {
-				if oid != NoID && oi != oid {
-					continue
+		nd.forEach(func(pi termID, objs *objSet) bool {
+			if oid != NoID {
+				if objs.has(oid) {
+					return emit(sid, pi, oid)
 				}
-				if !emit(sid, pi, oi) {
-					return
-				}
+				return true
 			}
-		}
+			return objs.forEach(func(oi termID) bool { return emit(sid, pi, oi) })
+		})
 	case pid != NoID: // POS index
-		m2 := g.pos[pid]
+		pn := g.pos[pid]
+		if pn == nil {
+			return
+		}
 		if oid != NoID {
-			for _, si := range m2[oid] {
-				if !emit(si, pid, oid) {
-					return
-				}
+			if l := pn.m[oid]; l != nil {
+				l.forEach(func(si termID) bool { return emit(si, pid, oid) })
 			}
 			return
 		}
-		for oi, subjects := range m2 {
-			for _, si := range subjects {
-				if !emit(si, pid, oi) {
-					return
-				}
+		for oi, l := range pn.m {
+			if !l.forEach(func(si termID) bool { return emit(si, pid, oi) }) {
+				return
 			}
 		}
 	case oid != NoID: // OSP index
-		for si, preds := range g.osp[oid] {
-			for _, pi := range preds {
-				if !emit(si, pi, oid) {
-					return
-				}
-			}
+		if ss := g.osp[oid]; ss != nil {
+			ss.forEach(func(si, pi termID) bool { return emit(si, pi, oid) })
 		}
 	default: // full scan
-		for si, m2 := range g.spo {
-			for pi, m3 := range m2 {
-				for oi := range m3 {
-					if !emit(si, pi, oi) {
-						return
-					}
-				}
+		for si, nd := range g.spo {
+			ok := nd.forEach(func(pi termID, objs *objSet) bool {
+				return objs.forEach(func(oi termID) bool { return emit(si, pi, oi) })
+			})
+			if !ok {
+				return
 			}
 		}
 	}
@@ -500,49 +887,65 @@ func (g *Graph) forEachIDs(sid, pid, oid ID, emit func(s, p, o ID) bool) {
 // (NoID = wildcard) without enumerating them where an index or maintained
 // counter answers directly:
 //
-//	(s p o) -> 0/1 membership probe     (s p ?) -> len(spo[s][p])
-//	(? p o) -> len(pos[p][o])           (s ? o) -> len(osp[o][s])
+//	(s p o) -> 0/1 membership probe     (s p ?) -> SPO object-set size
+//	(? p o) -> POS posting-list length  (s ? o) -> OSP per-subject count
 //	(? p ?) -> maintained predicate count
-//	(s ? ?), (? ? o) -> sum over one second-level index map
+//	(s ? ?) -> sum over the subject's adjacency entries
+//	(? ? o) -> OSP source count
 //	(? ? ?) -> graph size
 //
 // This is the cardinality oracle behind the query planner's join ordering.
 func (g *Graph) CountMatchIDs(s, p, o ID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	n := len(g.terms)
+	n := g.dict.count()
 	if (s != NoID && int(s) >= n) || (p != NoID && int(p) >= n) || (o != NoID && int(o) >= n) {
 		return 0
 	}
 	switch {
 	case s != NoID && p != NoID && o != NoID:
-		if _, ok := g.spo[s][p][o]; ok {
+		if g.hasLocked(s, p, o) {
 			return 1
 		}
 		return 0
 	case s != NoID && p != NoID:
-		return len(g.spo[s][p])
+		if nd := g.spo[s]; nd != nil {
+			if pe := nd.entry(p); pe != nil {
+				return pe.objs.len()
+			}
+		}
+		return 0
 	case p != NoID && o != NoID:
-		return len(g.pos[p][o])
+		if pn := g.pos[p]; pn != nil {
+			if l := pn.m[o]; l != nil {
+				return l.len()
+			}
+		}
+		return 0
 	case s != NoID && o != NoID:
-		return len(g.osp[o][s])
+		if ss := g.osp[o]; ss != nil {
+			return ss.predsOf(s)
+		}
+		return 0
 	case p != NoID:
-		if ps := g.pstats[p]; ps != nil {
-			return ps.triples
+		if pn := g.pos[p]; pn != nil {
+			return pn.stats.triples
 		}
 		return 0
 	case s != NoID:
 		c := 0
-		for _, m3 := range g.spo[s] {
-			c += len(m3)
+		if nd := g.spo[s]; nd != nil {
+			nd.forEach(func(_ termID, objs *objSet) bool {
+				c += objs.len()
+				return true
+			})
 		}
 		return c
 	case o != NoID:
-		c := 0
-		for _, preds := range g.osp[o] {
-			c += len(preds)
+		if ss := g.osp[o]; ss != nil {
+			return int(ss.n)
 		}
-		return c
+		return 0
 	default:
 		return g.size
 	}
@@ -577,9 +980,10 @@ func termLess(a, b Term) bool {
 // Subjects returns the distinct subjects in the graph, sorted.
 func (g *Graph) Subjects() []Term {
 	g.mu.RLock()
+	terms := g.dict.snapshot()
 	out := make([]Term, 0, len(g.spo))
 	for s := range g.spo {
-		out = append(out, g.terms[s])
+		out = append(out, terms[s])
 	}
 	g.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return termLess(out[i], out[j]) })
@@ -597,13 +1001,20 @@ func (g *Graph) Merge(other *Graph) int {
 	if g == other {
 		return 0
 	}
+	// Chunked AddBatch keeps lock acquisitions on g to one per chunk instead
+	// of one per triple while bounding the staging buffer.
+	const chunk = 512
 	n := 0
+	buf := make([]Triple, 0, chunk)
 	other.ForEachMatch(nil, nil, nil, func(t Triple) bool {
-		if g.Add(t) {
-			n++
+		buf = append(buf, t)
+		if len(buf) == chunk {
+			n += g.AddBatch(buf)
+			buf = buf[:0]
 		}
 		return true
 	})
+	n += g.AddBatch(buf)
 	return n
 }
 

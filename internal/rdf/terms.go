@@ -9,7 +9,7 @@
 package rdf
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -72,13 +72,19 @@ func TypedLiteral(lexical, datatype string) Term {
 }
 
 // Integer returns an xsd:integer literal.
-func Integer(v int64) Term { return TypedLiteral(fmt.Sprintf("%d", v), XSDInteger) }
+func Integer(v int64) Term { return TypedLiteral(strconv.FormatInt(v, 10), XSDInteger) }
 
 // Double returns an xsd:double literal.
-func Double(v float64) Term { return TypedLiteral(fmt.Sprintf("%g", v), XSDDouble) }
+func Double(v float64) Term { return TypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble) }
 
 // Boolean returns an xsd:boolean literal.
-func Boolean(v bool) Term { return TypedLiteral(fmt.Sprintf("%t", v), XSDBoolean) }
+func Boolean(v bool) Term {
+	s := "false"
+	if v {
+		s = "true"
+	}
+	return TypedLiteral(s, XSDBoolean)
+}
 
 // IsIRI reports whether t is an IRI.
 func (t Term) IsIRI() bool { return t.Kind == IRITerm }

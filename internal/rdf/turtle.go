@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"sort"
+	"sync"
 )
 
 // WriteTurtle serializes the graph in Turtle format, grouping triples by
@@ -119,6 +120,90 @@ func WriteNTriples(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range g.SortedTriples() {
 		if _, err := bw.WriteString(t.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TermRenderer memoizes the N-Triples rendering of one graph's terms by
+// dictionary ID. Because IDs are stable for the lifetime of a graph, a
+// renderer owned by a tracker renders each distinct term exactly once across
+// all of that tracker's delta flushes — the write-side twin of the query
+// executor's memoized ORDER BY term rendering. The cache grows to one string
+// per rendered term and is never invalidated (terms are immutable once
+// interned).
+//
+// A TermRenderer is safe for concurrent use; in the flush pipeline the async
+// writer goroutine and inline delta flushes may touch it from different
+// threads.
+type TermRenderer struct {
+	g     *Graph
+	mu    sync.Mutex
+	cache []string
+}
+
+// NewTermRenderer returns a renderer memoizing g's terms.
+func NewTermRenderer(g *Graph) *TermRenderer {
+	return &TermRenderer{g: g}
+}
+
+// Render returns the N-Triples rendering of the term interned under id,
+// computing and caching it on first use. IDs that are not interned (including
+// NoID) render as the zero Term.
+func (r *TermRenderer) Render(id ID) string {
+	return r.render(id, r.g.dict.snapshot())
+}
+
+// render is Render against an already-taken dictionary snapshot.
+func (r *TermRenderer) render(id ID, terms []Term) string {
+	if int(id) >= len(terms) {
+		return Term{}.String()
+	}
+	r.mu.Lock()
+	if int(id) >= len(r.cache) {
+		grown := make([]string, len(terms))
+		copy(grown, r.cache)
+		r.cache = grown
+	}
+	s := r.cache[id]
+	if s == "" {
+		s = terms[id].String()
+		r.cache[id] = s
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// WriteNTriples serializes refs of the renderer's graph as N-Triples in
+// deterministic (S, P, O) term order, sorting refs in place. This is the
+// delta-segment serializer: it renders from 12-byte TripleIDs and the
+// memoized per-ID term cache, so a flush materializes no []Triple and
+// re-renders no term a previous flush already rendered. The byte output is
+// identical to sorting the materialized triples and writing Triple.String.
+func (r *TermRenderer) WriteNTriples(w io.Writer, refs []TripleID) error {
+	terms := r.g.dict.snapshot()
+	// Interning is injective, so distinct IDs always hold distinct terms.
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i], refs[j]
+		if a.S != b.S {
+			return termLess(terms[a.S], terms[b.S])
+		}
+		if a.P != b.P {
+			return termLess(terms[a.P], terms[b.P])
+		}
+		return a.O != b.O && termLess(terms[a.O], terms[b.O])
+	})
+	bw := bufio.NewWriter(w)
+	for _, t := range refs {
+		if _, err := bw.WriteString(r.render(t.S, terms)); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(r.render(t.P, terms))
+		bw.WriteByte(' ')
+		bw.WriteString(r.render(t.O, terms))
+		if _, err := bw.WriteString(" .\n"); err != nil {
 			return err
 		}
 	}
