@@ -127,14 +127,25 @@ type VFSBackend = core.VFSBackend
 // OSBackend stores provenance on the host filesystem.
 type OSBackend = core.OSBackend
 
-// Format selects the store serialization.
+// Format selects the store serialization codec. Reads always auto-detect
+// each file's codec from its magic bytes, so any Format opens any store
+// directory; Format only governs what the store writes.
 type Format = core.Format
 
 // Store formats.
 const (
 	FormatTurtle   = core.FormatTurtle
 	FormatNTriples = core.FormatNTriples
+	// FormatBinary is the ID-space binary segment codec (.pbs).
+	FormatBinary = core.FormatBinary
+	// FormatAuto resolves to the format already present in the store
+	// directory (Turtle when empty).
+	FormatAuto = core.FormatAuto
 )
+
+// ParseFormat parses a -format flag value: auto | nt | ttl | pbs (plus the
+// aliases turtle, ntriples, binary).
+func ParseFormat(s string) (Format, error) { return core.ParseFormat(s) }
 
 // Pipeline selects how periodic flushes reach the store: an async
 // background writer appending delta segments (default), inline delta

@@ -50,7 +50,8 @@ func main() {
 	case "all":
 		// paper exhibits only
 	case "ablations":
-		ids = []string{"abl-flush", "abl-granularity", "abl-format", "abl-guid"}
+		ids = []string{"abl-flush", "abl-pipeline", "abl-granularity", "abl-format",
+			"abl-guid", "abl-query", "abl-ingest", "abl-codec"}
 	default:
 		ids = strings.Split(*exp, ",")
 	}

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	provio-merge -store ./prov [-parallel N] [-compact]
+//	provio-merge -store ./prov [-format auto|nt|ttl|pbs] [-parallel N] [-compact]
+//
+// Reading auto-detects each file's codec from its magic bytes, so stores
+// mixing .nt, .ttl, and .pbs files merge correctly regardless of -format;
+// the flag selects what gets written (the merged output, and — with
+// -compact — the rewritten canonical files, which is how a text store is
+// migrated to the binary format).
 package main
 
 import (
@@ -20,7 +26,10 @@ import (
 
 func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
-	ntriples := flag.Bool("ntriples", false, "store uses N-Triples (.nt) files")
+	formatFlag := flag.String("format", "auto",
+		"write format: auto | nt | ttl | pbs (auto keeps the store's existing format)")
+	ntriples := flag.Bool("ntriples", false,
+		"deprecated alias for -format=nt")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"parse worker pool size for the merge (1 = sequential)")
 	compact := flag.Bool("compact", false,
@@ -31,9 +40,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "provio-merge: -store is required")
 		os.Exit(1)
 	}
-	format := provio.FormatTurtle
 	if *ntriples {
-		format = provio.FormatNTriples
+		fmt.Fprintln(os.Stderr, "provio-merge: -ntriples is deprecated, use -format=nt")
+		if *formatFlag == "auto" {
+			*formatFlag = "nt"
+		}
+	}
+	format, err := provio.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-merge: %v\n", err)
+		os.Exit(1)
 	}
 	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
 	if err != nil {

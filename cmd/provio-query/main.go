@@ -26,6 +26,8 @@ func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
 	queryFile := flag.String("file", "", "read the query from this file instead of argv")
 	format := flag.String("format", "tsv", "output format: tsv | json (W3C SPARQL results JSON)")
+	storeFormat := flag.String("store-format", "auto",
+		"store codec: auto | nt | ttl | pbs (reads auto-detect per file)")
 	plan := flag.Bool("plan", false, "print the query plan (EXPLAIN) instead of executing")
 	flag.Parse()
 
@@ -46,7 +48,11 @@ func main() {
 		fatalf("pass the query as the single argument or via -file")
 	}
 
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	sf, err := provio.ParseFormat(*storeFormat)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, sf)
 	if err != nil {
 		fatalf("open store: %v", err)
 	}

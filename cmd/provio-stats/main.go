@@ -20,12 +20,19 @@ import (
 
 func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
+	formatFlag := flag.String("format", "auto",
+		"store format: auto | nt | ttl | pbs (reads auto-detect per file)")
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "provio-stats: -store is required")
 		os.Exit(1)
 	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	format, err := provio.ParseFormat(*formatFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
+		os.Exit(1)
+	}
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)

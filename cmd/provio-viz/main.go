@@ -19,6 +19,8 @@ import (
 
 func main() {
 	storeDir := flag.String("store", "", "provenance store directory (required)")
+	formatFlag := flag.String("format", "auto",
+		"store format: auto | nt | ttl | pbs (reads auto-detect per file)")
 	out := flag.String("o", "", "output DOT file (default stdout)")
 	product := flag.String("product", "", "file path of a data product whose lineage to highlight")
 	title := flag.String("title", "PROV-IO provenance", "graph title")
@@ -27,7 +29,11 @@ func main() {
 	if *storeDir == "" {
 		fatalf("-store is required")
 	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatTurtle)
+	format, err := provio.ParseFormat(*formatFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
 	if err != nil {
 		fatalf("open store: %v", err)
 	}

@@ -37,6 +37,7 @@ var registry = map[string]Runner{
 	"abl-guid":        AblationGUIDMerge,
 	"abl-query":       AblationQuery,
 	"abl-ingest":      AblationIngest,
+	"abl-codec":       AblationCodec,
 }
 
 // order lists experiment IDs in presentation order.

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// trackInto runs one process's deterministic record stream through a tracker
+// on the given store. Every format test replays the identical stream so the
+// merged graphs are comparable across codecs. With leaveSegments the tracker
+// is drained but not closed, so periodic delta segments stay un-compacted on
+// disk (Close would fold them into the canonical file).
+func trackInto(t *testing.T, store *Store, pid int, cfg *Config, leaveSegments bool) {
+	t.Helper()
+	tr := NewTracker(cfg, store, pid)
+	user := tr.RegisterUser("alice")
+	prog := tr.RegisterProgram("codec.exe", user)
+	thr := tr.RegisterThread(pid, prog)
+	for i := 0; i < 6; i++ {
+		obj := tr.TrackDataObject(model.Dataset,
+			fmt.Sprintf("/codec.h5/ts%d/x", i), fmt.Sprintf("/ts%d/x", i), rdf.Term{}, prog)
+		tr.TrackIO(model.Write, "H5Dwrite", obj, thr,
+			time.Duration(i)*time.Millisecond, 150*time.Microsecond)
+	}
+	if leaveSegments {
+		if err := tr.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonicalNT is the triple-multiset fingerprint used for cross-format
+// graph equality.
+func canonicalNT(t *testing.T, g *rdf.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestBinaryStoreRoundTrip runs the full tracker pipeline against a binary
+// store and checks the merged graph equals a Turtle store fed the same
+// records.
+func TestBinaryStoreRoundTrip(t *testing.T) {
+	graphs := make(map[Format]*rdf.Graph)
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		view := vfs.NewStore().NewView()
+		store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pid := 0; pid < 2; pid++ {
+			trackInto(t, store, pid, DefaultConfig(), false)
+		}
+		g, err := store.Merge()
+		if err != nil {
+			t.Fatalf("%v store merge: %v", format, err)
+		}
+		graphs[format] = g
+
+		// The canonical files must carry the codec's extension.
+		names, err := store.backend.List("/prov")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantExt := format.codecOf().Ext()
+		for _, n := range names {
+			if !strings.HasSuffix(n, wantExt) {
+				t.Errorf("%v store left unexpected file %s", format, n)
+			}
+		}
+	}
+	if canonicalNT(t, graphs[FormatBinary]) != canonicalNT(t, graphs[FormatTurtle]) {
+		t.Error("binary store merged to a different graph than the Turtle store")
+	}
+}
+
+// TestMixedFormatMerge is the acceptance pin of the codec layer: a store
+// directory holding .ttl, .nt, and .pbs files at once — canonical sub-graphs
+// AND un-compacted delta segments — must merge to a triple multiset
+// identical to an all-text baseline fed the same records.
+func TestMixedFormatMerge(t *testing.T) {
+	// Periodic flush with no Close-compaction leaves delta segments behind.
+	segCfg := func() *Config {
+		cfg := DefaultConfig()
+		cfg.Mode = ModePeriodic
+		cfg.FlushEvery = 3
+		return cfg
+	}
+
+	build := func(t *testing.T, formats []Format) *rdf.Graph {
+		t.Helper()
+		view := vfs.NewStore().NewView()
+		for pid, format := range formats {
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, leaveSegments := DefaultConfig(), false
+			if pid%2 == 1 {
+				// Odd pids drain without closing: their delta segments stay
+				// on disk in their store's segment format.
+				cfg, leaveSegments = segCfg(), true
+			}
+			trackInto(t, store, pid, cfg, leaveSegments)
+		}
+		// Read the shared directory back with auto-detection.
+		reader, err := NewStore(VFSBackend{View: view}, "/prov", FormatAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := reader.MergeParallel(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	baseline := build(t, []Format{FormatTurtle, FormatTurtle, FormatTurtle})
+	mixed := build(t, []Format{FormatTurtle, FormatNTriples, FormatBinary})
+	if canonicalNT(t, mixed) != canonicalNT(t, baseline) {
+		t.Fatal("mixed .ttl/.nt/.pbs directory merged to a different triple multiset than the all-text baseline")
+	}
+	if mixed.Len() == 0 {
+		t.Fatal("merge produced an empty graph")
+	}
+}
+
+// TestCompactMigratesTextToBinary: opening a text-format directory with a
+// binary store and compacting rewrites the canonical files as .pbs — the
+// codec layer's migration path.
+func TestCompactMigratesTextToBinary(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	text, err := NewStore(VFSBackend{View: view}, "/prov", FormatNTriples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 3
+	trackInto(t, text, 0, cfg, true) // leaves un-compacted .nt segments
+	before, err := text.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	names, _ := text.backend.List("/prov")
+	var hadSeg bool
+	for _, n := range names {
+		if strings.Contains(n, ".seg") {
+			hadSeg = true
+		}
+	}
+	if !hadSeg {
+		t.Fatal("test setup: expected un-compacted .nt segments")
+	}
+
+	bin, err := NewStore(VFSBackend{View: view}, "/prov", FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bin.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = bin.backend.List("/prov")
+	for _, n := range names {
+		if strings.Contains(n, ".seg") {
+			t.Errorf("segment %s survived compaction", n)
+		}
+	}
+	data, err := bin.backend.ReadFile("/prov/prov_p000000.pbs")
+	if err != nil {
+		t.Fatalf("compaction did not produce a .pbs canonical file: %v", err)
+	}
+	if segcodec.Detect(data).Name() != "pbs" {
+		t.Error("compacted canonical file does not carry the pbs magic")
+	}
+	after, err := bin.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalNT(t, after) != canonicalNT(t, before) {
+		t.Error("text -> binary compaction changed the graph")
+	}
+}
+
+// TestCompactMigratesCanonicalOnly: a text store with NO pending segments —
+// the common provio-merge -format=pbs -compact input — must still have its
+// canonical files rewritten to the store codec, with the old-format files
+// removed; and a second Compact must be a no-op (idempotent migration).
+func TestCompactMigratesCanonicalOnly(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	text, err := NewStore(VFSBackend{View: view}, "/prov", FormatTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < 2; pid++ {
+		trackInto(t, text, pid, DefaultConfig(), false) // Close: canonical only
+	}
+	before, err := text.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin, err := NewStore(VFSBackend{View: view}, "/prov", FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bin.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := bin.backend.List("/prov")
+	for _, n := range names {
+		if strings.HasSuffix(n, ".ttl") {
+			t.Errorf("old-format canonical file %s survived migration", n)
+		}
+	}
+	for pid := 0; pid < 2; pid++ {
+		if _, err := bin.backend.ReadFile(fmt.Sprintf("/prov/prov_p%06d.pbs", pid)); err != nil {
+			t.Errorf("pid %d: no migrated .pbs canonical file: %v", pid, err)
+		}
+	}
+	after, err := bin.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalNT(t, after) != canonicalNT(t, before) {
+		t.Error("canonical-only migration changed the graph")
+	}
+
+	// Idempotence: the files must not change on a second Compact.
+	snapshot := make(map[string][]byte)
+	for _, n := range names {
+		data, _ := bin.backend.ReadFile("/prov/" + n)
+		snapshot[n] = data
+	}
+	if err := bin.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	names2, _ := bin.backend.List("/prov")
+	if len(names2) != len(names) {
+		t.Fatalf("second Compact changed the file set: %v -> %v", names, names2)
+	}
+	for _, n := range names2 {
+		data, _ := bin.backend.ReadFile("/prov/" + n)
+		if !bytes.Equal(data, snapshot[n]) {
+			t.Errorf("second Compact rewrote %s", n)
+		}
+	}
+}
+
+// TestFormatAutoDetection pins FormatAuto's directory sniffing: canonical
+// file extensions win, segments decide only alone, empty dirs are Turtle.
+func TestFormatAutoDetection(t *testing.T) {
+	cases := []struct {
+		name  string
+		files []string
+		want  Format
+	}{
+		{"empty", nil, FormatTurtle},
+		{"canonical ttl", []string{"prov_p000000.ttl"}, FormatTurtle},
+		{"canonical nt", []string{"prov_p000000.nt"}, FormatNTriples},
+		{"canonical pbs", []string{"prov_p000000.pbs"}, FormatBinary},
+		{"segment only", []string{"prov_p000000.seg0000.pbs"}, FormatBinary},
+		{"canonical wins over segment", []string{"prov_p000000.seg0000.nt", "prov_p000001.pbs"}, FormatBinary},
+		{"foreign files ignored", []string{"README.txt", "prov_merged.ttl"}, FormatTurtle},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			backend := VFSBackend{View: view}
+			if err := backend.MkdirAll("/prov"); err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range tc.files {
+				if err := backend.WriteFile("/prov/"+f, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			store, err := NewStore(backend, "/prov", FormatAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if store.Format() != tc.want {
+				t.Errorf("detected %v, want %v", store.Format(), tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenMergedBinary pins the canonical .pbs bytes of the golden store:
+// the binary serialization of the merged graph must stay stable, and the
+// fixture must decode back to the identical graph.
+func TestGoldenMergedBinary(t *testing.T) {
+	store := buildGoldenStore(t)
+	merged, err := store.MergeParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbs bytes.Buffer
+	if err := segcodec.Binary.Encode(&pbs, merged, nil); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_merged.pbs", pbs.Bytes())
+
+	decoded := rdf.NewGraph()
+	if err := segcodec.Binary.Decode(bytes.NewReader(pbs.Bytes()), decoded); err != nil {
+		t.Fatalf("decoding our own golden fixture: %v", err)
+	}
+	if canonicalNT(t, decoded) != canonicalNT(t, merged) {
+		t.Error("golden .pbs fixture does not round-trip to the merged graph")
+	}
+}
+
+// TestCorruptBinarySegmentSurfacesError mirrors the fault tests for text
+// segments: a bit-flipped .pbs file must fail the merge with a parse error
+// naming the file, not crash or silently drop triples.
+func TestCorruptBinarySegmentSurfacesError(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	store, err := NewStore(VFSBackend{View: view}, "/prov", FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trackInto(t, store, 0, DefaultConfig(), false)
+	path := "/prov/prov_p000000.pbs"
+	data, err := store.backend.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := store.backend.WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.Merge()
+	if err == nil {
+		t.Fatal("merge accepted a corrupt binary sub-graph")
+	}
+	if !strings.Contains(err.Error(), "prov_p000000.pbs") {
+		t.Errorf("error %v does not name the corrupt file", err)
+	}
+}

@@ -15,21 +15,58 @@ import (
 	"github.com/hpc-io/prov-io/internal/model"
 )
 
-// Format selects the on-disk RDF serialization.
+// Format selects the on-disk serialization codec of a store's canonical
+// files (DESIGN.md "Store codecs"). Reading never depends on it: every read
+// path auto-detects each file's codec from its magic bytes, so directories
+// mixing formats merge correctly whatever a store was opened with.
 type Format uint8
 
 // Supported store formats.
 const (
 	FormatTurtle Format = iota
 	FormatNTriples
+	// FormatBinary writes the ID-space binary segment format (.pbs):
+	// dictionary-delta blocks plus varint-encoded triple ID columns, so
+	// flushes render no term text and merges re-parse none.
+	FormatBinary
+
+	// FormatAuto resolves, at NewStore, to the format of the canonical
+	// files already present in the store directory (Turtle when empty).
+	// It is only meaningful as a NewStore/config input, never a stored
+	// state: Store.Format() reports the resolved format.
+	FormatAuto Format = 0xFF
 )
 
-// String returns the file extension-ish name of the format.
+// String returns the short format name (the -format flag vocabulary).
 func (f Format) String() string {
-	if f == FormatNTriples {
-		return "ntriples"
+	switch f {
+	case FormatNTriples:
+		return "nt"
+	case FormatBinary:
+		return "pbs"
+	case FormatAuto:
+		return "auto"
+	default:
+		return "ttl"
 	}
-	return "turtle"
+}
+
+// ParseFormat parses a format name as accepted by the CLI -format flags and
+// the config file's format key: auto | nt | ttl | pbs, plus the historical
+// long names ntriples | turtle and the alias binary.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "turtle", "ttl":
+		return FormatTurtle, nil
+	case "ntriples", "nt":
+		return FormatNTriples, nil
+	case "pbs", "binary":
+		return FormatBinary, nil
+	case "auto":
+		return FormatAuto, nil
+	default:
+		return FormatTurtle, fmt.Errorf("core: unknown format %q (want auto|nt|ttl|pbs)", s)
+	}
 }
 
 // Mode selects when the in-memory sub-graph is serialized (paper §4.2: "the
@@ -176,7 +213,7 @@ func (c *Config) Clone() *Config {
 // per line, '#' comments. Recognized keys:
 //
 //	store_dir   = /path/to/store
-//	format      = turtle | ntriples
+//	format      = auto | nt | ttl | pbs   (also: turtle, ntriples, binary)
 //	mode        = at_end | periodic
 //	flush_every = 4096
 //	pipeline    = async | delta | inline
@@ -209,14 +246,11 @@ func LoadConfig(r io.Reader) (*Config, error) {
 		case "store_dir":
 			cfg.StoreDir = val
 		case "format":
-			switch val {
-			case "turtle":
-				cfg.Format = FormatTurtle
-			case "ntriples":
-				cfg.Format = FormatNTriples
-			default:
+			f, err := ParseFormat(val)
+			if err != nil {
 				return nil, fmt.Errorf("core: config line %d: unknown format %q", lineNo, val)
 			}
+			cfg.Format = f
 		case "mode":
 			switch val {
 			case "at_end":

@@ -11,6 +11,7 @@ import (
 
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
 	"github.com/hpc-io/prov-io/internal/vfs"
 )
 
@@ -91,44 +92,108 @@ func (OSBackend) List(dir string) ([]string, error) {
 
 // Store is the Provenance Store component: a directory of per-process
 // sub-graph files plus merge support.
+//
+// The store's write format is one of the registered segment codecs
+// (DESIGN.md "Store codecs"); reads never consult it — every file is
+// decoded by the codec its magic bytes identify (text files, which carry no
+// magic, fall back to the N-Triples/Turtle superset parser), so mixed-format
+// directories merge correctly.
 type Store struct {
 	backend Backend
 	dir     string
 	format  Format
+	codec   segcodec.Codec // canonical sub-graph + merged-output codec
+	seg     segcodec.Codec // delta-segment codec
 	ns      *rdf.Namespaces
 }
 
-// NewStore creates (and mkdir-alls) a provenance store.
+// codec returns the segment codec serializing a store format.
+func (f Format) codecOf() segcodec.Codec {
+	switch f {
+	case FormatNTriples:
+		return segcodec.NTriples
+	case FormatBinary:
+		return segcodec.Binary
+	default:
+		return segcodec.Turtle
+	}
+}
+
+// NewStore creates (and mkdir-alls) a provenance store. FormatAuto resolves
+// to the format of the canonical files already in dir (Turtle when empty).
 func NewStore(backend Backend, dir string, format Format) (*Store, error) {
 	if err := backend.MkdirAll(dir); err != nil {
 		return nil, err
 	}
-	return &Store{backend: backend, dir: dir, format: format, ns: model.Namespaces()}, nil
+	if format == FormatAuto {
+		format = detectDirFormat(backend, dir)
+	}
+	s := &Store{backend: backend, dir: dir, format: format, ns: model.Namespaces()}
+	s.codec = format.codecOf()
+	// Delta segments stay N-Triples for both text formats (the historical
+	// segment format); the binary format carries its own segments.
+	if format == FormatBinary {
+		s.seg = segcodec.Binary
+	} else {
+		s.seg = segcodec.NTriples
+	}
+	return s, nil
+}
+
+// detectDirFormat resolves FormatAuto: the codec extension of the first
+// canonical sub-graph file present (segments decide only if no canonical
+// file exists), defaulting to Turtle for an empty directory.
+func detectDirFormat(backend Backend, dir string) Format {
+	names, err := backend.List(dir)
+	if err != nil {
+		return FormatTurtle
+	}
+	fromExt := func(name string) (Format, bool) {
+		c, ok := segcodec.ByExt(filepath.Ext(name))
+		if !ok {
+			return FormatTurtle, false
+		}
+		f, err := ParseFormat(c.Name())
+		if err != nil {
+			return FormatTurtle, false
+		}
+		return f, true
+	}
+	segFormat, haveSeg := FormatTurtle, false
+	for _, n := range names {
+		if !strings.HasPrefix(n, "prov_p") {
+			continue
+		}
+		f, ok := fromExt(n)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(n, ".seg") {
+			return f
+		}
+		if !haveSeg {
+			segFormat, haveSeg = f, true
+		}
+	}
+	return segFormat
 }
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
+// Format returns the store's resolved write format.
+func (s *Store) Format() Format { return s.format }
+
 // processFile returns the sub-graph file path for a process.
 func (s *Store) processFile(pid int) string {
-	ext := ".ttl"
-	if s.format == FormatNTriples {
-		ext = ".nt"
-	}
-	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d%s", pid, ext)))
+	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d%s", pid, s.codec.Ext())))
 }
 
 // WriteSubgraph serializes a process sub-graph to its canonical store file,
 // replacing any previous flush from the same process.
 func (s *Store) WriteSubgraph(pid int, g *rdf.Graph) error {
 	var buf bytes.Buffer
-	var err error
-	if s.format == FormatNTriples {
-		err = rdf.WriteNTriples(&buf, g)
-	} else {
-		err = rdf.WriteTurtle(&buf, g, s.ns)
-	}
-	if err != nil {
+	if err := s.codec.Encode(&buf, g, s.ns); err != nil {
 		return err
 	}
 	return s.backend.WriteFile(s.processFile(pid), buf.Bytes())
@@ -136,7 +201,7 @@ func (s *Store) WriteSubgraph(pid int, g *rdf.Graph) error {
 
 // segmentFile returns the path of one delta segment of a process.
 func (s *Store) segmentFile(pid, seg int) string {
-	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d.seg%04d.nt", pid, seg)))
+	return filepath.ToSlash(filepath.Join(s.dir, fmt.Sprintf("prov_p%06d.seg%04d%s", pid, seg, s.seg.Ext())))
 }
 
 // segmentPrefix is the file-name prefix of every delta segment of pid.
@@ -149,23 +214,33 @@ func segmentPrefix(pid int) string { return fmt.Sprintf("prov_p%06d.seg", pid) }
 // file and its segments is its full sub-graph. Compaction (tracker Close or
 // Store.Compact) folds segments back into the canonical file.
 func (s *Store) WriteDeltaSegment(pid, seg int, triples []rdf.Triple) error {
-	rdf.SortTriples(triples)
+	te, ok := s.seg.(segcodec.TriplesEncoder)
+	if !ok {
+		return fmt.Errorf("core: segment codec %s cannot encode bare triples", s.seg.Name())
+	}
 	var buf bytes.Buffer
-	for _, t := range triples {
-		buf.WriteString(t.String())
-		buf.WriteByte('\n')
+	if err := te.EncodeTriples(&buf, triples); err != nil {
+		return err
 	}
 	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
 }
 
 // WriteDeltaSegmentRefs is WriteDeltaSegment in ID space: the delta arrives
-// as insertion-log refs and is rendered through the tracker's memoized
-// per-ID term cache, so a flush materializes no []rdf.Triple and re-renders
-// no term an earlier flush already rendered. The file contents are
-// byte-identical to WriteDeltaSegment on the materialized triples.
+// as insertion-log refs. Under a text segment codec they are rendered
+// through the tracker's memoized per-ID term cache, so a flush materializes
+// no []rdf.Triple and re-renders no term an earlier flush already rendered
+// (byte-identical to WriteDeltaSegment on the materialized triples). Under
+// the binary codec the refs are serialized straight to ID columns with no
+// term rendering at all.
 func (s *Store) WriteDeltaSegmentRefs(pid, seg int, refs []rdf.TripleID, r *rdf.TermRenderer) error {
 	var buf bytes.Buffer
-	if err := r.WriteNTriples(&buf, refs); err != nil {
+	var err error
+	if re, ok := s.seg.(segcodec.RefsEncoder); ok {
+		err = re.EncodeRefs(&buf, refs, r.Graph())
+	} else {
+		err = r.WriteNTriples(&buf, refs)
+	}
+	if err != nil {
 		return err
 	}
 	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
@@ -180,7 +255,7 @@ func (s *Store) RemoveSegments(pid int) error {
 	}
 	prefix := segmentPrefix(pid)
 	for _, n := range names {
-		if strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".nt") {
+		if strings.HasPrefix(n, prefix) && isCodecFile(n) {
 			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
 				return err
 			}
@@ -189,8 +264,18 @@ func (s *Store) RemoveSegments(pid int) error {
 	return nil
 }
 
+// isCodecFile reports whether a file name carries a registered codec
+// extension — the single source of truth for which store files hold
+// provenance, shared by sub-graph listing and segment removal.
+func isCodecFile(name string) bool {
+	_, ok := segcodec.ByExt(filepath.Ext(name))
+	return ok
+}
+
 // subgraphFiles lists the per-process provenance files in the store,
-// including delta segments not yet compacted.
+// including delta segments not yet compacted. Accepted extensions come from
+// the codec registry, so new codecs are picked up without touching the
+// listing logic.
 func (s *Store) subgraphFiles() ([]string, error) {
 	names, err := s.backend.List(s.dir)
 	if err != nil {
@@ -198,7 +283,7 @@ func (s *Store) subgraphFiles() ([]string, error) {
 	}
 	var out []string
 	for _, n := range names {
-		if strings.HasPrefix(n, "prov_p") && (strings.HasSuffix(n, ".ttl") || strings.HasSuffix(n, ".nt")) {
+		if strings.HasPrefix(n, "prov_p") && isCodecFile(n) {
 			out = append(out, filepath.ToSlash(filepath.Join(s.dir, n)))
 		}
 	}
@@ -206,18 +291,19 @@ func (s *Store) subgraphFiles() ([]string, error) {
 	return out, nil
 }
 
-// parseFile reads and parses one provenance file (Turtle or N-Triples; the
-// parser accepts both).
-func (s *Store) parseFile(f string) (*rdf.Graph, error) {
+// decodeFileInto reads one provenance file and unions its triples into g,
+// routing through the codec the file's magic bytes identify (text files
+// fall back to the N-Triples/Turtle superset parser). Binary segments
+// decode straight into g via AddBatch with no string parsing.
+func (s *Store) decodeFileInto(f string, g *rdf.Graph) error {
 	data, err := s.backend.ReadFile(f)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	g, _, err := rdf.ParseTurtle(bytes.NewReader(data))
-	if err != nil {
-		return nil, fmt.Errorf("core: parsing %s: %w", f, err)
+	if err := segcodec.Detect(data).Decode(bytes.NewReader(data), g); err != nil {
+		return fmt.Errorf("core: parsing %s: %w", f, err)
 	}
-	return g, nil
+	return nil
 }
 
 // Merge parses every per-process sub-graph (canonical files and pending
@@ -246,11 +332,9 @@ func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
 	if workers <= 1 || len(files) < 2 {
 		merged := rdf.NewGraph()
 		for _, f := range files {
-			g, err := s.parseFile(f)
-			if err != nil {
+			if err := s.decodeFileInto(f, merged); err != nil {
 				return nil, err
 			}
-			merged.Merge(g)
 		}
 		return merged, nil
 	}
@@ -290,12 +374,9 @@ func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
 				if failed() {
 					continue // drain remaining jobs after an error
 				}
-				g, err := s.parseFile(f)
-				if err != nil {
+				if err := s.decodeFileInto(f, acc); err != nil {
 					fail(err)
-					continue
 				}
-				acc.Merge(g)
 			}
 		}(accs[w])
 	}
@@ -318,7 +399,12 @@ func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
 // Compact folds every process's delta segments into its canonical sub-graph
 // file and removes the segments. It is the store-level recovery path for
 // runs that crashed between a periodic flush and Close (trackers compact
-// their own process on Close).
+// their own process on Close). Canonical files are rewritten in the store's
+// own format, and a pid whose canonical file carries a different codec's
+// extension is rewritten even when it has no segments — so compacting with a
+// binary store migrates a text store to .pbs (and vice versa), the
+// format-migration path of the codec layer. Same-format pids with no
+// segments are left untouched.
 func (s *Store) Compact() error {
 	files, err := s.subgraphFiles()
 	if err != nil {
@@ -326,7 +412,7 @@ func (s *Store) Compact() error {
 	}
 	// Group by process: canonical file (if any) plus segments.
 	byPid := make(map[int][]string)
-	hasSeg := make(map[int]bool)
+	dirty := make(map[int]bool)
 	for _, f := range files {
 		base := filepath.Base(f)
 		var pid int
@@ -334,29 +420,35 @@ func (s *Store) Compact() error {
 			continue
 		}
 		byPid[pid] = append(byPid[pid], f)
-		if strings.Contains(base, ".seg") {
-			hasSeg[pid] = true
+		if strings.Contains(base, ".seg") || filepath.Ext(base) != s.codec.Ext() {
+			dirty[pid] = true
 		}
 	}
-	pids := make([]int, 0, len(hasSeg))
-	for pid := range hasSeg {
+	pids := make([]int, 0, len(dirty))
+	for pid := range dirty {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
 		g := rdf.NewGraph()
 		for _, f := range byPid[pid] {
-			pg, err := s.parseFile(f)
-			if err != nil {
+			if err := s.decodeFileInto(f, g); err != nil {
 				return err
 			}
-			g.Merge(pg)
 		}
 		if err := s.WriteSubgraph(pid, g); err != nil {
 			return err
 		}
 		if err := s.RemoveSegments(pid); err != nil {
 			return err
+		}
+		// Drop the old-format canonical file the rewrite replaced.
+		for _, f := range byPid[pid] {
+			if !strings.Contains(filepath.Base(f), ".seg") && f != s.processFile(pid) {
+				if err := s.backend.Remove(f); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil
@@ -375,18 +467,10 @@ func (s *Store) WriteMergedParallel(workers int) (*rdf.Graph, error) {
 		return nil, err
 	}
 	var buf bytes.Buffer
-	if s.format == FormatNTriples {
-		err = rdf.WriteNTriples(&buf, g)
-	} else {
-		err = rdf.WriteTurtle(&buf, g, s.ns)
-	}
-	if err != nil {
+	if err := s.codec.Encode(&buf, g, s.ns); err != nil {
 		return nil, err
 	}
-	name := "prov_merged.ttl"
-	if s.format == FormatNTriples {
-		name = "prov_merged.nt"
-	}
+	name := "prov_merged" + s.codec.Ext()
 	if err := s.backend.WriteFile(filepath.ToSlash(filepath.Join(s.dir, name)), buf.Bytes()); err != nil {
 		return nil, err
 	}

@@ -964,6 +964,11 @@ func (g *Graph) SortedTriples() []Triple {
 	return ts
 }
 
+// TermLess reports whether a sorts before b in the canonical term order
+// (Kind, Value, Lang, Datatype) — the order behind SortedTriples and every
+// deterministic serialization, exported for the segment codec layer.
+func TermLess(a, b Term) bool { return termLess(a, b) }
+
 func termLess(a, b Term) bool {
 	if a.Kind != b.Kind {
 		return a.Kind < b.Kind

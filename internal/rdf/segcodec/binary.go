@@ -1,0 +1,425 @@
+package segcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// binCodec is the PROV-IO binary segment format (.pbs): a dictionary-encoded
+// ID-space layout so encoding from insertion-log refs renders no term text
+// and decoding interns terms without tokenizing or unescaping.
+//
+// On-disk layout (all integers are unsigned varints unless noted):
+//
+//	magic      4 bytes  'P' 'B' 'S' <version=0x01>
+//	dict frame          frame{ term dictionary block }
+//	triple frame        frame{ triple ID columns }
+//
+//	frame{payload} = uvarint(len(payload)) | payload | crc32-IEEE(payload), LE
+//
+// The dictionary block is the segment's delta of newly seen terms: every
+// distinct term the segment's triples use, exactly once, sorted in the
+// canonical term order and front-coded (each IRI stores only the byte length
+// shared with its predecessor plus the differing suffix — PROV-IO IRIs share
+// long namespace prefixes, so this is where the size win comes from):
+//
+//	uvarint termCount
+//	per term: kind byte | uvarint sharedPrefix | uvarint suffixLen | suffix
+//	          literals append: uvarint langLen | lang | uvarint dtLen | dt
+//
+// Local IDs are positional: the i-th dictionary entry is ID i. Segments are
+// self-contained — a segment never references terms from an earlier
+// segment's dictionary, because Flush and Compact delete earlier segments
+// and a cross-segment delta chain would be unreadable after crash recovery.
+//
+// The triple block stores the (s, p, o) local-ID triples sorted ascending,
+// column-major, delta-encoded: the S column as non-negative uvarint deltas
+// (sorted, so monotone), the P and O columns as zig-zag signed deltas.
+//
+//	uvarint tripleCount
+//	S column | P column | O column
+type binCodec struct{}
+
+var pbsMagic = []byte{'P', 'B', 'S', 0x01}
+
+func (binCodec) Name() string  { return "pbs" }
+func (binCodec) Ext() string   { return ".pbs" }
+func (binCodec) Magic() []byte { return pbsMagic }
+
+func (binCodec) Encode(w io.Writer, g *rdf.Graph, _ *rdf.Namespaces) error {
+	return encodeTermTriples(w, g.Triples())
+}
+
+// EncodeTriples serializes a bare (delta-segment) triple slice.
+func (binCodec) EncodeTriples(w io.Writer, ts []rdf.Triple) error {
+	return encodeTermTriples(w, ts)
+}
+
+// encodeTermTriples builds the segment-local dictionary by term value.
+func encodeTermTriples(w io.Writer, ts []rdf.Triple) error {
+	idx := make(map[rdf.Term]uint32, 3*len(ts)/2)
+	var terms []rdf.Term
+	collect := func(t rdf.Term) {
+		if _, ok := idx[t]; !ok {
+			idx[t] = 0
+			terms = append(terms, t)
+		}
+	}
+	for _, t := range ts {
+		collect(t.S)
+		collect(t.P)
+		collect(t.O)
+	}
+	sort.Slice(terms, func(i, j int) bool { return rdf.TermLess(terms[i], terms[j]) })
+	for i, t := range terms {
+		idx[t] = uint32(i)
+	}
+	tris := make([][3]uint32, len(ts))
+	for i, t := range ts {
+		tris[i] = [3]uint32{idx[t.S], idx[t.P], idx[t.O]}
+	}
+	return writeSegment(w, terms, tris)
+}
+
+// EncodeRefs is the ID-space fast path: the segment-local dictionary is
+// deduplicated on integer graph IDs (no term hashing), and terms are
+// fetched from the source dictionary once per distinct ID.
+func (binCodec) EncodeRefs(w io.Writer, refs []rdf.TripleID, src TermSource) error {
+	local := make(map[rdf.ID]uint32, 3*len(refs)/2)
+	var gids []rdf.ID
+	collect := func(id rdf.ID) {
+		if _, ok := local[id]; !ok {
+			local[id] = 0
+			gids = append(gids, id)
+		}
+	}
+	for _, r := range refs {
+		collect(r.S)
+		collect(r.P)
+		collect(r.O)
+	}
+	terms := make([]rdf.Term, len(gids))
+	for i, id := range gids {
+		terms[i] = src.TermOf(id)
+	}
+	order := make([]int, len(gids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rdf.TermLess(terms[order[a]], terms[order[b]]) })
+	sorted := make([]rdf.Term, len(order))
+	for li, oi := range order {
+		sorted[li] = terms[oi]
+		local[gids[oi]] = uint32(li)
+	}
+	tris := make([][3]uint32, len(refs))
+	for i, r := range refs {
+		tris[i] = [3]uint32{local[r.S], local[r.P], local[r.O]}
+	}
+	return writeSegment(w, sorted, tris)
+}
+
+// writeSegment emits the framed segment: tris are local-ID triples (indexes
+// into terms), sorted and deduplicated here so output is deterministic and
+// identical whichever encode entry point produced them.
+func writeSegment(w io.Writer, terms []rdf.Term, tris [][3]uint32) error {
+	sort.Slice(tris, func(i, j int) bool {
+		a, b := tris[i], tris[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	dedup := tris[:0]
+	for i, t := range tris {
+		if i == 0 || t != tris[i-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	tris = dedup
+
+	var dict bytes.Buffer
+	putUvarint(&dict, uint64(len(terms)))
+	prev := ""
+	for _, t := range terms {
+		dict.WriteByte(byte(t.Kind))
+		shared := commonPrefixLen(prev, t.Value)
+		putUvarint(&dict, uint64(shared))
+		putUvarint(&dict, uint64(len(t.Value)-shared))
+		dict.WriteString(t.Value[shared:])
+		if t.Kind == rdf.LiteralTerm {
+			putUvarint(&dict, uint64(len(t.Lang)))
+			dict.WriteString(t.Lang)
+			putUvarint(&dict, uint64(len(t.Datatype)))
+			dict.WriteString(t.Datatype)
+		}
+		prev = t.Value
+	}
+
+	var col bytes.Buffer
+	putUvarint(&col, uint64(len(tris)))
+	var prevS uint32
+	for _, t := range tris {
+		putUvarint(&col, uint64(t[0]-prevS))
+		prevS = t[0]
+	}
+	var prevP, prevO int64
+	for _, t := range tris {
+		putSvarint(&col, int64(t[1])-prevP)
+		prevP = int64(t[1])
+	}
+	for _, t := range tris {
+		putSvarint(&col, int64(t[2])-prevO)
+		prevO = int64(t[2])
+	}
+
+	bw := bytes.NewBuffer(make([]byte, 0, len(pbsMagic)+dict.Len()+col.Len()+24))
+	bw.Write(pbsMagic)
+	writeFrame(bw, dict.Bytes())
+	writeFrame(bw, col.Bytes())
+	_, err := w.Write(bw.Bytes())
+	return err
+}
+
+func (binCodec) Decode(r io.Reader, into *rdf.Graph) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if !bytes.HasPrefix(data, pbsMagic) {
+		return fmt.Errorf("%w: missing PBS magic", ErrCorrupt)
+	}
+	rest := data[len(pbsMagic):]
+	dict, rest, err := readFrame(rest)
+	if err != nil {
+		return fmt.Errorf("%w: dictionary block: %v", ErrCorrupt, err)
+	}
+	cols, rest, err := readFrame(rest)
+	if err != nil {
+		return fmt.Errorf("%w: triple block: %v", ErrCorrupt, err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after triple block", ErrCorrupt, len(rest))
+	}
+	terms, err := decodeDict(dict)
+	if err != nil {
+		return fmt.Errorf("%w: dictionary block: %v", ErrCorrupt, err)
+	}
+	if err := decodeTriples(cols, terms, into); err != nil {
+		return fmt.Errorf("%w: triple block: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// decodeDict rebuilds the front-coded term dictionary.
+func decodeDict(p []byte) ([]rdf.Term, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return nil, err
+	}
+	// Every entry costs at least 3 payload bytes (kind + two varints), so a
+	// count beyond that is corrupt — checked before allocating.
+	if n > uint64(len(p))/3+1 {
+		return nil, fmt.Errorf("term count %d exceeds payload", n)
+	}
+	terms := make([]rdf.Term, 0, n)
+	prev := ""
+	for i := uint64(0); i < n; i++ {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("truncated at term %d", i)
+		}
+		kind := rdf.TermKind(p[0])
+		p = p[1:]
+		if kind != rdf.IRITerm && kind != rdf.BlankTerm && kind != rdf.LiteralTerm {
+			return nil, fmt.Errorf("term %d: invalid kind %d", i, kind)
+		}
+		var shared uint64
+		if shared, p, err = getUvarint(p); err != nil {
+			return nil, err
+		}
+		if shared > uint64(len(prev)) {
+			return nil, fmt.Errorf("term %d: shared prefix %d exceeds previous value length %d", i, shared, len(prev))
+		}
+		var suffix string
+		if suffix, p, err = getString(p); err != nil {
+			return nil, fmt.Errorf("term %d: %v", i, err)
+		}
+		t := rdf.Term{Kind: kind, Value: prev[:shared] + suffix}
+		if kind == rdf.LiteralTerm {
+			if t.Lang, p, err = getString(p); err != nil {
+				return nil, fmt.Errorf("term %d lang: %v", i, err)
+			}
+			if t.Datatype, p, err = getString(p); err != nil {
+				return nil, fmt.Errorf("term %d datatype: %v", i, err)
+			}
+		}
+		prev = t.Value
+		terms = append(terms, t)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(p))
+	}
+	return terms, nil
+}
+
+// decodeTriples walks the delta-encoded ID columns and unions the
+// materialized triples into the graph in batches.
+func decodeTriples(p []byte, terms []rdf.Term, into *rdf.Graph) error {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return err
+	}
+	// Three varints of at least one byte each per triple.
+	if n > uint64(len(p))/3+1 {
+		return fmt.Errorf("triple count %d exceeds payload", n)
+	}
+	nt := uint64(len(terms))
+	ss := make([]uint32, n)
+	var s uint64
+	for i := range ss {
+		d, r, err := getUvarint(p)
+		if err != nil {
+			return fmt.Errorf("S column at %d: %v", i, err)
+		}
+		p = r
+		s += d
+		if s >= nt {
+			return fmt.Errorf("S column at %d: term ID %d out of range (%d terms)", i, s, nt)
+		}
+		ss[i] = uint32(s)
+	}
+	readCol := func(name string) ([]uint32, error) {
+		col := make([]uint32, n)
+		var v int64
+		for i := range col {
+			d, r, err := getSvarint(p)
+			if err != nil {
+				return nil, fmt.Errorf("%s column at %d: %v", name, i, err)
+			}
+			p = r
+			v += d
+			if v < 0 || uint64(v) >= nt {
+				return nil, fmt.Errorf("%s column at %d: term ID %d out of range (%d terms)", name, i, v, nt)
+			}
+			col[i] = uint32(v)
+		}
+		return col, nil
+	}
+	ps, err := readCol("P")
+	if err != nil {
+		return err
+	}
+	os, err := readCol("O")
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%d trailing bytes", len(p))
+	}
+
+	const chunk = 1024
+	batch := make([]rdf.Triple, 0, chunk)
+	for i := uint64(0); i < n; i++ {
+		t := rdf.Triple{S: terms[ss[i]], P: terms[ps[i]], O: terms[os[i]]}
+		if !t.Valid() {
+			return fmt.Errorf("triple %d is not valid RDF (S kind %d, P kind %d, O kind %d)",
+				i, t.S.Kind, t.P.Kind, t.O.Kind)
+		}
+		batch = append(batch, t)
+		if len(batch) == chunk {
+			into.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	into.AddBatch(batch)
+	return nil
+}
+
+// ---- framing and varint primitives ----
+
+var crcTable = crc32.IEEETable
+
+// writeFrame appends uvarint(len) | payload | crc32(payload).
+func writeFrame(w *bytes.Buffer, payload []byte) {
+	putUvarint(w, uint64(len(payload)))
+	w.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	w.Write(crc[:])
+}
+
+// readFrame consumes one frame, verifying length and checksum.
+func readFrame(p []byte) (payload, rest []byte, err error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) || uint64(len(p))-n < 4 {
+		return nil, nil, fmt.Errorf("frame length %d exceeds remaining %d bytes", n, len(p))
+	}
+	payload, p = p[:n], p[n:]
+	want := binary.LittleEndian.Uint32(p[:4])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, nil, fmt.Errorf("CRC mismatch: computed %08x, stored %08x", got, want)
+	}
+	return payload, p[4:], nil
+}
+
+func putUvarint(w *bytes.Buffer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	w.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func putSvarint(w *bytes.Buffer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	w.Write(buf[:binary.PutVarint(buf[:], v)])
+}
+
+func getUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad uvarint")
+	}
+	return v, p[n:], nil
+}
+
+func getSvarint(p []byte) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad varint")
+	}
+	return v, p[n:], nil
+}
+
+// getString reads uvarint length-prefixed bytes as a string.
+func getString(p []byte) (string, []byte, error) {
+	n, p, err := getUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(p)) {
+		return "", nil, fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(p))
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+func commonPrefixLen(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

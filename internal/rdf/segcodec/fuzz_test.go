@@ -1,0 +1,59 @@
+package segcodec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// FuzzSegcodecDecode hammers the binary decoder with arbitrary bytes. The
+// contract under test: Decode returns an error for anything that is not a
+// well-formed segment and never panics, over-allocates on lying counts, or
+// loops. Valid encodings must round-trip.
+func FuzzSegcodecDecode(f *testing.F) {
+	// Seed with valid segments of increasing shape complexity...
+	empty := &bytes.Buffer{}
+	if err := Binary.Encode(empty, rdf.NewGraph(), nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.IRI("urn:a"), P: rdf.IRI("urn:p"), O: rdf.Literal("x")})
+	g.Add(rdf.Triple{S: rdf.IRI("urn:abc"), P: rdf.IRI("urn:p"), O: rdf.LangLiteral("héllo", "en")})
+	g.Add(rdf.Triple{S: rdf.Blank("b0"), P: rdf.IRI("urn:q"), O: rdf.TypedLiteral("42", rdf.XSDInteger)})
+	one := &bytes.Buffer{}
+	if err := Binary.Encode(one, g, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(one.Bytes())
+
+	// ...and with targeted corruptions of those seeds.
+	f.Add([]byte{})
+	f.Add(pbsMagic)
+	f.Add(append(append([]byte{}, pbsMagic...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)) // huge frame length
+	trunc := append([]byte{}, one.Bytes()...)
+	f.Add(trunc[:len(trunc)/2])
+	flip := append([]byte{}, one.Bytes()...)
+	flip[len(flip)/2] ^= 0x80
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		into := rdf.NewGraph()
+		err := Binary.Decode(bytes.NewReader(data), into)
+		if err != nil {
+			return // rejected: fine, as long as we did not panic
+		}
+		// Accepted input must re-encode to the identical bytes: the format
+		// is canonical, so decode(encode(decode(x))) == decode(x) and
+		// encode(decode(x)) == x for any accepted x.
+		var re bytes.Buffer
+		if err := Binary.Encode(&re, into, nil); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes re-encoded", len(data), re.Len())
+		}
+	})
+}

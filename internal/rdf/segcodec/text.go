@@ -1,0 +1,69 @@
+package segcodec
+
+import (
+	"bufio"
+	"io"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// ntCodec is the N-Triples text codec: one triple per line, deterministic
+// (S, P, O) order. It is the historical delta-segment format and the
+// fallback decoder for every non-binary file (its parser accepts the
+// N-Triples/Turtle superset, matching the store's old parseFile behavior).
+type ntCodec struct{}
+
+func (ntCodec) Name() string  { return "nt" }
+func (ntCodec) Ext() string   { return ".nt" }
+func (ntCodec) Magic() []byte { return nil }
+
+func (ntCodec) Encode(w io.Writer, g *rdf.Graph, _ *rdf.Namespaces) error {
+	return rdf.WriteNTriples(w, g)
+}
+
+func (ntCodec) Decode(r io.Reader, into *rdf.Graph) error {
+	g, _, err := rdf.ParseTurtle(r)
+	if err != nil {
+		return err
+	}
+	into.Merge(g)
+	return nil
+}
+
+// EncodeTriples writes a bare triple slice sorted in place, one line per
+// triple — byte-identical to the store's pre-codec delta-segment writer
+// (duplicates are preserved; the merge union dedupes).
+func (ntCodec) EncodeTriples(w io.Writer, ts []rdf.Triple) error {
+	rdf.SortTriples(ts)
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ttlCodec is the Turtle text codec: subject-grouped, prefix-compacted —
+// the interchange format the paper's snippets use.
+type ttlCodec struct{}
+
+func (ttlCodec) Name() string  { return "ttl" }
+func (ttlCodec) Ext() string   { return ".ttl" }
+func (ttlCodec) Magic() []byte { return nil }
+
+func (ttlCodec) Encode(w io.Writer, g *rdf.Graph, ns *rdf.Namespaces) error {
+	return rdf.WriteTurtle(w, g, ns)
+}
+
+func (ttlCodec) Decode(r io.Reader, into *rdf.Graph) error {
+	g, _, err := rdf.ParseTurtle(r)
+	if err != nil {
+		return err
+	}
+	into.Merge(g)
+	return nil
+}

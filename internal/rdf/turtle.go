@@ -148,6 +148,11 @@ func NewTermRenderer(g *Graph) *TermRenderer {
 	return &TermRenderer{g: g}
 }
 
+// Graph returns the graph whose terms the renderer memoizes. The store's
+// delta-segment path uses it to reach the dictionary when a binary codec
+// serializes straight from triple IDs instead of rendered text.
+func (r *TermRenderer) Graph() *Graph { return r.g }
+
 // Render returns the N-Triples rendering of the term interned under id,
 // computing and caching it on first use. IDs that are not interned (including
 // NoID) render as the zero Term.

@@ -10,8 +10,10 @@
 //   - Provenance tracking: a VOL connector (NewProvConnector) that
 //     transparently intercepts hierarchical-format I/O, and a POSIX syscall
 //     wrapper (WrapPOSIX) for raw file I/O; both feed a Tracker.
-//   - A provenance store (Store) persisting per-process sub-graphs as RDF
-//     Turtle, with GUID-based merging.
+//   - A provenance store (Store) persisting per-process sub-graphs behind a
+//     pluggable codec layer — Turtle and N-Triples for interchange, a binary
+//     ID-space format (FormatBinary, .pbs) for speed — with GUID-based
+//     merging over auto-detected mixed-format directories.
 //   - A user engine: SPARQL queries (Query) and Graphviz visualization
 //     (WriteDOT) over the collected provenance.
 //
