@@ -338,9 +338,19 @@ type QueryResult = sparql.Result
 type Binding = sparql.Binding
 
 // Query parses and evaluates a SPARQL SELECT query against g, with the
-// PROV-IO namespaces pre-bound.
+// PROV-IO namespaces pre-bound. Evaluation runs against an immutable
+// snapshot of g: the graph lock is taken once to pin the view, so queries
+// do not block concurrent tracking and vice versa.
 func Query(g *Graph, query string) (*QueryResult, error) {
 	return sparql.Exec(g, query, model.Namespaces())
+}
+
+// QueryParallel is Query with morsel-driven parallel execution: the query's
+// leading index scan is partitioned across `workers` goroutines over the
+// same snapshot. Results are identical — row for row — to Query; workers <=
+// 1 (or a plan the morsel scan cannot cover) is the serial path.
+func QueryParallel(g *Graph, query string, workers int) (*QueryResult, error) {
+	return sparql.ExecParallel(g, query, model.Namespaces(), workers)
 }
 
 // ParseQuery parses a SPARQL SELECT query without evaluating it.

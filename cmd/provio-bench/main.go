@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/hpc-io/prov-io/internal/bench"
@@ -26,6 +28,8 @@ func main() {
 	out := flag.String("out", "", "directory for generated artifacts (optional)")
 	chart := flag.Bool("chart", false, "also render each report as ASCII bars")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile of the experiment run")
+	memprofile := flag.String("memprofile", "", "write a heap pprof profile after the experiment run")
 	flag.Parse()
 
 	if *list {
@@ -51,10 +55,38 @@ func main() {
 		// paper exhibits only
 	case "ablations":
 		ids = []string{"abl-flush", "abl-pipeline", "abl-granularity", "abl-format",
-			"abl-guid", "abl-query", "abl-ingest", "abl-codec"}
+			"abl-guid", "abl-query", "abl-ingest", "abl-codec", "abl-parallel-query"}
 	default:
 		ids = strings.Split(*exp, ",")
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatalf("memprofile: %v", err)
+			}
+		}()
+	}
+
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		rep, err := bench.Run(id, scale)

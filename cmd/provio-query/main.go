@@ -10,13 +10,17 @@
 //
 // The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
 // PREFIX declarations. -plan prints the planner's cardinality-ordered join
-// plan (EXPLAIN) without executing the query.
+// plan (EXPLAIN) without executing the query. -workers N evaluates with the
+// morsel-driven parallel executor (N > 1); results are identical to serial.
+// -cpuprofile/-memprofile write pprof profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	provio "github.com/hpc-io/prov-io"
@@ -29,6 +33,9 @@ func main() {
 	storeFormat := flag.String("store-format", "auto",
 		"store codec: auto | nt | ttl | pbs (reads auto-detect per file)")
 	plan := flag.Bool("plan", false, "print the query plan (EXPLAIN) instead of executing")
+	workers := flag.Int("workers", 1, "parallel query workers (1 = serial executor)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	flag.Parse()
 
 	if *storeDir == "" {
@@ -68,10 +75,14 @@ func main() {
 		fmt.Print(out)
 		return
 	}
-	res, err := provio.Query(g, query)
+
+	stopCPU := startCPUProfile(*cpuprofile)
+	res, err := provio.QueryParallel(g, query, *workers)
+	stopCPU()
 	if err != nil {
 		fatalf("%v", err)
 	}
+	writeMemProfile(*memprofile)
 
 	if *format == "json" {
 		if err := res.WriteJSON(os.Stdout); err != nil {
@@ -104,6 +115,41 @@ func renderTerm(t provio.Term, ns *provio.Namespaces) string {
 		return "<" + t.Value + ">"
 	}
 	return t.Value
+}
+
+// startCPUProfile begins CPU profiling into path (no-op when empty) and
+// returns the stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatalf("cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps a heap profile to path (no-op when empty).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialize the retained heap before sampling
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatalf("memprofile: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -140,3 +140,35 @@ func TestGoldenSection6Queries(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenSection6QueriesParallel re-runs the §6 fixture queries through
+// the morsel-driven executor at every worker count and requires the rendered
+// results JSON to be byte-identical to the serial golden fixtures — the
+// parallel path must be invisible in query output, row order included.
+func TestGoldenSection6QueriesParallel(t *testing.T) {
+	for _, c := range section6Queries(t) {
+		q, err := sparql.Parse(c.query, model.Namespaces())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		path := filepath.Join("testdata", "query_"+c.name+".json")
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run TestGoldenSection6Queries with -update first)", c.name, err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			res, err := sparql.EvalParallel(c.g, q, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s workers=%d: parallel results diverge from golden fixture %s\ngot:\n%s\nwant:\n%s",
+					c.name, workers, path, buf.Bytes(), want)
+			}
+		}
+	}
+}

@@ -30,14 +30,15 @@ var registry = map[string]Runner{
 
 	// Ablations of DESIGN.md's called-out design choices (not paper
 	// exhibits; excluded from 'all').
-	"abl-flush":       AblationFlush,
-	"abl-pipeline":    AblationPipeline,
-	"abl-granularity": AblationGranularity,
-	"abl-format":      AblationFormat,
-	"abl-guid":        AblationGUIDMerge,
-	"abl-query":       AblationQuery,
-	"abl-ingest":      AblationIngest,
-	"abl-codec":       AblationCodec,
+	"abl-flush":          AblationFlush,
+	"abl-pipeline":       AblationPipeline,
+	"abl-granularity":    AblationGranularity,
+	"abl-format":         AblationFormat,
+	"abl-guid":           AblationGUIDMerge,
+	"abl-query":          AblationQuery,
+	"abl-ingest":         AblationIngest,
+	"abl-codec":          AblationCodec,
+	"abl-parallel-query": AblationParallelQuery,
 }
 
 // order lists experiment IDs in presentation order.

@@ -19,16 +19,20 @@ import (
 // The traversal runs in dictionary-ID space (rdf.ForEachMatchIDs): the BFS
 // frontier, visited set, and relation-predicate set all hold uint32 IDs, and
 // terms are rehydrated only for the triples copied into the output graph.
+// All probes go through one pinned rdf.Snapshot, so the whole BFS costs a
+// single graph-lock acquisition and runs against a consistent view even
+// while ingest continues.
 //
 // maxHops <= 0 means unbounded (full connected component).
 func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
+	v := g.Snapshot()
 	keep := map[rdf.ID]int{}
 	var frontier []rdf.ID
 	for _, r := range roots {
 		if r.IsZero() {
 			continue
 		}
-		id, ok := g.TermID(r)
+		id, ok := v.TermID(r)
 		if !ok {
 			continue // a root absent from the graph has no neighborhood
 		}
@@ -36,12 +40,12 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 		frontier = append(frontier, id)
 	}
 
-	relations := lineageRelationIDs(g)
+	relations := lineageRelationIDs(v)
 	terms := map[rdf.ID]rdf.Term{}
 	termOf := func(id rdf.ID) rdf.Term {
 		t, ok := terms[id]
 		if !ok {
-			t = g.TermOf(id)
+			t = v.TermOf(id)
 			terms[id] = t
 		}
 		return t
@@ -64,13 +68,13 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 			keep[next] = depth + 1
 			frontier = append(frontier, next)
 		}
-		g.ForEachMatchIDs(node, rdf.NoID, rdf.NoID, func(_, p, o rdf.ID) bool {
+		v.ForEachMatchIDs(node, rdf.NoID, rdf.NoID, func(_, p, o rdf.ID) bool {
 			if relations[p] {
 				visit(o)
 			}
 			return true
 		})
-		g.ForEachMatchIDs(rdf.NoID, rdf.NoID, node, func(s, p, _ rdf.ID) bool {
+		v.ForEachMatchIDs(rdf.NoID, rdf.NoID, node, func(s, p, _ rdf.ID) bool {
 			if relations[p] {
 				visit(s)
 			}
@@ -79,7 +83,7 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 	}
 
 	out := rdf.NewGraph()
-	g.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+	v.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
 		if _, sKept := keep[s]; !sKept {
 			return true
 		}
@@ -98,14 +102,14 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 }
 
 // lineageRelationIDs resolves the traversable relation predicates to their
-// dictionary IDs in g. prov:wasMemberOf is classification, not lineage —
-// following it would connect every entity through the shared super-class
-// nodes; it is kept as an annotation of retained nodes instead. Predicates
-// absent from the graph are simply omitted.
-func lineageRelationIDs(g *rdf.Graph) map[rdf.ID]bool {
+// dictionary IDs in the snapshot. prov:wasMemberOf is classification, not
+// lineage — following it would connect every entity through the shared
+// super-class nodes; it is kept as an annotation of retained nodes instead.
+// Predicates absent from the snapshot are simply omitted.
+func lineageRelationIDs(v *rdf.Snapshot) map[rdf.ID]bool {
 	relations := map[rdf.ID]bool{}
 	add := func(t rdf.Term) {
-		if id, ok := g.TermID(t); ok {
+		if id, ok := v.TermID(t); ok {
 			relations[id] = true
 		}
 	}

@@ -3,6 +3,7 @@ package rdf
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ID is the dictionary index of an interned term. IDs are stable for the
@@ -69,6 +70,17 @@ type Graph struct {
 	log []tripleRef
 
 	size int
+
+	// removeEpoch counts successful Removes. A cached Snapshot is an exact
+	// log prefix only while no triple was removed since it was taken;
+	// comparing epochs tells Snapshot() whether the cheap log-delta extension
+	// is valid or a full rebuild from surviving log entries is needed.
+	removeEpoch uint64
+
+	// snap caches the most recent Snapshot; snapMu serializes its (re)build
+	// so concurrent Snapshot() callers do not duplicate the capture work.
+	snapMu sync.Mutex
+	snap   atomic.Pointer[Snapshot]
 }
 
 // objSet is the set of objects under one (subject, predicate) pair. The
@@ -626,6 +638,7 @@ func (g *Graph) Remove(t Triple) bool {
 		delete(g.osp, o)
 	}
 	g.size--
+	g.removeEpoch++
 	return true
 }
 
@@ -771,34 +784,12 @@ func (g *Graph) Find(s, p, o *Term) []Triple {
 // ForEachMatch streams all triples matching the pattern to fn. fn returning
 // false stops the iteration early. A nil pointer matches any term.
 //
-// The callback must not mutate the graph.
+// ForEachMatch iterates a Snapshot of the graph, so no lock is held across
+// the callback: fn may call Add, Remove, or any other graph method without
+// deadlocking. Mutations made during the iteration are not visible to it —
+// fn sees exactly the triples present when the iteration started.
 func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-
-	sid, pid, oid := NoID, NoID, NoID
-	if s != nil {
-		var ok bool
-		if sid, ok = g.lookup(*s); !ok {
-			return
-		}
-	}
-	if p != nil {
-		var ok bool
-		if pid, ok = g.lookup(*p); !ok {
-			return
-		}
-	}
-	if o != nil {
-		var ok bool
-		if oid, ok = g.lookup(*o); !ok {
-			return
-		}
-	}
-	terms := g.dict.snapshot()
-	g.forEachIDs(sid, pid, oid, func(si, pi, oi ID) bool {
-		return fn(Triple{S: terms[si], P: terms[pi], O: terms[oi]})
-	})
+	g.Snapshot().ForEachMatch(s, p, o, fn)
 }
 
 // ForEachMatchIDs streams the dictionary IDs of all triples matching the
@@ -806,8 +797,12 @@ func (g *Graph) ForEachMatch(s, p, o *Term, fn func(Triple) bool) {
 // position; any other ID that is not interned matches nothing. fn returning
 // false stops the iteration early.
 //
-// The callback must not mutate the graph. Nested read-only calls (TermOf,
-// further ForEachMatchIDs) are permitted, same as ForEachMatch.
+// Locking contract: the graph read lock IS held across fn, so fn must not
+// call Add, Remove, or any other mutating method — doing so deadlocks.
+// Nested read-only calls (TermOf, further ForEachMatchIDs) are permitted.
+// Callers that need re-entrancy, or that probe many patterns per logical
+// query, should take a Snapshot and use its lock-free scan methods instead;
+// this locked form is kept for one-shot probes against the live graph.
 func (g *Graph) ForEachMatchIDs(s, p, o ID, fn func(s, p, o ID) bool) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()

@@ -45,6 +45,17 @@ func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
 	return Eval(g, q)
 }
 
+// ExecParallel is Exec with a morsel-parallel executor: the leading
+// triple-pattern scan is partitioned across a pool of `workers` goroutines
+// (see EvalParallel). workers <= 1 is the serial path.
+func ExecParallel(g *rdf.Graph, query string, base *rdf.Namespaces, workers int) (*Result, error) {
+	q, err := Parse(query, base)
+	if err != nil {
+		return nil, err
+	}
+	return EvalParallel(g, q, workers)
+}
+
 // Eval evaluates a parsed query against a graph.
 //
 // Evaluation is split into two phases (the paper's "user engine" read path,
@@ -53,8 +64,36 @@ func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
 // dictionary-ID space — bindings are fixed-width []rdf.ID registers, and
 // terms are rehydrated only when the Result is materialized. EvalLegacy
 // keeps the previous term-space evaluator as a baseline.
+//
+// The plan runs against g.Snapshot(): the graph lock is taken once to pin
+// the view, and every index probe after that is lock-free, so queries no
+// longer serialize against concurrent ingest (and ingest no longer stalls
+// behind long scans). The result reflects exactly the triples present when
+// Eval was called.
 func Eval(g *rdf.Graph, q *Query) (*Result, error) {
-	return runPlan(g, Compile(g, q))
+	return EvalOn(g.Snapshot(), q)
+}
+
+// EvalOn evaluates a parsed query against an explicit Source — a pinned
+// *rdf.Snapshot (what Eval uses) or a live *rdf.Graph, where every index
+// probe takes the graph read lock. The live form is the lock-per-probe
+// baseline the parallel-query ablation measures against.
+func EvalOn(src Source, q *Query) (*Result, error) {
+	return runPlan(src, Compile(src, q))
+}
+
+// EvalParallel evaluates a parsed query with the morsel-driven parallel
+// executor: the plan's leading triple-pattern scan is split into morsels
+// over a snapshot's adjacency lists and fanned out to `workers` goroutines,
+// each joining its morsel's rows through the rest of the plan with its own
+// register arena. Results are merged back into serial row order, so the
+// output is identical — row for row — to Eval. workers <= 1, plans the
+// morsel scan cannot cover (leading property path, top-level UNION), and
+// scans too small to be worth fanning out all fall back to the serial
+// executor.
+func EvalParallel(g *rdf.Graph, q *Query, workers int) (*Result, error) {
+	snap := g.Snapshot()
+	return runPlanParallel(snap, Compile(snap, q), workers)
 }
 
 // Explain parses the query and returns the planner's EXPLAIN rendering —
@@ -64,7 +103,7 @@ func Explain(g *rdf.Graph, query string, base *rdf.Namespaces) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return Compile(g, q).String(), nil
+	return Compile(g.Snapshot(), q).String(), nil
 }
 
 func orderKeysFor(vars []string) []OrderKey {

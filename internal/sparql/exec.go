@@ -23,7 +23,7 @@ import (
 type idRow []rdf.ID
 
 type executor struct {
-	g     *rdf.Graph
+	g     Source
 	plan  *Plan
 	width int
 	cache map[rdf.ID]rdf.Term
@@ -35,6 +35,11 @@ type executor struct {
 	// Result materializes, so carving them out of shared slabs turns one
 	// heap allocation per row into one per arenaRows rows.
 	arena []rdf.ID
+	// sortHook, when set, replaces the stable sort inside sortRows — the
+	// morsel-parallel path installs its chunked sorter here so the shared
+	// finish path stays identical otherwise. The hook must order rows
+	// exactly as sort.SliceStable with rowLess would.
+	sortHook func(rows []idRow, keys []OrderKey, slots []int)
 }
 
 // arenaRows is the slab size of the row arena, in rows.
@@ -56,7 +61,7 @@ func (e *executor) newRow(src idRow) idRow {
 }
 
 // runPlan executes a compiled plan and materializes the Result.
-func runPlan(g *rdf.Graph, p *Plan) (*Result, error) {
+func runPlan(g Source, p *Plan) (*Result, error) {
 	e := &executor{g: g, plan: p, width: len(p.vars), cache: make(map[rdf.ID]rdf.Term)}
 	seed := make(idRow, e.width)
 	for i := range seed {
@@ -66,7 +71,16 @@ func runPlan(g *rdf.Graph, p *Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	q := p.q
+	return e.finish(rows)
+}
+
+// finish applies the solution modifiers — COUNT collapse, DISTINCT, sort,
+// OFFSET/LIMIT — and materializes the Result. It is shared by the serial and
+// morsel-parallel paths: the parallel executor concatenates its per-morsel
+// buckets into serial row order and hands them here, so everything
+// order-sensitive happens identically on both paths.
+func (e *executor) finish(rows []idRow) (*Result, error) {
+	p, q := e.plan, e.plan.q
 
 	// COUNT projection collapses the solution sequence to a single row.
 	if q.CountAs != "" {
@@ -410,22 +424,29 @@ func (e *executor) applyUnion(alts []*planGroup, in []idRow) ([]idRow, error) {
 
 // ---- DISTINCT / ORDER BY in ID space ----
 
-// dedupe removes rows whose projected registers are identical. The key is
-// the fixed-width little-endian byte image of the projected IDs — collision
-// free by construction, unlike the legacy separator-joined string key.
+// projKey appends the DISTINCT key of r to buf[:0]: the fixed-width
+// little-endian byte image of the projected IDs — collision free by
+// construction, unlike the legacy separator-joined string key.
+func (e *executor) projKey(buf []byte, r idRow) []byte {
+	buf = buf[:0]
+	for _, s := range e.plan.projSlots {
+		id := rdf.NoID
+		if s >= 0 {
+			id = r[s]
+		}
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return buf
+}
+
+// dedupe removes rows whose projected registers are identical, keeping the
+// first occurrence in row order.
 func (e *executor) dedupe(rows []idRow) []idRow {
 	seen := make(map[string]struct{}, len(rows))
 	buf := make([]byte, 0, 4*len(e.plan.projSlots))
 	out := rows[:0]
 	for _, r := range rows {
-		buf = buf[:0]
-		for _, s := range e.plan.projSlots {
-			id := rdf.NoID
-			if s >= 0 {
-				id = r[s]
-			}
-			buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-		}
+		buf = e.projKey(buf, r)
 		k := string(buf)
 		if _, dup := seen[k]; dup {
 			continue
@@ -486,35 +507,46 @@ func (e *executor) sortRows(rows []idRow, keys []OrderKey) {
 			slots[i] = -1
 		}
 	}
+	if e.sortHook != nil {
+		e.sortHook(rows, keys, slots)
+		return
+	}
 	sort.SliceStable(rows, func(i, j int) bool {
-		for ki, k := range keys {
-			s := slots[ki]
-			a, b := rdf.NoID, rdf.NoID
-			if s >= 0 {
-				a, b = rows[i][s], rows[j][s]
-			}
-			aok, bok := a != rdf.NoID, b != rdf.NoID
-			if !aok && !bok {
-				continue
-			}
-			if !aok {
-				return !k.Desc // unbound sorts first ascending
-			}
-			if !bok {
-				return k.Desc
-			}
-			if a == b {
-				continue
-			}
-			c := e.compareIDs(a, b)
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
+		return e.rowLess(rows[i], rows[j], keys, slots)
 	})
+}
+
+// rowLess is the sort comparator behind sortRows: a sorts strictly before b
+// under the keys. Ties (all keys compare equal) report false, so stable
+// sorts preserve input order.
+func (e *executor) rowLess(ra, rb idRow, keys []OrderKey, slots []int) bool {
+	for ki, k := range keys {
+		s := slots[ki]
+		a, b := rdf.NoID, rdf.NoID
+		if s >= 0 {
+			a, b = ra[s], rb[s]
+		}
+		aok, bok := a != rdf.NoID, b != rdf.NoID
+		if !aok && !bok {
+			continue
+		}
+		if !aok {
+			return !k.Desc // unbound sorts first ascending
+		}
+		if !bok {
+			return k.Desc
+		}
+		if a == b {
+			continue
+		}
+		c := e.compareIDs(a, b)
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
 }

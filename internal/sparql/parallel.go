@@ -1,0 +1,300 @@
+package sparql
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// Morsel-driven parallel execution (the Leis et al. model): the plan's
+// leading triple-pattern scan — the largest enumeration of the query, by the
+// planner's own join ordering — is partitioned into fixed-size morsels along
+// the snapshot's adjacency lists, and a bounded pool of workers claims
+// morsels off an atomic counter. Each worker owns a full executor (register
+// slab arena, term cache) and joins its morsel's seed rows through the whole
+// remaining plan, so the only shared state during execution is the immutable
+// snapshot and the per-morsel result buckets.
+//
+// Determinism: Snapshot.ScanRange enumerates a pattern in a fixed order and
+// partitions exactly, so concatenating the per-morsel buckets in morsel
+// index order reproduces the serial executor's row order bit for bit. Every
+// order-sensitive modifier (DISTINCT first-occurrence choice, stable sort
+// tie-breaks, OFFSET/LIMIT) then runs on identical input, which is how
+// EvalParallel guarantees results identical to Eval rather than merely
+// multiset-equal.
+
+const (
+	// minParallelScan is the smallest leading-scan domain worth fanning out;
+	// below it, goroutine + merge overhead exceeds the scan.
+	minParallelScan = 128
+	// minMorsel/maxMorsel bound the morsel size: large enough to amortize
+	// the claim, small enough to keep workers load-balanced when morsel
+	// costs are skewed (one subject with a huge join fan-out).
+	minMorsel = 64
+	maxMorsel = 8192
+	// minParallelSort is the smallest row count worth a parallel sort.
+	minParallelSort = 4096
+)
+
+// runPlanParallel executes a compiled plan with `workers` goroutines over a
+// snapshot, falling back to the serial executor whenever the plan or the
+// data cannot be morsel-partitioned profitably.
+func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) {
+	lead, rest, s0, p0, o0, ok := splitParallel(p)
+	if !ok || workers <= 1 {
+		return runPlan(snap, p)
+	}
+	n := snap.ScanLen(s0, p0, o0)
+	if n < minParallelScan {
+		return runPlan(snap, p)
+	}
+
+	morsel := n / (workers * 4)
+	if morsel < minMorsel {
+		morsel = minMorsel
+	}
+	if morsel > maxMorsel {
+		morsel = maxMorsel
+	}
+	numMorsels := (n + morsel - 1) / morsel
+	if workers > numMorsels {
+		workers = numMorsels
+	}
+
+	width := len(p.vars)
+	seed := make(idRow, width)
+	for i := range seed {
+		seed[i] = rdf.NoID
+	}
+	// Per-worker DISTINCT thinning drops rows whose projected key was
+	// already seen by this worker. It only ever removes rows the final
+	// serial dedupe would have removed anyway (a worker's morsels arrive in
+	// increasing index order, so the kept occurrence always precedes the
+	// dropped one in serial order), shrinking the merge instead of changing
+	// it.
+	distinctThin := p.q.Distinct && p.q.CountAs == ""
+
+	buckets := make([][]idRow, numMorsels)
+	errs := make([]error, numMorsels)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := &executor{g: snap, plan: p, width: width, cache: make(map[rdf.ID]rdf.Term)}
+			var seen map[string]struct{}
+			var keyBuf []byte
+			if distinctThin {
+				seen = make(map[string]struct{})
+				keyBuf = make([]byte, 0, 4*len(p.projSlots))
+			}
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= numMorsels {
+					return
+				}
+				lo := m * morsel
+				hi := lo + morsel
+				if hi > n {
+					hi = n
+				}
+				var cur []idRow
+				snap.ScanRange(s0, p0, o0, lo, hi, func(si, pi, oi rdf.ID) bool {
+					nr := e.newRow(seed)
+					if trySet(nr, lead.s.slot, si) && trySet(nr, lead.p.slot, pi) && trySet(nr, lead.o.slot, oi) {
+						cur = append(cur, nr)
+					}
+					return true
+				})
+				rows, err := e.execGroup(rest, cur)
+				if err != nil {
+					errs[m] = err
+					continue
+				}
+				if distinctThin {
+					out := rows[:0]
+					for _, r := range rows {
+						keyBuf = e.projKey(keyBuf, r)
+						if _, dup := seen[string(keyBuf)]; dup {
+							continue
+						}
+						seen[string(keyBuf)] = struct{}{}
+						out = append(out, r)
+					}
+					rows = out
+				}
+				buckets[m] = rows
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Lowest-morsel error wins: the first error the serial executor would
+	// have hit.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
+	}
+	rows := make([]idRow, 0, total)
+	for _, b := range buckets {
+		rows = append(rows, b...)
+	}
+
+	// The merge executor runs the shared finish path — COUNT, final
+	// DISTINCT, sort, OFFSET/LIMIT, materialization — on the serial-ordered
+	// rows, with the chunked parallel sorter installed.
+	me := &executor{g: snap, plan: p, width: width, cache: make(map[rdf.ID]rdf.Term)}
+	me.sortHook = func(rs []idRow, keys []OrderKey, slots []int) {
+		parallelSort(snap, p, workers, rs, keys, slots)
+	}
+	return me.finish(rows)
+}
+
+// splitParallel decides whether the plan is morsel-partitionable and, if so,
+// returns the leading pattern, the remainder of the plan as a group (the
+// lead BGP's tail patterns followed by every later root step), and the
+// pattern's scan-domain IDs (rdf.NoID for variable positions, which are all
+// unbound at the leading pattern).
+//
+// Not partitionable: an empty plan, a leading property path (its closure
+// walk has no flat scan domain), a dead leading constant (serial handles
+// the empty result for free), or a top-level UNION anywhere in the root
+// group — UNION concatenates alternative-major over all accumulated rows,
+// which morsel-major merging cannot reproduce in order.
+func splitParallel(p *Plan) (lead compiledPattern, rest *planGroup, s0, p0, o0 rdf.ID, ok bool) {
+	if len(p.root.steps) == 0 {
+		return lead, nil, 0, 0, 0, false
+	}
+	for _, st := range p.root.steps {
+		if _, isUnion := st.(*unionStep); isUnion {
+			return lead, nil, 0, 0, 0, false
+		}
+	}
+	bgp, isBGP := p.root.steps[0].(*bgpStep)
+	if !isBGP || len(bgp.patterns) == 0 {
+		return lead, nil, 0, 0, 0, false
+	}
+	lead = bgp.patterns[0]
+	if lead.p.isPath() {
+		return lead, nil, 0, 0, 0, false
+	}
+	s0, p0, o0 = rdf.NoID, rdf.NoID, rdf.NoID
+	if !lead.s.isVar() {
+		if lead.s.id == rdf.NoID {
+			return lead, nil, 0, 0, 0, false
+		}
+		s0 = lead.s.id
+	}
+	if !lead.o.isVar() {
+		if lead.o.id == rdf.NoID {
+			return lead, nil, 0, 0, 0, false
+		}
+		o0 = lead.o.id
+	}
+	if !lead.p.isVar() {
+		if lead.p.id == rdf.NoID {
+			return lead, nil, 0, 0, 0, false
+		}
+		p0 = lead.p.id
+	}
+
+	var steps []planStep
+	if len(bgp.patterns) > 1 {
+		steps = append(steps, &bgpStep{patterns: bgp.patterns[1:]})
+	}
+	steps = append(steps, p.root.steps[1:]...)
+	return lead, &planGroup{steps: steps}, s0, p0, o0, true
+}
+
+// parallelSort orders rows exactly as sort.SliceStable with the executor
+// comparator would: the slice is cut into contiguous chunks, each chunk is
+// stably sorted by its own goroutine (with a private executor — the term
+// caches the comparator fills are not thread-safe), and adjacent chunks are
+// stably merged pairwise, left side winning ties. A stable sort order is
+// unique for a fixed comparator and input order, so the result is
+// bit-identical to the serial sort.
+func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys []OrderKey, slots []int) {
+	n := len(rows)
+	if n < minParallelSort || workers <= 1 {
+		e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+		sort.SliceStable(rows, func(i, j int) bool { return e.rowLess(rows[i], rows[j], keys, slots) })
+		return
+	}
+	chunks := workers
+	if chunks > n {
+		chunks = n
+	}
+	bounds := make([]int, chunks+1)
+	for i := 0; i <= chunks; i++ {
+		bounds[i] = i * n / chunks
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < chunks; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+			part := rows[lo:hi]
+			sort.SliceStable(part, func(i, j int) bool { return e.rowLess(part[i], part[j], keys, slots) })
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+
+	// Pairwise merge rounds until one run remains.
+	buf := make([]idRow, n)
+	for len(bounds) > 2 {
+		var nb []int
+		nb = append(nb, bounds[0])
+		var mwg sync.WaitGroup
+		for i := 0; i+2 < len(bounds); i += 2 {
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+				mergeRuns(e, rows, buf, lo, mid, hi, keys, slots)
+			}(bounds[i], bounds[i+1], bounds[i+2])
+			nb = append(nb, bounds[i+2])
+		}
+		if len(bounds)%2 == 0 {
+			// Odd run count: the trailing run rides along unmerged.
+			nb = append(nb, bounds[len(bounds)-1])
+		}
+		mwg.Wait()
+		bounds = nb
+	}
+}
+
+// mergeRuns stably merges rows[lo:mid] and rows[mid:hi] in place (via buf),
+// taking from the left run on ties so the merge preserves input order.
+func mergeRuns(e *executor, rows, buf []idRow, lo, mid, hi int, keys []OrderKey, slots []int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		// Left wins unless right is strictly less: stability.
+		if e.rowLess(rows[j], rows[i], keys, slots) {
+			buf[k] = rows[j]
+			j++
+		} else {
+			buf[k] = rows[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = rows[i]
+		i, k = i+1, k+1
+	}
+	for j < hi {
+		buf[k] = rows[j]
+		j, k = j+1, k+1
+	}
+	copy(rows[lo:hi], buf[lo:hi])
+}

@@ -8,20 +8,22 @@ import (
 	"github.com/hpc-io/prov-io/internal/rdf"
 )
 
-// The planner compiles a parsed Query against a concrete graph into a Plan:
-// every variable gets a fixed register slot, every pattern position is
-// resolved to a dictionary ID (or a slot), and each basic graph pattern is
-// join-ordered by index-cardinality estimates read from the graph's
-// maintained statistics (Graph.CountMatchIDs / PredStats / IndexStats).
+// The planner compiles a parsed Query against a concrete Source — a live
+// graph or a pinned snapshot — into a Plan: every variable gets a fixed
+// register slot, every pattern position is resolved to a dictionary ID (or a
+// slot), and each basic graph pattern is join-ordered by index-cardinality
+// estimates read from the source's maintained statistics (CountMatchIDs /
+// PredStats / IndexStats).
 // This replaces the static boundness heuristic the term-space evaluator
 // used: "how many triples will this probe actually touch" beats "how many
 // positions are constant" whenever predicates differ wildly in frequency,
 // which provenance graphs — few relation predicates carrying most triples,
 // many annotation predicates carrying few — guarantee.
 //
-// A Plan is tied to the graph it was compiled against (the estimates and
-// term IDs are graph-specific) and is valid as long as no triples are
-// removed; concurrent Adds only make estimates stale, never wrong.
+// A Plan is tied to the source it was compiled against (the estimates and
+// term IDs are source-specific) and is valid as long as no triples are
+// removed; concurrent Adds only make estimates stale, never wrong. Compiling
+// against a Snapshot sidesteps both caveats: the snapshot never changes.
 
 // Plan is a compiled, EXPLAIN-able query plan.
 type Plan struct {
@@ -112,8 +114,8 @@ type compiledPattern struct {
 	idx    string
 }
 
-// Compile builds the plan for q against g.
-func Compile(g *rdf.Graph, q *Query) *Plan {
+// Compile builds the plan for q against a source (live graph or snapshot).
+func Compile(g Source, q *Query) *Plan {
 	set := map[string]struct{}{}
 	collectVars(q.Where, set)
 	vars := make([]string, 0, len(set))
@@ -146,7 +148,7 @@ func Compile(g *rdf.Graph, q *Query) *Plan {
 	return p
 }
 
-func compileGroup(g *rdf.Graph, grp *Group, slots map[string]int, bound map[int]bool) *planGroup {
+func compileGroup(g Source, grp *Group, slots map[string]int, bound map[int]bool) *planGroup {
 	out := &planGroup{}
 	var bgp []compiledPattern
 	flush := func() {
@@ -189,7 +191,7 @@ func copyBoundSet(b map[int]bool) map[int]bool {
 	return nb
 }
 
-func compilePattern(g *rdf.Graph, tp TriplePattern, slots map[string]int) compiledPattern {
+func compilePattern(g Source, tp TriplePattern, slots map[string]int) compiledPattern {
 	cp := compiledPattern{src: tp}
 	cp.s = compilePos(g, tp.S, slots)
 	cp.o = compilePos(g, tp.O, slots)
@@ -217,7 +219,7 @@ func compilePattern(g *rdf.Graph, tp TriplePattern, slots map[string]int) compil
 	return cp
 }
 
-func compilePos(g *rdf.Graph, n NodePattern, slots map[string]int) posRef {
+func compilePos(g Source, n NodePattern, slots map[string]int) posRef {
 	if n.IsVar() {
 		return posRef{slot: slots[n.Var]}
 	}
@@ -232,7 +234,7 @@ func compilePos(g *rdf.Graph, n NodePattern, slots map[string]int) posRef {
 // at each step the remaining pattern with the smallest estimated result
 // under the current bound-variable set runs next (ties resolve to textual
 // order). Estimates are stamped onto the returned patterns for EXPLAIN.
-func orderBGP(g *rdf.Graph, patterns []compiledPattern, bound map[int]bool) []compiledPattern {
+func orderBGP(g Source, patterns []compiledPattern, bound map[int]bool) []compiledPattern {
 	remaining := append([]compiledPattern(nil), patterns...)
 	out := make([]compiledPattern, 0, len(patterns))
 	for len(remaining) > 0 {
@@ -275,7 +277,7 @@ func markSlotsBound(cp compiledPattern, bound map[int]bool) {
 // when it is constant (PredStats), the graph-wide distinct counts otherwise
 // (IndexStats) — because one concrete value selects on average base/distinct
 // of the matching triples.
-func estimatePattern(g *rdf.Graph, cp compiledPattern, bound map[int]bool) (est int, approx bool, idx string) {
+func estimatePattern(g Source, cp compiledPattern, bound map[int]bool) (est int, approx bool, idx string) {
 	sBound := cp.s.isVar() && bound[cp.s.slot]
 	oBound := cp.o.isVar() && bound[cp.o.slot]
 	pBound := cp.p.isVar() && bound[cp.p.slot]

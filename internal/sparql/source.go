@@ -1,0 +1,36 @@
+package sparql
+
+import "github.com/hpc-io/prov-io/internal/rdf"
+
+// Source is the read surface the planner and executor run against: the
+// ID-level scan/count/stats API shared by the live *rdf.Graph (every probe
+// takes the graph read lock) and the immutable *rdf.Snapshot (lock-free).
+//
+// Eval compiles and executes against a Snapshot, so a query acquires the
+// graph lock exactly once — when the snapshot is pinned — instead of once
+// per triple-pattern probe. EvalOn accepts either implementation, which
+// keeps the lock-per-probe live path available as an ablation baseline.
+type Source interface {
+	// TermID resolves a term to its dictionary ID, reporting whether it is
+	// interned (visible to this source).
+	TermID(t rdf.Term) (rdf.ID, bool)
+	// TermOf rehydrates a dictionary ID (zero Term when out of range).
+	TermOf(id rdf.ID) rdf.Term
+	// ForEachMatchIDs streams matching triples in ID space; rdf.NoID is the
+	// wildcard, fn returning false stops early.
+	ForEachMatchIDs(s, p, o rdf.ID, fn func(s, p, o rdf.ID) bool)
+	// CountMatchIDs is the planner's exact cardinality oracle.
+	CountMatchIDs(s, p, o rdf.ID) int
+	// PredStats returns a predicate's triple/distinct-subject/distinct-object
+	// counts.
+	PredStats(p rdf.ID) (triples, subjects, objects int)
+	// IndexStats returns the global distinct subject/predicate/object counts.
+	IndexStats() (subjects, predicates, objects int)
+	// Len returns the triple count.
+	Len() int
+}
+
+var (
+	_ Source = (*rdf.Graph)(nil)
+	_ Source = (*rdf.Snapshot)(nil)
+)

@@ -54,7 +54,10 @@ func (p *ObjectProfile) total() int {
 // All scans run in dictionary-ID space (rdf.ForEachMatchIDs): predicate and
 // class terms are resolved to IDs once up front, per-triple work is integer
 // map probes, and subject terms are hydrated only when a count is recorded.
+// The whole computation reads one pinned rdf.Snapshot — a single graph-lock
+// acquisition, and a consistent view even under concurrent ingest.
 func Compute(g *rdf.Graph) *Summary {
+	v := g.Snapshot()
 	s := &Summary{
 		OpCounts:     map[string]int{},
 		OpTotal:      map[string]time.Duration{},
@@ -62,7 +65,7 @@ func Compute(g *rdf.Graph) *Summary {
 	}
 
 	idOf := func(t rdf.Term) rdf.ID {
-		if id, ok := g.TermID(t); ok {
+		if id, ok := v.TermID(t); ok {
 			return id
 		}
 		return rdf.NoID
@@ -72,7 +75,7 @@ func Compute(g *rdf.Graph) *Summary {
 	apiName := func(id rdf.ID) string {
 		n, ok := names[id]
 		if !ok {
-			n = apiNameOf(g.TermOf(id).Value)
+			n = apiNameOf(v.TermOf(id).Value)
 			names[id] = n
 		}
 		return n
@@ -86,7 +89,7 @@ func Compute(g *rdf.Graph) *Summary {
 		}
 	}
 	if typeID := idOf(rdf.IRI(rdf.RDFType)); typeID != rdf.NoID {
-		g.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(sub, _, o rdf.ID) bool {
+		v.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(sub, _, o rdf.ID) bool {
 			if !apiClasses[o] {
 				return true
 			}
@@ -98,8 +101,8 @@ func Compute(g *rdf.Graph) *Summary {
 
 	// Durations.
 	if elapsedID := idOf(model.PropElapsed.IRI()); elapsedID != rdf.NoID {
-		g.ForEachMatchIDs(rdf.NoID, elapsedID, rdf.NoID, func(sub, _, o rdf.ID) bool {
-			ns, err := strconv.ParseInt(g.TermOf(o).Value, 10, 64)
+		v.ForEachMatchIDs(rdf.NoID, elapsedID, rdf.NoID, func(sub, _, o rdf.ID) bool {
+			ns, err := strconv.ParseInt(v.TermOf(o).Value, 10, 64)
 			if err != nil {
 				return true
 			}
@@ -129,15 +132,15 @@ func Compute(g *rdf.Graph) *Summary {
 		if pred == rdf.NoID {
 			continue
 		}
-		g.ForEachMatchIDs(rdf.NoID, pred, rdf.NoID, func(sub, _, _ rdf.ID) bool {
+		v.ForEachMatchIDs(rdf.NoID, pred, rdf.NoID, func(sub, _, _ rdf.ID) bool {
 			prof, ok := profiles[sub]
 			if !ok {
-				key := g.TermOf(sub).Value
-				prof = &ObjectProfile{Name: key, Class: classNameOfID(g, sub, typeID)}
+				key := v.TermOf(sub).Value
+				prof = &ObjectProfile{Name: key, Class: classNameOfID(v, sub, typeID)}
 				// Prefer the display name when recorded.
 				if nameID != rdf.NoID {
-					g.ForEachMatchIDs(sub, nameID, rdf.NoID, func(_, _, o rdf.ID) bool {
-						prof.Name = g.TermOf(o).Value
+					v.ForEachMatchIDs(sub, nameID, rdf.NoID, func(_, _, o rdf.ID) bool {
+						prof.Name = v.TermOf(o).Value
 						return false
 					})
 				}
@@ -168,15 +171,15 @@ func apiNameOf(iri string) string {
 }
 
 // classNameOfID returns the model class name of a node (empty if untyped or
-// when typeID is rdf.NoID, i.e. no rdf:type triple exists in the graph).
-func classNameOfID(g *rdf.Graph, node, typeID rdf.ID) string {
+// when typeID is rdf.NoID, i.e. no rdf:type triple exists in the snapshot).
+func classNameOfID(v *rdf.Snapshot, node, typeID rdf.ID) string {
 	out := ""
 	if typeID == rdf.NoID {
 		return out
 	}
-	g.ForEachMatchIDs(node, typeID, rdf.NoID, func(_, _, o rdf.ID) bool {
-		if v := g.TermOf(o).Value; strings.HasPrefix(v, model.ProvIONS) {
-			out = strings.TrimPrefix(v, model.ProvIONS)
+	v.ForEachMatchIDs(node, typeID, rdf.NoID, func(_, _, o rdf.ID) bool {
+		if val := v.TermOf(o).Value; strings.HasPrefix(val, model.ProvIONS) {
+			out = strings.TrimPrefix(val, model.ProvIONS)
 			return false
 		}
 		return true
@@ -188,27 +191,28 @@ func classNameOfID(g *rdf.Graph, node, typeID rdf.ID) string {
 // name) derived from prov:wasAssociatedWith edges — the Recorder-style
 // per-rank breakdown for workloads tracked with Thread agents enabled.
 func PerAgent(g *rdf.Graph) map[string]int {
+	v := g.Snapshot()
 	out := map[string]int{}
-	assoc, ok := g.TermID(model.AssociatedWith.IRI())
+	assoc, ok := v.TermID(model.AssociatedWith.IRI())
 	if !ok {
 		return out
 	}
 	nameID := rdf.NoID
-	if id, ok := g.TermID(model.PropName.IRI()); ok {
+	if id, ok := v.TermID(model.PropName.IRI()); ok {
 		nameID = id
 	}
 	nameOf := map[rdf.ID]string{}
-	g.ForEachMatchIDs(rdf.NoID, assoc, rdf.NoID, func(_, _, o rdf.ID) bool {
+	v.ForEachMatchIDs(rdf.NoID, assoc, rdf.NoID, func(_, _, o rdf.ID) bool {
 		key, ok := nameOf[o]
 		if !ok {
-			agent := g.TermOf(o)
+			agent := v.TermOf(o)
 			if !agent.IsIRI() {
 				return true
 			}
 			key = agent.Value
 			if nameID != rdf.NoID {
-				g.ForEachMatchIDs(o, nameID, rdf.NoID, func(_, _, n rdf.ID) bool {
-					key = g.TermOf(n).Value
+				v.ForEachMatchIDs(o, nameID, rdf.NoID, func(_, _, n rdf.ID) bool {
+					key = v.TermOf(n).Value
 					return false
 				})
 			}

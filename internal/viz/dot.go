@@ -26,11 +26,14 @@ type Options struct {
 	MaxLabel int
 }
 
-// WriteDOT renders g as a DOT document.
+// WriteDOT renders g as a DOT document. All graph reads go through one
+// pinned rdf.Snapshot: a single lock acquisition, and a consistent rendering
+// even while the graph is being written to.
 func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 	if opts.MaxLabel <= 0 {
 		opts.MaxLabel = 48
 	}
+	v := g.Snapshot()
 	ns := model.Namespaces()
 
 	var b strings.Builder
@@ -48,13 +51,13 @@ func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 	termOf := func(id rdf.ID) rdf.Term {
 		t, ok := terms[id]
 		if !ok {
-			t = g.TermOf(id)
+			t = v.TermOf(id)
 			terms[id] = t
 		}
 		return t
 	}
 	predID := func(t rdf.Term) rdf.ID {
-		if id, ok := g.TermID(t); ok {
+		if id, ok := v.TermID(t); ok {
 			return id
 		}
 		return rdf.NoID
@@ -64,7 +67,7 @@ func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 	kind := map[string]string{} // IRI -> shape class
 	label := map[string]string{}
 	if typeID := predID(rdf.IRI(rdf.RDFType)); typeID != rdf.NoID {
-		g.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(s, _, o rdf.ID) bool {
+		v.ForEachMatchIDs(rdf.NoID, typeID, rdf.NoID, func(s, _, o rdf.ID) bool {
 			st, ot := termOf(s), termOf(o)
 			if !st.IsIRI() || !ot.IsIRI() {
 				return true
@@ -76,7 +79,7 @@ func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 		})
 	}
 	if nameID := predID(model.PropName.IRI()); nameID != rdf.NoID {
-		g.ForEachMatchIDs(rdf.NoID, nameID, rdf.NoID, func(s, _, o rdf.ID) bool {
+		v.ForEachMatchIDs(rdf.NoID, nameID, rdf.NoID, func(s, _, o rdf.ID) bool {
 			st, ot := termOf(s), termOf(o)
 			if st.IsIRI() && ot.IsLiteral() {
 				label[st.Value] = ot.Value
@@ -87,11 +90,11 @@ func WriteDOT(w io.Writer, g *rdf.Graph, opts Options) error {
 
 	// Collect nodes appearing in relation edges. Drawable predicates are
 	// resolved to IDs once, so the full scan is a map probe per triple.
-	relLabel := relationLabelIDs(g)
+	relLabel := relationLabelIDs(v)
 	nodes := map[string]bool{}
 	type edge struct{ from, to, lbl string }
 	var edges []edge
-	g.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+	v.ForEachMatchIDs(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
 		lbl, ok := relLabel[p]
 		if !ok {
 			return true
@@ -191,11 +194,11 @@ func shapeFor(class string) (shape, style string) {
 }
 
 // relationLabelIDs maps the dictionary ID of every drawable predicate
-// present in g to its CURIE edge label.
-func relationLabelIDs(g *rdf.Graph) map[rdf.ID]string {
+// present in the snapshot to its CURIE edge label.
+func relationLabelIDs(v *rdf.Snapshot) map[rdf.ID]string {
 	out := map[rdf.ID]string{}
 	add := func(t rdf.Term, curie string) {
-		if id, ok := g.TermID(t); ok {
+		if id, ok := v.TermID(t); ok {
 			out[id] = curie
 		}
 	}
@@ -223,13 +226,14 @@ func shortIRI(iri string, ns *rdf.Namespaces) string {
 // product node plus everything reachable over prov:wasDerivedFrom and the
 // programs those entities are attributed to — the blue path of Figure 9.
 func LineageHighlight(g *rdf.Graph, product rdf.Term) map[string]bool {
+	v := g.Snapshot()
 	out := map[string]bool{product.Value: true}
-	root, ok := g.TermID(product)
+	root, ok := v.TermID(product)
 	if !ok {
 		return out
 	}
 	idOf := func(t rdf.Term) rdf.ID {
-		if id, ok := g.TermID(t); ok {
+		if id, ok := v.TermID(t); ok {
 			return id
 		}
 		return rdf.NoID
@@ -242,20 +246,20 @@ func LineageHighlight(g *rdf.Graph, product rdf.Term) map[string]bool {
 		cur := frontier[0]
 		frontier = frontier[1:]
 		if derived != rdf.NoID {
-			g.ForEachMatchIDs(cur, derived, rdf.NoID, func(_, _, o rdf.ID) bool {
+			v.ForEachMatchIDs(cur, derived, rdf.NoID, func(_, _, o rdf.ID) bool {
 				if !seen[o] {
 					seen[o] = true
-					out[g.TermOf(o).Value] = true
+					out[v.TermOf(o).Value] = true
 					frontier = append(frontier, o)
 				}
 				return true
 			})
 		}
 		if attr != rdf.NoID {
-			g.ForEachMatchIDs(cur, attr, rdf.NoID, func(_, _, o rdf.ID) bool {
+			v.ForEachMatchIDs(cur, attr, rdf.NoID, func(_, _, o rdf.ID) bool {
 				if !seen[o] {
 					seen[o] = true
-					out[g.TermOf(o).Value] = true
+					out[v.TermOf(o).Value] = true
 				}
 				return true
 			})
