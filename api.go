@@ -147,6 +147,16 @@ const (
 // aliases turtle, ntriples, binary).
 func ParseFormat(s string) (Format, error) { return core.ParseFormat(s) }
 
+// Mode selects when the in-memory sub-graph is serialized: once at the end
+// of the workflow, or periodically every FlushEvery records.
+type Mode = core.Mode
+
+// Serialization modes.
+const (
+	ModeAtEnd    = core.ModeAtEnd
+	ModePeriodic = core.ModePeriodic
+)
+
 // Pipeline selects how periodic flushes reach the store: an async
 // background writer appending delta segments (default), inline delta
 // segments, or inline full re-serialization.
@@ -187,6 +197,48 @@ func ReduceLineage(g *Graph, roots []Term, maxHops int) *Graph {
 // MergeStores unifies several runs' provenance stores into one graph
 // (cross-run provenance).
 func MergeStores(stores ...*Store) (*Graph, error) { return core.MergeStores(stores...) }
+
+// ---- Integrity: verification, hash chains, crash harness ----
+
+// VerifyReport is the result of auditing a store end-to-end (Store.Verify,
+// Store.VerifyAgainst): codec-level decode checks, seal consistency, and
+// per-process hash-chain continuity.
+type VerifyReport = core.VerifyReport
+
+// Defect is one integrity finding of a store audit.
+type Defect = core.Defect
+
+// DefectKind classifies an integrity finding.
+type DefectKind = core.DefectKind
+
+// Defect kinds, in rising severity.
+const (
+	DefectOrphaned  = core.DefectOrphaned
+	DefectMissing   = core.DefectMissing
+	DefectTruncated = core.DefectTruncated
+	DefectTampered  = core.DefectTampered
+)
+
+// IntegrityError is returned by Store.Compact when a store's damage is not
+// attributable to an interrupted write of unacknowledged data.
+type IntegrityError = core.IntegrityError
+
+// ParseHeads parses a chain-heads anchor document, the format written by
+// VerifyReport.FormatHeads and provio-verify -write-heads.
+func ParseHeads(data []byte) (map[int][32]byte, error) { return core.ParseHeads(data) }
+
+// CrashSweepConfig parameterizes the deterministic crash-consistency sweep.
+type CrashSweepConfig = core.CrashSweepConfig
+
+// CrashSweepReport summarizes a crash-consistency sweep.
+type CrashSweepReport = core.CrashSweepReport
+
+// RunCrashSweep crashes a fixed tracking workload at every mutating-write
+// boundary and checks that recovery never loses acknowledged records
+// (provio-verify -selftest).
+func RunCrashSweep(cfg CrashSweepConfig) (*CrashSweepReport, error) {
+	return core.RunCrashSweep(cfg)
+}
 
 // ---- ADIOS-style I/O library (second integrated library) ----
 

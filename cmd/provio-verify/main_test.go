@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	provio "github.com/hpc-io/prov-io"
+)
+
+// buildStore writes a small two-run history (sealed canonical + sealed delta
+// segments) into dir with the real OS backend, as a production run would.
+func buildStore(t *testing.T, dir string, format provio.Format) {
+	t.Helper()
+	store, err := provio.NewStore(provio.OSBackend{}, dir, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := provio.NewTracker(provio.DefaultConfig(), store, 0)
+	user := tr.RegisterUser("alice")
+	tr.RegisterProgram("verify.exe", user)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := provio.DefaultConfig()
+	cfg.Mode = provio.ModePeriodic
+	cfg.FlushEvery = 1
+	tr = provio.NewTracker(cfg, store, 0)
+	for i := 0; i < 3; i++ {
+		tr.TrackIO(provio.ModelWrite, "H5Dwrite", provio.Term{}, provio.Term{},
+			time.Duration(i)*time.Millisecond, 0)
+	}
+	if err := tr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// segments returns the store's delta segment file names, sorted.
+func segments(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".seg") && !strings.HasSuffix(e.Name(), ".sum") {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+func TestExitCodes(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	buildStore(t, dir, provio.FormatBinary)
+
+	code, out, _ := runCLI(t, "-store", dir)
+	if code != exitClean || !strings.Contains(out, "clean") {
+		t.Fatalf("clean store: code %d, output %q", code, out)
+	}
+
+	// Tampered: flip one byte mid-file.
+	segs := segments(t, dir)
+	victim := filepath.Join(dir, segs[1])
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), data...)
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCLI(t, "-store", dir); code != exitTampered {
+		t.Fatalf("tampered store: code %d, output %q", code, out)
+	}
+
+	// Truncated: cut the same file short.
+	if err := os.WriteFile(victim, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCLI(t, "-store", dir); code != exitTruncated {
+		t.Fatalf("truncated store: code %d, output %q", code, out)
+	}
+
+	// Missing: delete a middle segment outright.
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCLI(t, "-store", dir); code != exitMissing {
+		t.Fatalf("store with deleted segment: code %d, output %q", code, out)
+	}
+}
+
+func TestHeadsAnchoring(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	buildStore(t, dir, provio.FormatTurtle)
+	heads := filepath.Join(t.TempDir(), "heads.txt")
+
+	if code, _, errb := runCLI(t, "-store", dir, "-q", "-write-heads", heads); code != exitClean {
+		t.Fatalf("write-heads: code %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runCLI(t, "-store", dir, "-heads", heads); code != exitClean {
+		t.Fatal("clean store failed heads-anchored verification")
+	}
+
+	// Deleting the chain's tail (segment + sidecar) is locally invisible but
+	// must fail against the recorded heads.
+	segs := segments(t, dir)
+	tail := segs[len(segs)-1]
+	for _, n := range []string{tail + ".sum", tail} {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, _, _ := runCLI(t, "-store", dir); code != exitClean {
+		t.Fatal("tail deletion should be locally invisible (this guards the test's premise)")
+	}
+	if code, out, _ := runCLI(t, "-store", dir, "-heads", heads); code != exitTampered {
+		t.Fatalf("tail deletion against heads: code %d, output %q", code, out)
+	}
+}
+
+func TestStrictFlagsUnsealed(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prov")
+	buildStore(t, dir, provio.FormatNTriples)
+
+	// Deleting a mid-chain sidecar demotes its file to unsealed: tolerated by
+	// default, orphaned under -strict.
+	segs := segments(t, dir)
+	if err := os.Remove(filepath.Join(dir, segs[0]+".sum")); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, "-store", dir); code != exitClean {
+		t.Fatal("unsealed file must be tolerated without -strict")
+	}
+	if code, out, _ := runCLI(t, "-store", dir, "-strict"); code != exitOrphaned {
+		t.Fatalf("-strict: code %d, output %q", code, out)
+	}
+}
+
+func TestOperationalErrors(t *testing.T) {
+	if code, _, errb := runCLI(t); code != exitOperational || !strings.Contains(errb, "-store is required") {
+		t.Fatalf("missing -store: code %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runCLI(t, "-store", "x", "-heads", "/does/not/exist"); code != exitOperational {
+		t.Fatal("unreadable heads file must be an operational error")
+	}
+}
+
+func TestSelftest(t *testing.T) {
+	code, out, errb := runCLI(t, "-selftest")
+	if code != exitClean {
+		t.Fatalf("selftest: code %d, stderr %q", code, errb)
+	}
+	if strings.Count(out, "crash sweep:") != 3 {
+		t.Fatalf("selftest output missing per-format reports: %q", out)
+	}
+}

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// AblationIntegrity measures what the hash-chained integrity layer (DESIGN.md
+// "Integrity & fault injection") costs and what it buys. Cost: the seal bytes
+// riding on each store file (the embedded chain frame for .pbs, the .sum
+// sidecar for text codecs) and the wall time of a full Verify audit. Benefit:
+// the crash-consistency sweep — every mutating-operation boundary of a fixed
+// workload, with torn-write variants — must end in either a verified recovery
+// or a verifiable rejection, never a silent loss.
+//
+// The report's artifact is BENCH_integrity.json: per-codec seal overhead and
+// audit latency plus the full crash-sweep outcome. The acceptance gate (zero
+// sweep violations; the exhaustive bit-flip and truncation matrices in
+// internal/core/verify_test.go detect 100% with no false positives) runs in
+// the test suite, not here; this runner records the live numbers.
+func AblationIntegrity(s Scale) (*Report, error) {
+	nFiles, recordsPer := 8, 24
+	if s == ScalePaper {
+		nFiles, recordsPer = 32, 96
+	}
+
+	r := &Report{
+		ID:      "abl-integrity",
+		Title:   "Ablation: hash-chained integrity (seal overhead, audit, crash sweep)",
+		Columns: []string{"codec", "store bytes", "seal bytes", "overhead", "verify(ms)", "crash points", "recovered", "rejected", "violations"},
+		Notes: []string{
+			fmt.Sprintf("%d per-process sub-graphs x %d records; canonical roots from Close plus a periodic delta run left as sealed segments", nFiles, recordsPer),
+			"seal bytes: embedded chain frames on .pbs, .sum sidecars for text codecs; overhead is seal/store",
+			"crash sweep: workload killed at every mutating-op boundary incl. torn-write variants; each point must recover verifiably or reject verifiably",
+			"acceptance (0 violations, 100% tamper-matrix detection) is enforced by internal/core tests; these are the live numbers",
+		},
+		ArtifactName: "BENCH_integrity.json",
+	}
+
+	type liveRow struct {
+		Codec       string `json:"codec"`
+		StoreBytes  int64  `json:"store_bytes"`
+		SealBytes   int64  `json:"seal_bytes"`
+		Overhead    string `json:"seal_overhead"`
+		VerifyMs    string `json:"verify_ms"`
+		CrashPoints int    `json:"crash_points"`
+		TornPoints  int    `json:"crash_points_torn"`
+		Recovered   int    `json:"recovered"`
+		Rejected    int    `json:"rejected"`
+		Violations  int    `json:"violations"`
+	}
+	var live []liveRow
+	for _, f := range []struct {
+		name   string
+		format core.Format
+	}{{"nt", core.FormatNTriples}, {"ttl", core.FormatTurtle}, {"pbs", core.FormatBinary}} {
+		backend, store, err := integrityAblationStore(f.format, nFiles, recordsPer)
+		if err != nil {
+			return nil, err
+		}
+		total, err := store.TotalBytes()
+		if err != nil {
+			return nil, err
+		}
+		seal, err := integritySealBytes(backend, "/prov")
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rep, err := store.Verify()
+		if err != nil {
+			return nil, err
+		}
+		verify := time.Since(start)
+		if !rep.Clean() {
+			return nil, fmt.Errorf("bench: freshly written %s store failed Verify: %v", f.name, rep.Defects)
+		}
+		sweep, err := core.RunCrashSweep(core.CrashSweepConfig{Seed: 1, Format: f.format, Torn: true})
+		if err != nil {
+			return nil, err
+		}
+		overhead := fmt.Sprintf("%.1f%%", 100*float64(seal)/float64(total))
+		r.AddRow(f.name, fmt.Sprintf("%d", total), fmt.Sprintf("%d", seal), overhead,
+			fmt.Sprintf("%.2f", float64(verify.Microseconds())/1e3),
+			itoa(sweep.Points), itoa(sweep.Recovered), itoa(sweep.Rejected), itoa(len(sweep.Violations)))
+		live = append(live, liveRow{f.name, total, seal, overhead,
+			fmt.Sprintf("%.2f", float64(verify.Microseconds())/1e3),
+			sweep.Points, sweep.TornVariants, sweep.Recovered, sweep.Rejected, len(sweep.Violations)})
+		if n := len(sweep.Violations); n > 0 {
+			r.Notes = append(r.Notes, fmt.Sprintf("VIOLATIONS (%s): %s", f.name, strings.Join(sweep.Violations, "; ")))
+		}
+	}
+
+	doc := struct {
+		Experiment string            `json:"experiment"`
+		Workload   map[string]int    `json:"workload"`
+		Live       []liveRow         `json:"live_ablation"`
+		Acceptance map[string]string `json:"acceptance"`
+	}{
+		Experiment: "abl-integrity: hash-chained segment seals, Verify audit, crash-consistency sweep",
+		Workload:   map[string]int{"files": nFiles, "records_per_file": recordsPer},
+		Live:       live,
+		Acceptance: map[string]string{
+			"crash_sweep":   "every crash point recovers verifiably or rejects verifiably (0 violations), enforced by TestCrashSweep under -race",
+			"tamper_matrix": "exhaustive single-bit-flip and strict-prefix truncation over every store file: 100% detection (local Verify or heads-anchored), 0 false positives, enforced by TestVerifyFlipMatrix / TestVerifyTruncationMatrix",
+		},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	r.Artifact = string(out) + "\n"
+	return r, nil
+}
+
+// integrityAblationStore writes the shared workload through one codec and
+// leaves both sealed canonical roots (from Close) and sealed delta segments
+// (from an un-compacted periodic run) on disk, so the seal-overhead numbers
+// cover every file shape the chain produces.
+func integrityAblationStore(format core.Format, nFiles, recordsPer int) (core.Backend, *core.Store, error) {
+	backend := core.VFSBackend{View: vfs.NewStore().NewView()}
+	store, err := core.NewStore(backend, "/prov", format)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pid := 0; pid < nFiles; pid++ {
+		tr := core.NewTracker(core.DefaultConfig(), store, pid)
+		user := tr.RegisterUser("shared-user")
+		prog := tr.RegisterProgram("shared-program", user)
+		for i := 0; i < recordsPer; i++ {
+			obj := tr.TrackDataObject(model.File, fmt.Sprintf("/shared/f%d", i%16), "", rdf.Term{}, prog)
+			tr.TrackIO(model.Write, "write", obj, prog, time.Duration(i)*time.Microsecond, 0)
+		}
+		if err := tr.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	// A second, periodic run on pid 0 leaves sealed segments behind (Drain
+	// flushes without folding them into the canonical file).
+	cfg := core.DefaultConfig()
+	cfg.Mode = core.ModePeriodic
+	cfg.FlushEvery = 4
+	tr := core.NewTracker(cfg, store, 0)
+	for i := 0; i < recordsPer; i++ {
+		tr.TrackIO(model.Read, fmt.Sprintf("reread_%03d", i), rdf.Term{}, rdf.Term{}, 0, 0)
+	}
+	if err := tr.Drain(); err != nil {
+		return nil, nil, err
+	}
+	return backend, store, nil
+}
+
+// integritySealBytes totals the integrity metadata in dir: whole .sum
+// sidecars, plus the embedded chain frame on binary segments (file size minus
+// its StripChain payload).
+func integritySealBytes(backend core.Backend, dir string) (int64, error) {
+	names, err := backend.List(dir)
+	if err != nil {
+		return 0, err
+	}
+	var seal int64
+	for _, name := range names {
+		data, err := backend.ReadFile(dir + "/" + name)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case strings.HasSuffix(name, ".sum"):
+			seal += int64(len(data))
+		case strings.Contains(name, ".pbs"):
+			seal += int64(len(data) - len(segcodec.StripChain(data)))
+		}
+	}
+	return seal, nil
+}

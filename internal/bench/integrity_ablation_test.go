@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAblationIntegrity(t *testing.T) {
+	rep := run(t, "abl-integrity")
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want one per codec", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		codec := row[0]
+		if parseNum(t, row[2]) <= 0 {
+			t.Errorf("%s: no seal bytes measured", codec)
+		}
+		overhead := parsePercent(t, row[3])
+		if overhead <= 0 || overhead >= 50 {
+			t.Errorf("%s: seal overhead %.1f%% outside (0, 50)", codec, overhead)
+		}
+		points, recovered, rejected := parseNum(t, row[5]), parseNum(t, row[6]), parseNum(t, row[7])
+		if row[8] != "0" {
+			t.Errorf("%s: crash sweep reported %s violations", codec, row[8])
+		}
+		if points == 0 || recovered+rejected != points {
+			t.Errorf("%s: %v points but %v recovered + %v rejected", codec, points, recovered, rejected)
+		}
+	}
+	if rep.ArtifactName != "BENCH_integrity.json" {
+		t.Fatalf("artifact name %q", rep.ArtifactName)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(rep.Artifact), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if _, ok := doc["live_ablation"]; !ok {
+		t.Error("artifact missing live_ablation section")
+	}
+}

@@ -39,6 +39,7 @@ var registry = map[string]Runner{
 	"abl-ingest":         AblationIngest,
 	"abl-codec":          AblationCodec,
 	"abl-parallel-query": AblationParallelQuery,
+	"abl-integrity":      AblationIntegrity,
 }
 
 // order lists experiment IDs in presentation order.

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+)
+
+// The store's integrity layer (DESIGN.md "Integrity & fault injection"):
+// every file a process writes — canonical sub-graph rewrites and delta
+// segments alike — is sealed into a per-process hash chain. Each seal
+// records the SHA-256 of the file that preceded it in the process's write
+// history, so provio-verify can detect truncation, reordering, splicing,
+// and deletion without trusting names or timestamps.
+//
+// Binary (.pbs) files embed the seal as a trailing chain frame
+// (segcodec.AppendChain) and are therefore sealed atomically with their
+// payload. Text files cannot carry a binary footer, so their seal lives in
+// a sidecar: <file>.sum, a small key/value document describing the exact
+// bytes of its companion. The sidecar is written after its file; the gap
+// between the two writes is why segment recovery treats a trailing
+// sidecar-less segment as unacknowledged (see Store.Compact).
+
+// chainSidecarExt is the extension appended to a text store file's name to
+// form its integrity sidecar. It is not a codec extension, so sidecars are
+// invisible to merging, listing, and TotalBytes.
+const chainSidecarExt = ".sum"
+
+const sidecarHeader = "provio-chain v1"
+
+// sidecarInfo is one parsed .sum sidecar: the seal of a text store file.
+type sidecarInfo struct {
+	root   bool
+	seq    uint64
+	bytes  int64
+	digest [32]byte // SHA-256 of the companion file's bytes
+	prev   [32]byte // chain predecessor's digest
+}
+
+func (si sidecarInfo) chain() segcodec.Chain {
+	return segcodec.Chain{Root: si.root, Seq: si.seq, Prev: si.prev}
+}
+
+// marshalSidecar renders the sidecar document for a file of n bytes. The
+// final "check" line is a CRC32 of every line above it, so any single-byte
+// damage to the sidecar itself — the prev digest included, which no other
+// file cross-references — is locally detectable.
+func marshalSidecar(c segcodec.Chain, n int64, digest [32]byte) []byte {
+	kind := "segment"
+	if c.Root {
+		kind = "root"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", sidecarHeader)
+	fmt.Fprintf(&b, "kind: %s\n", kind)
+	fmt.Fprintf(&b, "seq: %d\n", c.Seq)
+	fmt.Fprintf(&b, "bytes: %d\n", n)
+	fmt.Fprintf(&b, "sha256: %s\n", hex.EncodeToString(digest[:]))
+	fmt.Fprintf(&b, "prev: %s\n", hex.EncodeToString(c.Prev[:]))
+	fmt.Fprintf(&b, "check: %08x\n", crc32.ChecksumIEEE([]byte(b.String())))
+	return []byte(b.String())
+}
+
+// parseSidecar decodes a sidecar document, rejecting anything malformed —
+// a torn or tampered sidecar must read as damage, never as a weaker seal.
+func parseSidecar(data []byte) (sidecarInfo, error) {
+	var si sidecarInfo
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 7 || lines[0] != sidecarHeader {
+		return si, fmt.Errorf("not a %q document", sidecarHeader)
+	}
+	check, ok := strings.CutPrefix(lines[6], "check: ")
+	if !ok || len(check) != 8 {
+		return si, fmt.Errorf("malformed check line %q", lines[6])
+	}
+	sum, err := strconv.ParseUint(check, 16, 32)
+	if err != nil {
+		return si, fmt.Errorf("check line: %v", err)
+	}
+	body := strings.Join(lines[:6], "\n") + "\n"
+	if crc32.ChecksumIEEE([]byte(body)) != uint32(sum) {
+		return si, fmt.Errorf("sidecar checksum mismatch")
+	}
+	seen := map[string]bool{}
+	for _, line := range lines[1 : len(lines)-1] {
+		key, val, ok := strings.Cut(line, ": ")
+		if !ok || seen[key] {
+			return si, fmt.Errorf("malformed line %q", line)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "kind":
+			switch val {
+			case "root":
+				si.root = true
+			case "segment":
+				si.root = false
+			default:
+				err = fmt.Errorf("unknown kind %q", val)
+			}
+		case "seq":
+			si.seq, err = strconv.ParseUint(val, 10, 64)
+		case "bytes":
+			si.bytes, err = strconv.ParseInt(val, 10, 64)
+		case "sha256":
+			err = parseDigest(val, &si.digest)
+		case "prev":
+			err = parseDigest(val, &si.prev)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return si, fmt.Errorf("field %q: %v", key, err)
+		}
+	}
+	if len(seen) != 5 {
+		return si, fmt.Errorf("missing fields (%d of 5 present)", len(seen))
+	}
+	// The document must be byte-identical to its canonical rendering: hex
+	// case variants and newline games re-parse to the same seal and would
+	// otherwise slip past every field check.
+	if !bytes.Equal(data, marshalSidecar(si.chain(), si.bytes, si.digest)) {
+		return si, fmt.Errorf("sidecar is not in canonical form")
+	}
+	return si, nil
+}
+
+func parseDigest(s string, out *[32]byte) error {
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return err
+	}
+	if len(raw) != len(out) {
+		return fmt.Errorf("digest is %d bytes, want %d", len(raw), len(out))
+	}
+	copy(out[:], raw)
+	return nil
+}
+
+// fileDigest is the chain digest of a store file's complete bytes.
+func fileDigest(data []byte) [32]byte { return sha256.Sum256(data) }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/faultfs"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// The crash-consistency sweep (DESIGN.md "Integrity & fault injection"): a
+// deterministic harness that runs a fixed tracking workload against a
+// faultfs-wrapped in-memory store, kills it at EVERY mutating-operation
+// boundary (optionally with torn variants of the crashing write), then
+// recovers with Compact and audits with Verify. The invariant, per crash
+// point:
+//
+//	acknowledged ⊆ recovered ⊆ tracked
+//
+// where "acknowledged" is what the tracker had confirmed durable (a
+// nil-returning Flush or Close) before the crash, "recovered" is the merge
+// of the store after Compact, and "tracked" is everything the workload ever
+// recorded — i.e. no acknowledged record is lost, nothing appears from
+// nowhere (graph set-semantics rule out duplication). When Compact instead
+// refuses, the refusal must be verifiable: Verify has to report defects.
+// Any other outcome is a Violation.
+
+// CrashSweepConfig parameterizes one sweep. The zero value of Records and
+// FlushEvery picks a small workload that still exercises segment writes,
+// canonical rewrites, sidecar writes, and segment removal.
+type CrashSweepConfig struct {
+	Seed       int64
+	Format     Format
+	Records    int
+	FlushEvery int
+	// Torn adds prefix-truncated variants of each crashing write (none,
+	// half, all-but-one byte), modeling non-atomic filesystems. Without it
+	// every crash point is all-or-nothing, which is what the store's own
+	// backends guarantee (OSBackend writes via temp file + rename).
+	Torn bool
+}
+
+// CrashSweepReport summarizes a sweep.
+type CrashSweepReport struct {
+	Ops          int // mutating operations in the crash-free schedule
+	Points       int // crash variants exercised
+	TornVariants int // variants with a torn crashing write
+	Recovered    int // Compact succeeded and every invariant held
+	Rejected     int // Compact refused, and Verify confirmed the damage
+	Violations   []string
+}
+
+func (r *CrashSweepReport) String() string {
+	return fmt.Sprintf("crash sweep: %d ops, %d points (%d torn): %d recovered, %d rejected, %d violations",
+		r.Ops, r.Points, r.TornVariants, r.Recovered, r.Rejected, len(r.Violations))
+}
+
+func (c *CrashSweepConfig) withDefaults() CrashSweepConfig {
+	out := *c
+	if out.Records <= 0 {
+		out.Records = 6
+	}
+	if out.FlushEvery <= 0 {
+		out.FlushEvery = 2
+	}
+	return out
+}
+
+// ntLines renders a graph as its set of N-Triples lines, the record-level
+// fingerprint the sweep's invariants compare.
+func ntLines(g *rdf.Graph) map[string]bool {
+	set := make(map[string]bool)
+	if g == nil {
+		return set
+	}
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g); err != nil {
+		return set
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// crashWorkload runs the fixed tracking workload against backend. It returns
+// the acknowledged set (the graph at the last nil-returning Flush/Close —
+// conservative: deferred async errors surface there too) and the tracked set
+// (everything recorded, durable or not). PipelineDelta keeps every store
+// write on the tracking goroutine, so the mutating-operation schedule is
+// identical on every run and crash points enumerate deterministically.
+func crashWorkload(backend Backend, cfg CrashSweepConfig) (acked, tracked map[string]bool) {
+	acked = map[string]bool{}
+	store, err := NewStore(backend, "/prov", cfg.Format)
+	if err != nil {
+		return acked, map[string]bool{}
+	}
+	tcfg := DefaultConfig()
+	tcfg.Mode = ModePeriodic
+	tcfg.FlushEvery = cfg.FlushEvery
+	tcfg.Pipeline = PipelineDelta
+	tr := NewTracker(tcfg, store, 0)
+	half := cfg.Records / 2
+	for i := 0; i < cfg.Records; i++ {
+		tr.TrackIO(model.Write, fmt.Sprintf("crash_op_%03d", i), rdf.Term{}, rdf.Term{},
+			time.Duration(i)*time.Millisecond, time.Microsecond)
+		if i == half {
+			// Mid-run durability point: Flush rewrites the canonical file and
+			// removes the segments, putting removal boundaries in the sweep.
+			if err := tr.Flush(); err == nil {
+				acked = ntLines(tr.Graph())
+			}
+		}
+	}
+	if err := tr.Close(); err == nil {
+		acked = ntLines(tr.Graph())
+	}
+	return acked, ntLines(tr.Graph())
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// runCrashPoint exercises one crash variant: crash at mutating operation
+// `point`, with `torn` bytes of the crashing write persisted. It reports
+// whether Compact recovered (as opposed to verifiably rejecting) and a
+// non-empty violation when any invariant broke.
+func runCrashPoint(cfg CrashSweepConfig, point, torn int) (recovered bool, violation string) {
+	tag := fmt.Sprintf("%v point %d torn %d", cfg.Format, point, torn)
+	inner := VFSBackend{View: vfs.NewStore().NewView()}
+	fs := faultfs.New(inner, cfg.Seed).CrashAt(point, torn)
+	acked, tracked := crashWorkload(fs, cfg)
+	if !fs.Crashed() {
+		return false, fmt.Sprintf("%s: crash never fired (%d mutating ops)", tag, fs.Ops())
+	}
+
+	// Recovery: reopen the surviving state with a fresh store, compact, audit.
+	rstore, err := NewStore(inner, "/prov", cfg.Format)
+	if err != nil {
+		return false, fmt.Sprintf("%s: reopening the store: %v", tag, err)
+	}
+	if cerr := rstore.Compact(); cerr != nil {
+		rep, verr := rstore.Verify()
+		switch {
+		case verr != nil:
+			return false, fmt.Sprintf("%s: Verify failed after Compact refusal: %v", tag, verr)
+		case rep.Clean():
+			return false, fmt.Sprintf("%s: Compact refused (%v) but the store verifies clean", tag, cerr)
+		}
+		return false, "" // verifiable rejection
+	}
+	rep, verr := rstore.Verify()
+	switch {
+	case verr != nil:
+		return false, fmt.Sprintf("%s: Verify after recovery: %v", tag, verr)
+	case !rep.Clean():
+		return false, fmt.Sprintf("%s: recovered store has defects: %v", tag, rep.Defects)
+	}
+	g, merr := rstore.Merge()
+	if merr != nil {
+		return false, fmt.Sprintf("%s: merging the recovered store: %v", tag, merr)
+	}
+	merged := ntLines(g)
+	if !subset(acked, merged) {
+		return false, fmt.Sprintf("%s: acknowledged records lost (%d acked, %d recovered)",
+			tag, len(acked), len(merged))
+	}
+	if !subset(merged, tracked) {
+		return false, fmt.Sprintf("%s: recovered records that were never tracked", tag)
+	}
+	return true, ""
+}
+
+// RunCrashSweep probes the workload's crash-free operation schedule, then
+// replays it once per mutating-operation boundary (plus torn variants),
+// checking recovery invariants at each. The error covers harness setup only;
+// invariant breaks land in the report's Violations.
+func RunCrashSweep(cfg CrashSweepConfig) (*CrashSweepReport, error) {
+	cfg = cfg.withDefaults()
+	probe := faultfs.New(VFSBackend{View: vfs.NewStore().NewView()}, cfg.Seed)
+	acked, tracked := crashWorkload(probe, cfg)
+	if len(acked) == 0 || !subset(acked, tracked) || !subset(tracked, acked) {
+		return nil, fmt.Errorf("core: crash sweep probe run did not acknowledge its full workload")
+	}
+	var muts []faultfs.Op
+	for _, op := range probe.Trace() {
+		switch op.Kind {
+		case faultfs.OpMkdir, faultfs.OpWrite, faultfs.OpRemove:
+			muts = append(muts, op)
+		}
+	}
+	rep := &CrashSweepReport{Ops: len(muts)}
+	for k, op := range muts {
+		torns := []int{0}
+		if cfg.Torn && op.Kind == faultfs.OpWrite && op.Size > 1 {
+			torns = append(torns, op.Size/2)
+			if op.Size-1 != op.Size/2 {
+				torns = append(torns, op.Size-1)
+			}
+		}
+		for _, torn := range torns {
+			rep.Points++
+			if torn > 0 {
+				rep.TornVariants++
+			}
+			recovered, violation := runCrashPoint(cfg, k, torn)
+			switch {
+			case violation != "":
+				rep.Violations = append(rep.Violations, violation)
+			case recovered:
+				rep.Recovered++
+			default:
+				rep.Rejected++
+			}
+		}
+	}
+	return rep, nil
+}

@@ -2,58 +2,20 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"testing"
 
+	"github.com/hpc-io/prov-io/internal/faultfs"
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
 	"github.com/hpc-io/prov-io/internal/vfs"
 )
 
-// faultBackend injects failures into store operations, exercising the
-// error paths a Lustre outage would hit mid-run.
-type faultBackend struct {
-	inner      Backend
-	failWrites bool
-	failReads  bool
-	failList   bool
-	writeCount int
-	// failAfterN fails writes only after N successful ones (partial-flush
-	// scenarios). -1 disables.
-	failAfterN int
+// The fault injector lives in internal/faultfs; these tests exercise the
+// error paths a Lustre outage would hit mid-run through it. faultfs.FS
+// satisfies core.Backend structurally — no adapter.
+func newFaultBackend(view *vfs.View) *faultfs.FS {
+	return faultfs.New(VFSBackend{View: view}, 1)
 }
-
-var errInjected = errors.New("injected I/O error (OST down)")
-
-func newFaultBackend(view *vfs.View) *faultBackend {
-	return &faultBackend{inner: VFSBackend{View: view}, failAfterN: -1}
-}
-
-func (b *faultBackend) MkdirAll(dir string) error { return b.inner.MkdirAll(dir) }
-
-func (b *faultBackend) WriteFile(path string, data []byte) error {
-	b.writeCount++
-	if b.failWrites || (b.failAfterN >= 0 && b.writeCount > b.failAfterN) {
-		return fmt.Errorf("write %s: %w", path, errInjected)
-	}
-	return b.inner.WriteFile(path, data)
-}
-
-func (b *faultBackend) ReadFile(path string) ([]byte, error) {
-	if b.failReads {
-		return nil, errInjected
-	}
-	return b.inner.ReadFile(path)
-}
-
-func (b *faultBackend) List(dir string) ([]string, error) {
-	if b.failList {
-		return nil, errInjected
-	}
-	return b.inner.List(dir)
-}
-
-func (b *faultBackend) Remove(path string) error { return b.inner.Remove(path) }
 
 func TestFlushPropagatesWriteFailure(t *testing.T) {
 	fb := newFaultBackend(vfs.NewStore().NewView())
@@ -63,16 +25,16 @@ func TestFlushPropagatesWriteFailure(t *testing.T) {
 	}
 	tr := NewTracker(DefaultConfig(), store, 0)
 	tr.RegisterUser("u")
-	fb.failWrites = true
-	if err := tr.Flush(); !errors.Is(err, errInjected) {
+	fb.FailWrites(true)
+	if err := tr.Flush(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Errorf("Flush err = %v, want injected", err)
 	}
-	if err := tr.Close(); !errors.Is(err, errInjected) {
+	if err := tr.Close(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Errorf("Close err = %v, want injected", err)
 	}
 	// Recovery: once the backend heals, a retry succeeds and the graph is
 	// intact (nothing was lost from memory).
-	fb.failWrites = false
+	fb.FailWrites(false)
 	if err := tr.Flush(); err != nil {
 		t.Errorf("Flush after recovery: %v", err)
 	}
@@ -90,16 +52,16 @@ func TestMergePropagatesReadFailure(t *testing.T) {
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	fb.failReads = true
-	if _, err := store.Merge(); !errors.Is(err, errInjected) {
+	fb.FailReads(true)
+	if _, err := store.Merge(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Errorf("Merge err = %v, want injected", err)
 	}
-	fb.failReads = false
-	fb.failList = true
-	if _, err := store.Merge(); !errors.Is(err, errInjected) {
+	fb.FailReads(false)
+	fb.FailList(true)
+	if _, err := store.Merge(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Errorf("Merge with list failure err = %v", err)
 	}
-	if _, err := store.TotalBytes(); !errors.Is(err, errInjected) {
+	if _, err := store.TotalBytes(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Errorf("TotalBytes with list failure err = %v", err)
 	}
 }
@@ -126,16 +88,16 @@ func TestPeriodicFlushSurvivesTransientFailure(t *testing.T) {
 	cfg.Mode = ModePeriodic
 	cfg.FlushEvery = 5
 	tr := NewTracker(cfg, store, 0)
-	fb.failWrites = true
+	fb.FailWrites(true)
 	for i := 0; i < 20; i++ {
 		tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, 0, 0)
 	}
 	// The async writer's failures are not dropped: Drain surfaces the first
 	// one (and clears it) once every enqueued segment has been attempted.
-	if err := tr.Drain(); !errors.Is(err, errInjected) {
+	if err := tr.Drain(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("Drain must surface the deferred periodic flush error, got %v", err)
 	}
-	fb.failWrites = false
+	fb.FailWrites(false)
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +113,9 @@ func TestPeriodicFlushSurvivesTransientFailure(t *testing.T) {
 
 func TestPartialFlushThenFinalClose(t *testing.T) {
 	fb := newFaultBackend(vfs.NewStore().NewView())
-	fb.failAfterN = 1 // first flush succeeds, later ones fail
+	// A text-store flush is two writes — canonical file, then its .sum
+	// integrity sidecar. Let the first flush's pair through, fail later ones.
+	fb.FailWritesAfter(2)
 	store, _ := NewStore(fb, "/prov", FormatTurtle)
 	tr := NewTracker(DefaultConfig(), store, 0)
 	tr.RegisterUser("u")
@@ -159,11 +123,10 @@ func TestPartialFlushThenFinalClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr.RegisterProgram("p", rdf.Term{})
-	if err := tr.Flush(); !errors.Is(err, errInjected) {
+	if err := tr.Flush(); !errors.Is(err, faultfs.ErrInjected) {
 		t.Fatalf("second flush err = %v", err)
 	}
 	// The store still holds the first flush's consistent snapshot.
-	fb.failReads = false
 	g, err := store.Merge()
 	if err != nil {
 		t.Fatal(err)
@@ -171,5 +134,14 @@ func TestPartialFlushThenFinalClose(t *testing.T) {
 	user := rdf.IRI(model.NodeIRI(model.User, "u"))
 	if len(g.Find(user.Ptr(), nil, nil)) == 0 {
 		t.Error("first flush's snapshot lost")
+	}
+	// And that snapshot verifies clean: the failed rewrite left no partial
+	// state behind (the canonical write itself was rejected atomically).
+	rep, err := store.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Errorf("store not clean after failed flush: %v", rep.Defects)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
@@ -63,9 +64,25 @@ type OSBackend struct{}
 // MkdirAll implements Backend.
 func (OSBackend) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
-// WriteFile implements Backend.
+// osTmpSeq disambiguates concurrent atomic writes to the same target.
+var osTmpSeq atomic.Uint64
+
+// WriteFile implements Backend. The write is atomic: data lands in a
+// temporary file in the target's directory and is renamed over the target,
+// so a crash mid-write can never expose a half-written store file on a real
+// filesystem (rename is atomic on POSIX). The torn-write scenarios the
+// integrity harness injects model pre-fix filesystems and non-atomic
+// backends.
 func (OSBackend) WriteFile(path string, data []byte) error {
-	return os.WriteFile(path, data, 0o644)
+	tmp := fmt.Sprintf("%s.tmp%d", path, osTmpSeq.Add(1))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // ReadFile implements Backend.
@@ -105,6 +122,14 @@ type Store struct {
 	codec   segcodec.Codec // canonical sub-graph + merged-output codec
 	seg     segcodec.Codec // delta-segment codec
 	ns      *rdf.Namespaces
+
+	// Per-process hash-chain heads (DESIGN.md "Integrity & fault
+	// injection"): the SHA-256 of the last file sealed for each pid. Every
+	// canonical rewrite and delta segment commits to the head it extends;
+	// chainMu serializes the read-head/write-file/update-head step so
+	// concurrent periodic flushes of one process chain linearly.
+	chainMu   sync.Mutex
+	chainHead map[int][32]byte
 }
 
 // codec returns the segment codec serializing a store format.
@@ -128,7 +153,8 @@ func NewStore(backend Backend, dir string, format Format) (*Store, error) {
 	if format == FormatAuto {
 		format = detectDirFormat(backend, dir)
 	}
-	s := &Store{backend: backend, dir: dir, format: format, ns: model.Namespaces()}
+	s := &Store{backend: backend, dir: dir, format: format, ns: model.Namespaces(),
+		chainHead: make(map[int][32]byte)}
 	s.codec = format.codecOf()
 	// Delta segments stay N-Triples for both text formats (the historical
 	// segment format); the binary format carries its own segments.
@@ -190,13 +216,71 @@ func (s *Store) processFile(pid int) string {
 }
 
 // WriteSubgraph serializes a process sub-graph to its canonical store file,
-// replacing any previous flush from the same process.
+// replacing any previous flush from the same process. The write seals a new
+// chain root: its seal's prev is the chain head it supersedes, which is what
+// authenticates segments a crash strands between the canonical rewrite and
+// their removal.
 func (s *Store) WriteSubgraph(pid int, g *rdf.Graph) error {
 	var buf bytes.Buffer
 	if err := s.codec.Encode(&buf, g, s.ns); err != nil {
 		return err
 	}
-	return s.backend.WriteFile(s.processFile(pid), buf.Bytes())
+	return s.writeChained(s.codec, s.processFile(pid), buf.Bytes(), true, 0, pid)
+}
+
+// chainPrevLocked returns pid's current chain head, lazily initializing it
+// for a store object that did not write the history so far (a restarted
+// process, a recovery tool): the chain continues from the digest of the
+// pid's existing canonical file, or from zero for a brand-new process.
+// Caller holds s.chainMu.
+func (s *Store) chainPrevLocked(pid int) [32]byte {
+	if h, ok := s.chainHead[pid]; ok {
+		return h
+	}
+	var head [32]byte
+	base := fmt.Sprintf("prov_p%06d", pid)
+	exts := []string{s.codec.Ext()}
+	for _, c := range segcodec.All() {
+		if c.Ext() != s.codec.Ext() {
+			exts = append(exts, c.Ext())
+		}
+	}
+	for _, ext := range exts {
+		data, err := s.backend.ReadFile(filepath.ToSlash(filepath.Join(s.dir, base+ext)))
+		if err == nil {
+			head = fileDigest(data)
+			break
+		}
+	}
+	s.chainHead[pid] = head
+	return head
+}
+
+// writeChained writes one store file sealed into pid's hash chain. Binary
+// codecs embed the seal as a trailing chain frame (file and seal are
+// atomic); text codecs get a .sum sidecar written after the file. The chain
+// head advances as soon as the file itself is durable, so a failed sidecar
+// write leaves a file later writes still chain to (verification confirms
+// such a file through its successor's seal).
+func (s *Store) writeChained(c segcodec.Codec, path string, payload []byte, root bool, seq uint64, pid int) error {
+	s.chainMu.Lock()
+	defer s.chainMu.Unlock()
+	prev := s.chainPrevLocked(pid)
+	ch := segcodec.Chain{Root: root, Seq: seq, Prev: prev}
+	if len(c.Magic()) > 0 {
+		sealed := segcodec.AppendChain(payload, ch)
+		if err := s.backend.WriteFile(path, sealed); err != nil {
+			return err
+		}
+		s.chainHead[pid] = fileDigest(sealed)
+		return nil
+	}
+	if err := s.backend.WriteFile(path, payload); err != nil {
+		return err
+	}
+	d := fileDigest(payload)
+	s.chainHead[pid] = d
+	return s.backend.WriteFile(path+chainSidecarExt, marshalSidecar(ch, int64(len(payload)), d))
 }
 
 // segmentFile returns the path of one delta segment of a process.
@@ -222,7 +306,7 @@ func (s *Store) WriteDeltaSegment(pid, seg int, triples []rdf.Triple) error {
 	if err := te.EncodeTriples(&buf, triples); err != nil {
 		return err
 	}
-	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
+	return s.writeChained(s.seg, s.segmentFile(pid, seg), buf.Bytes(), false, uint64(seg), pid)
 }
 
 // WriteDeltaSegmentRefs is WriteDeltaSegment in ID space: the delta arrives
@@ -243,22 +327,44 @@ func (s *Store) WriteDeltaSegmentRefs(pid, seg int, refs []rdf.TripleID, r *rdf.
 	if err != nil {
 		return err
 	}
-	return s.backend.WriteFile(s.segmentFile(pid, seg), buf.Bytes())
+	return s.writeChained(s.seg, s.segmentFile(pid, seg), buf.Bytes(), false, uint64(seg), pid)
 }
 
 // RemoveSegments deletes every delta segment of a process (after its
-// contents were folded into the canonical file).
+// contents were folded into the canonical file), integrity sidecars
+// included. Each segment's sidecar goes before the segment itself, so a
+// crash mid-removal strands at worst a sidecar-less segment — a state the
+// verifier already authenticates through successor seals — never a sidecar
+// whose segment is gone.
 func (s *Store) RemoveSegments(pid int) error {
 	names, err := s.backend.List(s.dir)
 	if err != nil {
 		return err
 	}
 	prefix := segmentPrefix(pid)
+	present := make(map[string]bool, len(names))
 	for _, n := range names {
-		if strings.HasPrefix(n, prefix) && isCodecFile(n) {
-			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
+		present[n] = true
+	}
+	for _, n := range names {
+		if !strings.HasPrefix(n, prefix) {
+			continue
+		}
+		isSum := strings.HasSuffix(n, chainSidecarExt) &&
+			isCodecFile(strings.TrimSuffix(n, chainSidecarExt))
+		if !isSum && !isCodecFile(n) {
+			continue
+		}
+		if isSum && present[strings.TrimSuffix(n, chainSidecarExt)] {
+			continue // removed just before its segment below
+		}
+		if !isSum && present[n+chainSidecarExt] {
+			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n+chainSidecarExt))); err != nil {
 				return err
 			}
+		}
+		if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -405,49 +511,99 @@ func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
 // binary store migrates a text store to .pbs (and vice versa), the
 // format-migration path of the codec layer. Same-format pids with no
 // segments are left untouched.
+//
+// Compact audits before it folds (the same audit provio-verify runs) and
+// recovers exactly the damage an interrupted write of unacknowledged data
+// can cause: a defective newest segment — torn, bit-flipped before its seal
+// landed, or sealed-but-unconfirmable — is dropped (it was never
+// acknowledged: acknowledgement happens strictly after the write completes),
+// and stale sidecars a crash stranded are collected. Any other defect means
+// the store's acknowledged history itself is damaged or manipulated; Compact
+// refuses with an *IntegrityError rather than guess, and provio-verify
+// classifies the damage.
 func (s *Store) Compact() error {
-	files, err := s.subgraphFiles()
+	a, err := s.audit(true)
 	if err != nil {
 		return err
 	}
-	// Group by process: canonical file (if any) plus segments.
-	byPid := make(map[int][]string)
-	dirty := make(map[int]bool)
-	for _, f := range files {
-		base := filepath.Base(f)
-		var pid int
-		if _, err := fmt.Sscanf(base, "prov_p%06d", &pid); err != nil {
+	// Drop unacknowledged torn tails (at most the newest segment per pid),
+	// then re-audit so chain analysis sees the repaired state.
+	dropped := false
+	for _, pa := range a.pids {
+		if len(pa.defects) == 0 || len(pa.drop) == 0 {
 			continue
 		}
-		byPid[pid] = append(byPid[pid], f)
-		if strings.Contains(base, ".seg") || filepath.Ext(base) != s.codec.Ext() {
-			dirty[pid] = true
+		for _, n := range pa.drop {
+			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
+				return err
+			}
+		}
+		dropped = true
+	}
+	if dropped {
+		if a, err = s.audit(true); err != nil {
+			return err
 		}
 	}
-	pids := make([]int, 0, len(dirty))
-	for pid := range dirty {
+	var defects []Defect
+	for _, pa := range a.pids {
+		defects = append(defects, pa.defects...)
+	}
+	if len(defects) > 0 {
+		sortDefects(defects)
+		return &IntegrityError{Defects: defects}
+	}
+
+	pids := make([]int, 0, len(a.pids))
+	for pid := range a.pids {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
 	for _, pid := range pids {
+		pa := a.pids[pid]
+		dirty := len(pa.segs) > 0 || len(pa.staleSums) > 0 || len(pa.canonicals) > 1
+		for _, c := range pa.canonicals {
+			if filepath.Ext(c.name) != s.codec.Ext() {
+				dirty = true
+			}
+		}
+		if !dirty {
+			continue
+		}
 		g := rdf.NewGraph()
-		for _, f := range byPid[pid] {
-			if err := s.decodeFileInto(f, g); err != nil {
+		for _, f := range append(append([]*auditFile{}, pa.canonicals...), pa.segs...) {
+			if f.graph != nil {
+				g.Merge(f.graph)
+			} else if err := s.decodeFileInto(filepath.ToSlash(filepath.Join(s.dir, f.name)), g); err != nil {
 				return err
 			}
 		}
+		// Seal the new root against the pid's actual chain head (the newest
+		// authenticated file the audit found), not whatever canonical this
+		// store object last saw — recovery with a fresh Store must not fork
+		// the chain, or a crash inside Compact itself would be unrecoverable.
+		s.chainMu.Lock()
+		s.chainHead[pid] = pa.head
+		s.chainMu.Unlock()
 		if err := s.WriteSubgraph(pid, g); err != nil {
 			return err
 		}
 		if err := s.RemoveSegments(pid); err != nil {
 			return err
 		}
-		// Drop the old-format canonical file the rewrite replaced.
-		for _, f := range byPid[pid] {
-			if !strings.Contains(filepath.Base(f), ".seg") && f != s.processFile(pid) {
-				if err := s.backend.Remove(f); err != nil {
+		// Drop the old-format canonical files the rewrite replaced, their
+		// sidecars included.
+		for _, c := range pa.canonicals {
+			if c.name == filepath.Base(s.processFile(pid)) {
+				continue
+			}
+			if c.sumName != "" {
+				if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, c.sumName))); err != nil {
 					return err
 				}
+			}
+			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, c.name))); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,675 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+)
+
+// This file is the store auditor behind provio-verify and the recovery
+// decisions of Compact (DESIGN.md "Integrity & fault injection"). Verify
+// audits a store end-to-end: every file decodes through its codec (frames,
+// CRCs), every seal is consistent with its file's bytes, and every
+// process's files form one continuous hash chain. Defects are classified:
+//
+//   - tampered:  content contradicts its seal or chain — bit flips, CRC
+//     mismatches, reordered or spliced segments, chain-head mismatches.
+//   - truncated: a file is a strict prefix of what its seal or framing
+//     promises — the torn-write signature.
+//   - missing:   the chain or the name sequence references a file that is
+//     gone — deleted segments, a deleted canonical file.
+//   - orphaned:  a file is present but nothing authenticates it — no seal
+//     of its own and no successor or canonical seal confirms its digest.
+//
+// A store written before the integrity layer existed carries no seals at
+// all; such fully-unsealed processes are reported clean (there is nothing
+// to contradict) but count zero sealed files, so auditors can see the
+// difference.
+
+// DefectKind classifies one integrity defect.
+type DefectKind uint8
+
+// Defect kinds, ordered by severity (Worst reports the highest).
+const (
+	// DefectOrphaned: a present file nothing authenticates.
+	DefectOrphaned DefectKind = iota + 1
+	// DefectMissing: a referenced file is gone.
+	DefectMissing
+	// DefectTruncated: a file is a strict prefix of its sealed form.
+	DefectTruncated
+	// DefectTampered: content contradicts its seal or chain.
+	DefectTampered
+)
+
+func (k DefectKind) String() string {
+	switch k {
+	case DefectTampered:
+		return "tampered"
+	case DefectTruncated:
+		return "truncated"
+	case DefectMissing:
+		return "missing"
+	case DefectOrphaned:
+		return "orphaned"
+	}
+	return fmt.Sprintf("defect(%d)", uint8(k))
+}
+
+// Defect is one verification finding.
+type Defect struct {
+	PID    int
+	Name   string // file name inside the store directory; "" for process-level findings
+	Kind   DefectKind
+	Detail string
+}
+
+func (d Defect) String() string {
+	name := d.Name
+	if name == "" {
+		name = fmt.Sprintf("p%06d", d.PID)
+	}
+	return fmt.Sprintf("[%s] %s: %s", d.Kind, name, d.Detail)
+}
+
+// VerifyReport is the result of auditing a store.
+type VerifyReport struct {
+	Dir       string
+	Processes int
+	Files     int // provenance files examined (sidecars not counted)
+	Sealed    int // files carrying a valid chain seal
+	Segments  int // delta segment files among Files
+	// Unsealed lists intact files carrying no seal. Tolerated by default —
+	// they are what pre-integrity stores look like — but provio-verify
+	// -strict turns them into orphaned defects, closing the one local gap
+	// tolerance leaves: a binary file truncated exactly at a frame boundary
+	// before its seal is indistinguishable from a legacy file.
+	Unsealed []string
+	Defects  []Defect
+	// Heads maps each process to its chain head: the SHA-256 of the newest
+	// authenticated file of its history. Recording heads after a run and
+	// re-verifying with VerifyAgainst closes the one gap local verification
+	// cannot: deletion of an entire chain suffix (or chain).
+	Heads map[int][32]byte
+}
+
+// Clean reports whether the audit found no defects.
+func (r *VerifyReport) Clean() bool { return len(r.Defects) == 0 }
+
+// Worst returns the most severe defect kind found (0 when clean).
+func (r *VerifyReport) Worst() DefectKind {
+	var w DefectKind
+	for _, d := range r.Defects {
+		if d.Kind > w {
+			w = d.Kind
+		}
+	}
+	return w
+}
+
+// FormatHeads renders the chain heads as a stable text document
+// ("p%06d <hex>\n" per process), the anchor file provio-verify -write-heads
+// emits and -heads consumes.
+func (r *VerifyReport) FormatHeads() []byte {
+	pids := make([]int, 0, len(r.Heads))
+	for pid := range r.Heads {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var b strings.Builder
+	for _, pid := range pids {
+		h := r.Heads[pid]
+		fmt.Fprintf(&b, "p%06d %s\n", pid, hex.EncodeToString(h[:]))
+	}
+	return []byte(b.String())
+}
+
+// ParseHeads parses a FormatHeads document.
+func ParseHeads(data []byte) (map[int][32]byte, error) {
+	heads := make(map[int][32]byte)
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var pid int
+		var hx string
+		if _, err := fmt.Sscanf(line, "p%06d %s", &pid, &hx); err != nil {
+			return nil, fmt.Errorf("heads line %d: %q", ln+1, line)
+		}
+		var h [32]byte
+		if err := parseDigest(hx, &h); err != nil {
+			return nil, fmt.Errorf("heads line %d: %v", ln+1, err)
+		}
+		heads[pid] = h
+	}
+	return heads, nil
+}
+
+// IntegrityError is returned by Compact when a store's damage is not
+// attributable to an interrupted write of unacknowledged data — recovery
+// refuses to guess, and the defects say what a human (or provio-verify) is
+// looking at.
+type IntegrityError struct{ Defects []Defect }
+
+func (e *IntegrityError) Error() string {
+	if len(e.Defects) == 1 {
+		return fmt.Sprintf("core: store integrity: %s", e.Defects[0])
+	}
+	return fmt.Sprintf("core: store integrity: %s (and %d more defects)",
+		e.Defects[0], len(e.Defects)-1)
+}
+
+// Verify audits the store and returns the report. The returned error covers
+// operational failures only (unlistable directory, unreadable files);
+// integrity findings land in the report's Defects.
+func (s *Store) Verify() (*VerifyReport, error) {
+	a, err := s.audit(false)
+	if err != nil {
+		return nil, err
+	}
+	return a.report(s.dir), nil
+}
+
+// VerifyAgainst is Verify anchored to externally recorded chain heads: on
+// top of the local audit, every recorded process must still be present with
+// exactly the recorded head, and no unrecorded process may have appeared —
+// which is what catches deletion of a chain's newest files (locally
+// indistinguishable from "the process never wrote them") and whole-chain
+// forgery.
+func (s *Store) VerifyAgainst(heads map[int][32]byte) (*VerifyReport, error) {
+	rep, err := s.Verify()
+	if err != nil {
+		return nil, err
+	}
+	for pid, want := range heads {
+		got, ok := rep.Heads[pid]
+		if !ok {
+			rep.Defects = append(rep.Defects, Defect{PID: pid, Kind: DefectMissing,
+				Detail: "process chain recorded in heads is gone from the store"})
+			continue
+		}
+		if got != want {
+			rep.Defects = append(rep.Defects, Defect{PID: pid, Kind: DefectTampered,
+				Detail: fmt.Sprintf("chain head %x does not match recorded head %x (suffix deleted or rewritten)", got[:4], want[:4])})
+		}
+	}
+	for pid := range rep.Heads {
+		if _, ok := heads[pid]; !ok {
+			rep.Defects = append(rep.Defects, Defect{PID: pid, Kind: DefectTampered,
+				Detail: "process is not in the recorded heads (spliced-in chain)"})
+		}
+	}
+	sortDefects(rep.Defects)
+	return rep, nil
+}
+
+// ---- audit engine ----
+
+// auditFile is one examined store file.
+type auditFile struct {
+	name    string
+	seg     int // segment number, -1 for a canonical file
+	data    []byte
+	digest  [32]byte
+	meta    *segcodec.Chain // seal (embedded frame or sidecar), nil if unsealed
+	sumName string          // sidecar name, "" if none
+	graph   *rdf.Graph      // decoded content when audit(keepGraphs) and intact
+	bad     bool            // at least one defect charged to this file
+}
+
+// pidAudit is the audit state of one process.
+type pidAudit struct {
+	pid        int
+	canonicals []*auditFile // canonical files (several only mid-migration)
+	segs       []*auditFile // sorted by segment number
+	staleSums  []string     // leftover sidecars recovery may GC
+	defects    []Defect
+	head       [32]byte
+	// drop lists file names removable as an unacknowledged torn tail: set
+	// only when every defect of the pid is confined to the newest segment.
+	drop []string
+}
+
+func (pa *pidAudit) addDefect(kind DefectKind, name, format string, args ...any) {
+	pa.defects = append(pa.defects, Defect{
+		PID: pa.pid, Name: name, Kind: kind, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+type storeAudit struct {
+	pids                    map[int]*pidAudit
+	files, sealed, segments int
+}
+
+// parseStoreName splits a store file name into its parts. ok is false for
+// names that are not provenance files (merged output, OS temp files, ...).
+func parseStoreName(name string) (pid, seg int, isSum, ok bool) {
+	base := name
+	if strings.HasSuffix(base, chainSidecarExt) {
+		isSum = true
+		base = strings.TrimSuffix(base, chainSidecarExt)
+	}
+	ext := filepath.Ext(base)
+	if _, codecOK := segcodec.ByExt(ext); !codecOK {
+		return 0, 0, false, false
+	}
+	stem := strings.TrimSuffix(base, ext)
+	if _, err := fmt.Sscanf(stem, "prov_p%06d.seg%04d", &pid, &seg); err == nil &&
+		stem == fmt.Sprintf("prov_p%06d.seg%04d", pid, seg) {
+		return pid, seg, isSum, true
+	}
+	if _, err := fmt.Sscanf(stem, "prov_p%06d", &pid); err == nil &&
+		stem == fmt.Sprintf("prov_p%06d", pid) {
+		return pid, -1, isSum, true
+	}
+	return 0, 0, false, false
+}
+
+// audit reads and checks every provenance file in the store. keepGraphs
+// retains each intact file's decoded triples for Compact's fold step.
+func (s *Store) audit(keepGraphs bool) (*storeAudit, error) {
+	names, err := s.backend.List(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	a := &storeAudit{pids: make(map[int]*pidAudit)}
+	sums := make(map[string][]byte)
+	type entry struct {
+		name     string
+		pid, seg int
+	}
+	var entries []entry
+	for _, n := range names {
+		pid, seg, isSum, ok := parseStoreName(n)
+		if !ok {
+			continue
+		}
+		if isSum {
+			data, err := s.backend.ReadFile(filepath.ToSlash(filepath.Join(s.dir, n)))
+			if err != nil {
+				return nil, fmt.Errorf("core: reading %s: %w", n, err)
+			}
+			sums[n] = data
+			continue
+		}
+		entries = append(entries, entry{n, pid, seg})
+	}
+	pidOf := func(pid int) *pidAudit {
+		pa := a.pids[pid]
+		if pa == nil {
+			pa = &pidAudit{pid: pid}
+			a.pids[pid] = pa
+		}
+		return pa
+	}
+	for _, e := range entries {
+		pa := pidOf(e.pid)
+		f, err := s.auditOne(pa, e.name, e.seg, sums, keepGraphs)
+		if err != nil {
+			return nil, err
+		}
+		a.files++
+		if f.meta != nil {
+			a.sealed++
+		}
+		if e.seg >= 0 {
+			a.segments++
+			pa.segs = append(pa.segs, f)
+		} else {
+			pa.canonicals = append(pa.canonicals, f)
+		}
+	}
+	// Route sidecars whose companion file is gone.
+	for sumName := range sums {
+		pid, seg, _, _ := parseStoreName(sumName)
+		fileName := strings.TrimSuffix(sumName, chainSidecarExt)
+		claimed := false
+		pa := a.pids[pid]
+		if pa != nil {
+			for _, f := range append(append([]*auditFile{}, pa.canonicals...), pa.segs...) {
+				if f.name == fileName {
+					claimed = true
+					break
+				}
+			}
+		}
+		if claimed {
+			continue
+		}
+		pa = pidOf(pid)
+		// A segment sidecar below every present segment (or with none left),
+		// next to a canonical file, is the residue of a crash inside segment
+		// removal — the segment goes before its sidecar, so the sidecar can
+		// outlive it. It references superseded history: GC material, not
+		// evidence of loss.
+		minSeg := -1
+		for _, sf := range pa.segs {
+			if minSeg == -1 || sf.seg < minSeg {
+				minSeg = sf.seg
+			}
+		}
+		stale := len(pa.canonicals) > 0 && seg >= 0 && (minSeg == -1 || seg < minSeg)
+		if stale {
+			pa.staleSums = append(pa.staleSums, sumName)
+		} else {
+			pa.addDefect(DefectMissing, fileName,
+				"file is gone but its integrity sidecar %s remains", sumName)
+		}
+	}
+	for _, pa := range a.pids {
+		sort.Slice(pa.segs, func(i, j int) bool { return pa.segs[i].seg < pa.segs[j].seg })
+		sort.Slice(pa.canonicals, func(i, j int) bool { return pa.canonicals[i].name < pa.canonicals[j].name })
+		s.auditChain(pa)
+		sortDefects(pa.defects)
+	}
+	return a, nil
+}
+
+// auditOne reads and integrity-checks a single store file.
+func (s *Store) auditOne(pa *pidAudit, name string, seg int, sums map[string][]byte, keepGraph bool) (*auditFile, error) {
+	path := filepath.ToSlash(filepath.Join(s.dir, name))
+	data, err := s.backend.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading %s: %w", name, err)
+	}
+	f := &auditFile{name: name, seg: seg, data: data, digest: fileDigest(data)}
+	codec, _ := segcodec.ByExt(filepath.Ext(name))
+	binary := len(codec.Magic()) > 0
+
+	flag := func(kind DefectKind, fname, format string, args ...any) {
+		f.bad = true
+		pa.addDefect(kind, fname, format, args...)
+	}
+
+	if binary {
+		if sumName := name + chainSidecarExt; sums[sumName] != nil {
+			// Binary files are sealed in-band; a sidecar next to one was
+			// planted (writes never produce it).
+			flag(DefectOrphaned, sumName, "unexpected sidecar next to a binary file")
+		}
+		g := rdf.NewGraph()
+		if err := codec.Decode(bytes.NewReader(data), g); err != nil {
+			kind := DefectTampered
+			if errors.Is(err, segcodec.ErrTruncated) {
+				kind = DefectTruncated
+			}
+			flag(kind, name, "decode: %v", err)
+		} else {
+			if ch, ok := segcodec.ChainOf(data); ok {
+				f.meta = &ch
+			}
+			if keepGraph {
+				f.graph = g
+			}
+		}
+	} else {
+		if sumData, ok := sums[name+chainSidecarExt]; ok {
+			f.sumName = name + chainSidecarExt
+			si, err := parseSidecar(sumData)
+			switch {
+			case err != nil:
+				flag(DefectTampered, f.sumName, "sidecar: %v", err)
+			case int64(len(data)) < si.bytes:
+				flag(DefectTruncated, name, "file is %d bytes, sealed length is %d", len(data), si.bytes)
+			case int64(len(data)) > si.bytes:
+				flag(DefectTampered, name, "file is %d bytes, sealed length is %d", len(data), si.bytes)
+			case f.digest != si.digest:
+				flag(DefectTampered, name, "content does not match its sealed sha256")
+			default:
+				ch := si.chain()
+				f.meta = &ch
+			}
+		}
+		g := rdf.NewGraph()
+		if err := segcodec.Detect(data).Decode(bytes.NewReader(data), g); err != nil {
+			if !f.bad {
+				flag(DefectTampered, name, "parse: %v", err)
+			}
+		} else if keepGraph {
+			f.graph = g
+		}
+	}
+
+	// Seal sanity: a segment's seal must name its own position, a canonical
+	// file's seal must be a root.
+	if f.meta != nil {
+		switch {
+		case seg >= 0 && f.meta.Root:
+			flag(DefectTampered, name, "segment is sealed as a chain root")
+		case seg >= 0 && f.meta.Seq != uint64(seg):
+			flag(DefectTampered, name, "seal names segment %d, file name says %d (reordered or spliced)", f.meta.Seq, seg)
+		case seg < 0 && !f.meta.Root:
+			flag(DefectTampered, name, "canonical file is sealed as a delta segment")
+		}
+	}
+	return f, nil
+}
+
+// auditChain checks the per-process chain: segment-name contiguity, link
+// continuity, run authentication, and computes the process head. It runs
+// only when every per-file check passed — per-file defects already flag the
+// pid, and a damaged file's seal cannot be trusted as chain evidence.
+func (s *Store) auditChain(pa *pidAudit) {
+	// Segment numbers must be contiguous among the present files (removal
+	// only ever deletes a prefix of the live history).
+	for i := 1; i < len(pa.segs); i++ {
+		if pa.segs[i].seg != pa.segs[i-1].seg+1 {
+			pa.addDefect(DefectMissing, "",
+				"segments %d..%d are gone (present: ...%04d, %04d...)",
+				pa.segs[i-1].seg+1, pa.segs[i].seg-1, pa.segs[i-1].seg, pa.segs[i].seg)
+		}
+	}
+
+	fileDefects := len(pa.defects) > 0
+
+	// Default head: newest file by write order (segments after canonical).
+	if n := len(pa.segs); n > 0 {
+		pa.head = pa.segs[n-1].digest
+	} else if len(pa.canonicals) > 0 {
+		pa.head = pa.canonicals[len(pa.canonicals)-1].digest
+	}
+
+	sealedAny := false
+	for _, f := range append(append([]*auditFile{}, pa.canonicals...), pa.segs...) {
+		if f.meta != nil {
+			sealedAny = true
+		}
+	}
+	if !sealedAny || fileDefects {
+		if fileDefects {
+			pa.markDroppableTail()
+		}
+		return // fully-unsealed legacy store, or chain evidence untrustworthy
+	}
+
+	// Anchors: digests of the present canonical files; cPrevs: the heads
+	// their root seals superseded (what authenticates stale segment runs).
+	// A canonical file without a seal is tolerated — it is what a process
+	// upgraded from a pre-integrity store chains from — but it vouches for
+	// nothing.
+	anchors := make(map[[32]byte]bool)
+	cPrevs := make(map[[32]byte]bool)
+	for _, c := range pa.canonicals {
+		anchors[c.digest] = true
+		if c.meta != nil {
+			cPrevs[c.meta.Prev] = true
+		}
+	}
+
+	// Link classification per segment position.
+	const (
+		lLinked = iota // prev == digest of the previous present segment
+		lAnchor        // prev == a canonical file's digest (run start)
+		lZero          // prev == zero at segment 0 (history start)
+		lFloat         // sealed, but prev matches nothing present
+		lNone          // unsealed
+	)
+	link := make([]int, len(pa.segs))
+	for i, f := range pa.segs {
+		switch {
+		case f.meta == nil:
+			link[i] = lNone
+		case i > 0 && f.meta.Prev == pa.segs[i-1].digest:
+			link[i] = lLinked
+		case anchors[f.meta.Prev]:
+			link[i] = lAnchor
+		case f.meta.PrevIsZero() && f.seg == 0:
+			link[i] = lZero
+		default:
+			link[i] = lFloat
+		}
+	}
+
+	// Split into runs at positions that are not simple continuations.
+	var runs [][2]int // [start, end) index ranges
+	start := 0
+	for i := 1; i < len(pa.segs); i++ {
+		if link[i] != lLinked && link[i] != lNone {
+			runs = append(runs, [2]int{start, i})
+			start = i
+		}
+	}
+	if len(pa.segs) > 0 {
+		runs = append(runs, [2]int{start, len(pa.segs)})
+	}
+
+	// Validate runs: at most one run may be live (anchored at a canonical
+	// digest, or starting from zero when it IS the history); every earlier
+	// run must be a stale remnant a canonical's root seal authenticates.
+	liveRun := -1
+	for ri, r := range runs {
+		head := link[r[0]]
+		isLast := ri == len(runs)-1
+		if head == lAnchor || (head == lZero && len(pa.canonicals) == 0) {
+			// The live run: the history currently being written. Trailing
+			// unsealed members are checked by the orphan pass below.
+			if !isLast {
+				pa.addDefect(DefectTampered, pa.segs[runs[ri+1][0]].name,
+					"chain restarts after the live segment run (spliced or replayed history)")
+			}
+			if liveRun >= 0 {
+				pa.addDefect(DefectTampered, pa.segs[r[0]].name,
+					"second live segment run (duplicated chain)")
+			}
+			liveRun = ri
+			continue
+		}
+		if head == lNone {
+			// The run starts with an unsealed segment: a sidecar write that
+			// failed transiently while the run carried on, or a crash inside
+			// segment removal (which deletes sidecars first). Either way its
+			// sealed members still link and its unsealed ones answer to the
+			// orphan pass below, so the run is tolerated like a legacy store;
+			// -strict surfaces the missing seals.
+			continue
+		}
+		if head == lFloat && r[0] > 0 {
+			pa.addDefect(DefectTampered, pa.segs[r[0]].name,
+				"chain broken: seal's predecessor digest matches neither the previous segment nor a canonical file")
+			continue
+		}
+		// Everything else is a stale remnant claim: a run a crash stranded
+		// between a canonical rewrite and segment removal. Its newest sealed
+		// member must be the head some canonical root seal superseded.
+		// Trailing unsealed members (a torn tail on top of the remnant) are
+		// left to the orphan pass.
+		last := r[1] - 1
+		for last >= r[0] && link[last] == lNone {
+			last--
+		}
+		if last < r[0] {
+			continue // fully unsealed run: the orphan pass owns it
+		}
+		if len(pa.canonicals) == 0 {
+			pa.addDefect(DefectMissing, "",
+				"segments reference history that is gone (no canonical file; run head %s)", pa.segs[r[0]].name)
+		} else if !cPrevs[pa.segs[last].digest] {
+			pa.addDefect(DefectTampered, pa.segs[r[0]].name,
+				"segment run is not authenticated by any canonical root seal")
+		}
+	}
+
+	// Unsealed segments must be confirmed by a successor's seal or by a
+	// canonical root seal; the one at the very tail has no successor — it is
+	// the torn-tail signature, orphaned and droppable.
+	for i, f := range pa.segs {
+		if link[i] != lNone {
+			continue
+		}
+		confirmed := (i+1 < len(pa.segs) && link[i+1] == lLinked) || cPrevs[f.digest]
+		if !confirmed {
+			pa.addDefect(DefectOrphaned, f.name,
+				"segment has no seal and no successor or root seal confirms it")
+		}
+	}
+
+	// The process head: the tail of the live run; with no live segments, the
+	// newest canonical file.
+	if liveRun >= 0 {
+		pa.head = pa.segs[runs[liveRun][1]-1].digest
+	} else if len(pa.canonicals) > 0 {
+		pa.head = pa.canonicals[len(pa.canonicals)-1].digest
+	}
+	pa.markDroppableTail()
+}
+
+// markDroppableTail decides whether every defect of the pid is confined to
+// the newest segment file (or its sidecar) — the only damage an interrupted
+// write of unacknowledged data can leave — and if so records the files
+// recovery may drop.
+func (pa *pidAudit) markDroppableTail() {
+	if len(pa.defects) == 0 || len(pa.segs) == 0 {
+		return
+	}
+	tail := pa.segs[len(pa.segs)-1]
+	tailNames := map[string]bool{tail.name: true, tail.name + chainSidecarExt: true}
+	for _, d := range pa.defects {
+		if d.Kind == DefectMissing || !tailNames[d.Name] {
+			return
+		}
+	}
+	pa.drop = []string{tail.name}
+	if tail.sumName != "" {
+		pa.drop = append(pa.drop, tail.sumName)
+	}
+}
+
+func sortDefects(ds []Defect) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].PID != ds[j].PID {
+			return ds[i].PID < ds[j].PID
+		}
+		if ds[i].Name != ds[j].Name {
+			return ds[i].Name < ds[j].Name
+		}
+		return ds[i].Detail < ds[j].Detail
+	})
+}
+
+// report packages an audit into the public VerifyReport.
+func (a *storeAudit) report(dir string) *VerifyReport {
+	rep := &VerifyReport{
+		Dir: dir, Processes: len(a.pids),
+		Files: a.files, Sealed: a.sealed, Segments: a.segments,
+		Heads: make(map[int][32]byte, len(a.pids)),
+	}
+	for pid, pa := range a.pids {
+		rep.Defects = append(rep.Defects, pa.defects...)
+		rep.Heads[pid] = pa.head
+		for _, f := range append(append([]*auditFile{}, pa.canonicals...), pa.segs...) {
+			if f.meta == nil && !f.bad {
+				rep.Unsealed = append(rep.Unsealed, f.name)
+			}
+		}
+	}
+	sort.Strings(rep.Unsealed)
+	sortDefects(rep.Defects)
+	return rep
+}

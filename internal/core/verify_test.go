@@ -1,0 +1,480 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+	"github.com/hpc-io/prov-io/internal/vfs"
+)
+
+// smallHistory writes a compact but complete chain for one process: a closed
+// run (sealed canonical root) followed by a drained periodic run (sealed
+// delta segments anchored at the canonical). This is the smallest store shape
+// exercising every chain feature, and small files keep the exhaustive
+// flip/truncation matrices fast.
+func smallHistory(t *testing.T, store *Store, pid int) {
+	t.Helper()
+	tr := NewTracker(DefaultConfig(), store, pid)
+	user := tr.RegisterUser("alice")
+	prog := tr.RegisterProgram("verify.exe", user)
+	tr.TrackIO(model.Write, "H5Dwrite", prog, rdf.Term{}, time.Millisecond, 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Mode = ModePeriodic
+	cfg.FlushEvery = 1
+	tr = NewTracker(cfg, store, pid)
+	for i := 0; i < 3; i++ {
+		tr.TrackIO(model.Read, "H5Dread", rdf.Term{}, rdf.Term{},
+			time.Duration(i)*time.Millisecond, 0)
+	}
+	if err := tr.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storeFiles snapshots every file of a store directory (sidecars included).
+func storeFiles(t *testing.T, store *Store) map[string][]byte {
+	t.Helper()
+	names, err := store.backend.List(store.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make(map[string][]byte, len(names))
+	for _, n := range names {
+		data, err := store.backend.ReadFile(store.dir + "/" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[n] = data
+	}
+	return files
+}
+
+// openDir materializes a file snapshot in a fresh view and opens it with
+// format auto-detection, exactly as provio-verify does.
+func openDir(t *testing.T, files map[string][]byte) *Store {
+	t.Helper()
+	backend := VFSBackend{View: vfs.NewStore().NewView()}
+	if err := backend.MkdirAll("/prov"); err != nil {
+		t.Fatal(err)
+	}
+	for n, data := range files {
+		if err := backend.WriteFile("/prov/"+n, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store, err := NewStore(backend, "/prov", FormatAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func mustVerify(t *testing.T, store *Store) *VerifyReport {
+	t.Helper()
+	rep, err := store.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestVerifyCleanMatrix pins the zero-false-positive requirement: stores
+// built by every format and flush pipeline — canonical-only, segments-only,
+// and full histories, before and after Compact — must verify clean, fully
+// sealed, and stable against their own recorded heads.
+func TestVerifyCleanMatrix(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatNTriples, FormatBinary} {
+		for _, shape := range []string{"close", "drain", "history"} {
+			t.Run(fmt.Sprintf("%v/%s", format, shape), func(t *testing.T) {
+				view := vfs.NewStore().NewView()
+				store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pid := 0; pid < 2; pid++ {
+					switch shape {
+					case "close":
+						trackInto(t, store, pid, DefaultConfig(), false)
+					case "drain":
+						cfg := DefaultConfig()
+						cfg.Mode = ModePeriodic
+						cfg.FlushEvery = 3
+						trackInto(t, store, pid, cfg, true)
+					case "history":
+						smallHistory(t, store, pid)
+					}
+				}
+				rep := mustVerify(t, store)
+				if !rep.Clean() {
+					t.Fatalf("clean store has defects: %v", rep.Defects)
+				}
+				if rep.Processes != 2 || rep.Files == 0 {
+					t.Fatalf("Processes=%d Files=%d", rep.Processes, rep.Files)
+				}
+				if rep.Sealed != rep.Files || len(rep.Unsealed) != 0 {
+					t.Fatalf("Sealed=%d of %d files, unsealed %v", rep.Sealed, rep.Files, rep.Unsealed)
+				}
+				if shape == "drain" && rep.Segments == 0 {
+					t.Fatal("drained store has no segments")
+				}
+				// The recorded heads must re-verify, survive the text
+				// round-trip, and stay clean across Compact + re-audit.
+				heads, err := ParseHeads(rep.FormatHeads())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep2, err := store.VerifyAgainst(heads); err != nil || !rep2.Clean() {
+					t.Fatalf("VerifyAgainst own heads: %v, %v", err, rep2.Defects)
+				}
+				if err := store.Compact(); err != nil {
+					t.Fatalf("Compact on clean store: %v", err)
+				}
+				rep3 := mustVerify(t, store)
+				if !rep3.Clean() || rep3.Sealed != rep3.Files {
+					t.Fatalf("post-Compact: defects %v, sealed %d/%d", rep3.Defects, rep3.Sealed, rep3.Files)
+				}
+			})
+		}
+	}
+}
+
+// TestVerifyLegacyUnsealedTolerated: a store written before the integrity
+// layer (no seals anywhere) verifies clean — there is nothing to contradict —
+// but every file is reported unsealed, so strict auditing can flag it. New
+// sealed segments written on top of the legacy canonical (the upgrade path)
+// keep the store clean.
+func TestVerifyLegacyUnsealedTolerated(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trackInto(t, store, 0, DefaultConfig(), false)
+			// Strip the seals: remove sidecars, strip embedded chain frames.
+			legacy := make(map[string][]byte)
+			for n, data := range storeFiles(t, store) {
+				if strings.HasSuffix(n, chainSidecarExt) {
+					continue
+				}
+				legacy[n] = segcodec.StripChain(data)
+			}
+			lstore := openDir(t, legacy)
+			rep := mustVerify(t, lstore)
+			if !rep.Clean() {
+				t.Fatalf("legacy store has defects: %v", rep.Defects)
+			}
+			if rep.Sealed != 0 || len(rep.Unsealed) != rep.Files {
+				t.Fatalf("legacy store: sealed %d, unsealed %v of %d files",
+					rep.Sealed, rep.Unsealed, rep.Files)
+			}
+
+			// Upgrade path: a new periodic run chains onto the legacy canonical.
+			cfg := DefaultConfig()
+			cfg.Mode = ModePeriodic
+			cfg.FlushEvery = 1
+			tr := NewTracker(cfg, lstore, 0)
+			tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, 0, 0)
+			tr.TrackIO(model.Write, "write", rdf.Term{}, rdf.Term{}, time.Millisecond, 0)
+			if err := tr.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			rep = mustVerify(t, lstore)
+			if !rep.Clean() {
+				t.Fatalf("upgraded store has defects: %v", rep.Defects)
+			}
+			if rep.Sealed == 0 || len(rep.Unsealed) == 0 {
+				t.Fatalf("upgrade should mix sealed segments (%d) with the unsealed canonical (%v)",
+					rep.Sealed, rep.Unsealed)
+			}
+		})
+	}
+}
+
+// TestVerifyFlipMatrix is the exhaustive single-byte tamper matrix: for every
+// file of a sealed store — data files and sidecars alike — flipping one bit
+// of any byte must be detected. Detection kinds vary (a flipped frame length
+// reads as truncation), but no flip may verify clean.
+func TestVerifyFlipMatrix(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smallHistory(t, store, 0)
+			clean := storeFiles(t, store)
+			total, missed := 0, 0
+			for name, data := range clean {
+				for i := range data {
+					mut := make(map[string][]byte, len(clean))
+					for n, d := range clean {
+						mut[n] = d
+					}
+					flipped := append([]byte(nil), data...)
+					flipped[i] ^= 1 << (i % 8)
+					mut[name] = flipped
+					total++
+					if rep := mustVerify(t, openDir(t, mut)); rep.Clean() {
+						missed++
+						if missed <= 5 {
+							t.Errorf("flip of %s byte %d verified clean", name, i)
+						}
+					}
+				}
+			}
+			if missed > 0 {
+				t.Fatalf("%d of %d single-bit flips undetected", missed, total)
+			}
+		})
+	}
+}
+
+// TestVerifyTruncationMatrix: every strict prefix of every store file must be
+// detected — locally where possible, and by heads-anchored verification in
+// the one documented blind spot (a binary canonical truncated exactly at a
+// frame boundary is indistinguishable from a legacy unsealed file).
+func TestVerifyTruncationMatrix(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smallHistory(t, store, 0)
+			clean := storeFiles(t, store)
+			heads := mustVerify(t, store).Heads
+			total, missed := 0, 0
+			for name, data := range clean {
+				for n := 0; n < len(data); n++ {
+					mut := make(map[string][]byte, len(clean))
+					for fn, d := range clean {
+						mut[fn] = d
+					}
+					mut[name] = append([]byte(nil), data[:n]...)
+					total++
+					tstore := openDir(t, mut)
+					rep := mustVerify(t, tstore)
+					if rep.Clean() {
+						anchored, err := tstore.VerifyAgainst(heads)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if anchored.Clean() {
+							missed++
+							if missed <= 5 {
+								t.Errorf("truncating %s to %d bytes verified clean even against recorded heads", name, n)
+							}
+						}
+					}
+				}
+			}
+			if missed > 0 {
+				t.Fatalf("%d of %d truncations undetected", missed, total)
+			}
+		})
+	}
+}
+
+// TestVerifyDeletionMatrix: removing any single chain file (and, for tail
+// files, the whole file+sidecar pair) must be detected locally or against
+// recorded heads; deleting only a sidecar must at least demote its file to
+// the unsealed list so strict auditing flags it.
+func TestVerifyDeletionMatrix(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smallHistory(t, store, 0)
+			clean := storeFiles(t, store)
+			heads := mustVerify(t, store).Heads
+			for name := range clean {
+				victims := []string{name}
+				if !strings.HasSuffix(name, chainSidecarExt) {
+					// Also try deleting the file together with its sidecar.
+					if _, ok := clean[name+chainSidecarExt]; ok {
+						victims = append(victims, name+chainSidecarExt)
+					}
+				}
+				for _, pair := range [][]string{victims[:1], victims} {
+					mut := make(map[string][]byte, len(clean))
+					for fn, d := range clean {
+						mut[fn] = d
+					}
+					for _, v := range pair {
+						delete(mut, v)
+					}
+					dstore := openDir(t, mut)
+					rep := mustVerify(t, dstore)
+					detected := !rep.Clean()
+					if !detected {
+						anchored, err := dstore.VerifyAgainst(heads)
+						if err != nil {
+							t.Fatal(err)
+						}
+						detected = !anchored.Clean()
+					}
+					if !detected && strings.HasSuffix(pair[len(pair)-1], chainSidecarExt) && len(pair) == 1 {
+						// Sidecar-only deletion: must surface as unsealed.
+						detected = len(rep.Unsealed) > 0
+					}
+					if !detected {
+						t.Errorf("deleting %v verified clean", pair)
+					}
+				}
+			}
+
+			// Deleting an entire process's files is locally invisible but must
+			// fail against recorded heads.
+			empty := openDir(t, map[string][]byte{})
+			rep, err := empty.VerifyAgainst(heads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Clean() || rep.Worst() != DefectMissing {
+				t.Errorf("whole-chain deletion: defects %v", rep.Defects)
+			}
+		})
+	}
+}
+
+// TestVerifyReorderAndSplice: segments moved within a chain, replayed under a
+// later name, or spliced in from another process must all be rejected.
+func TestVerifyReorderAndSplice(t *testing.T) {
+	view := vfs.NewStore().NewView()
+	store, err := NewStore(VFSBackend{View: view}, "/prov", FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallHistory(t, store, 0)
+	smallHistory(t, store, 1)
+	clean := storeFiles(t, store)
+	seg := func(pid, n int) string { return fmt.Sprintf("prov_p%06d.seg%04d.pbs", pid, n) }
+
+	cases := []struct {
+		name   string
+		mutate func(map[string][]byte)
+	}{
+		{"swap adjacent segments", func(m map[string][]byte) {
+			m[seg(0, 0)], m[seg(0, 1)] = m[seg(0, 1)], m[seg(0, 0)]
+		}},
+		{"replay old segment under tail name", func(m map[string][]byte) {
+			m[seg(0, 2)] = m[seg(0, 0)]
+		}},
+		{"duplicate tail as new segment", func(m map[string][]byte) {
+			m[seg(0, 3)] = m[seg(0, 2)]
+		}},
+		{"splice segment from another process", func(m map[string][]byte) {
+			m[seg(0, 1)] = m[seg(1, 1)]
+		}},
+		{"graft foreign chain suffix", func(m map[string][]byte) {
+			m[seg(0, 1)], m[seg(0, 2)] = m[seg(1, 1)], m[seg(1, 2)]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := make(map[string][]byte, len(clean))
+			for n, d := range clean {
+				mut[n] = d
+			}
+			tc.mutate(mut)
+			rep := mustVerify(t, openDir(t, mut))
+			if rep.Clean() {
+				t.Fatal("manipulated chain verified clean")
+			}
+			if rep.Worst() != DefectTampered {
+				t.Errorf("worst defect %v, want tampered (defects: %v)", rep.Worst(), rep.Defects)
+			}
+		})
+	}
+
+	// Cross-store splice: an extra process forged wholesale is invisible
+	// locally (its chain is self-consistent) but caught by recorded heads.
+	heads := mustVerify(t, store).Heads
+	delete(heads, 1)
+	rep, err := store.VerifyAgainst(heads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() || rep.Worst() != DefectTampered {
+		t.Errorf("spliced-in process: defects %v", rep.Defects)
+	}
+}
+
+// TestCompactRecoversDroppableTail: Compact drops a torn, unacknowledged tail
+// segment and returns the store to a verifiably clean state, but refuses —
+// with an IntegrityError naming the damage — when the defect is not confined
+// to the unacknowledged tail.
+func TestCompactRecoversDroppableTail(t *testing.T) {
+	for _, format := range []Format{FormatTurtle, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			view := vfs.NewStore().NewView()
+			store, err := NewStore(VFSBackend{View: view}, "/prov", format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			smallHistory(t, store, 0)
+			clean := storeFiles(t, store)
+
+			// Tear the newest segment (simulating a crash mid-write).
+			var tail string
+			for n := range clean {
+				if strings.Contains(n, ".seg") && !strings.HasSuffix(n, chainSidecarExt) {
+					if tail == "" || n > tail {
+						tail = n
+					}
+				}
+			}
+			mut := make(map[string][]byte, len(clean))
+			for n, d := range clean {
+				mut[n] = d
+			}
+			mut[tail] = mut[tail][:len(mut[tail])/2]
+			delete(mut, tail+chainSidecarExt) // the sidecar write never happened
+			tstore := openDir(t, mut)
+			if rep := mustVerify(t, tstore); rep.Clean() {
+				t.Fatal("torn tail verified clean")
+			}
+			if err := tstore.Compact(); err != nil {
+				t.Fatalf("Compact must recover a torn tail: %v", err)
+			}
+			rep := mustVerify(t, tstore)
+			if !rep.Clean() || rep.Segments != 0 {
+				t.Fatalf("post-recovery: defects %v, %d segments", rep.Defects, rep.Segments)
+			}
+
+			// Acknowledged-history damage: tearing a MIDDLE segment must make
+			// Compact refuse with an IntegrityError.
+			mut = make(map[string][]byte, len(clean))
+			for n, d := range clean {
+				mut[n] = d
+			}
+			first := strings.Replace(tail, ".seg0002", ".seg0000", 1)
+			mut[first] = mut[first][:len(mut[first])/2]
+			bstore := openDir(t, mut)
+			err = bstore.Compact()
+			var ierr *IntegrityError
+			if err == nil || !errors.As(err, &ierr) {
+				t.Fatalf("Compact on damaged history: err=%v, want IntegrityError", err)
+			}
+			if len(ierr.Defects) == 0 {
+				t.Fatal("IntegrityError carries no defects")
+			}
+		})
+	}
+}

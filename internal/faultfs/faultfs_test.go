@@ -1,0 +1,194 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// memBackend is a minimal flat-namespace backend for exercising the
+// decorator without importing internal/core or internal/vfs.
+type memBackend struct{ files map[string][]byte }
+
+func newMem() *memBackend { return &memBackend{files: map[string][]byte{}} }
+
+func (m *memBackend) MkdirAll(string) error { return nil }
+func (m *memBackend) WriteFile(path string, data []byte) error {
+	m.files[path] = append([]byte(nil), data...)
+	return nil
+}
+func (m *memBackend) ReadFile(path string) ([]byte, error) {
+	d, ok := m.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%s: not found", path)
+	}
+	return d, nil
+}
+func (m *memBackend) List(dir string) ([]string, error) {
+	var names []string
+	for p := range m.files {
+		if strings.HasPrefix(p, dir+"/") {
+			names = append(names, strings.TrimPrefix(p, dir+"/"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+func (m *memBackend) Remove(path string) error {
+	if _, ok := m.files[path]; !ok {
+		return fmt.Errorf("%s: not found", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+func TestPassThroughAndTrace(t *testing.T) {
+	mem := newMem()
+	fs := New(mem, 1)
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fs.ReadFile("/d/a"); err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if names, err := fs.List("/d"); err != nil || len(names) != 1 {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+	if err := fs.Remove("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Ops() != 3 { // mkdir + write + remove; reads and lists do not count
+		t.Fatalf("Ops = %d, want 3", fs.Ops())
+	}
+	trace := fs.Trace()
+	if len(trace) != 5 {
+		t.Fatalf("trace has %d entries, want 5", len(trace))
+	}
+	want := []Op{
+		{OpMkdir, "/d", 0},
+		{OpWrite, "/d/a", 5},
+		{OpRead, "/d/a", 0},
+		{OpList, "/d", 0},
+		{OpRemove, "/d/a", 0},
+	}
+	for i, op := range want {
+		if trace[i] != op {
+			t.Errorf("trace[%d] = %+v (%s), want %+v", i, trace[i], trace[i].Kind, op)
+		}
+	}
+}
+
+func TestInjectedFailures(t *testing.T) {
+	mem := newMem()
+	fs := New(mem, 1)
+	fs.FailWrites(true).FailReads(true).FailList(true)
+	if err := fs.WriteFile("/a", nil); !errors.Is(err, ErrInjected) {
+		t.Errorf("write err = %v", err)
+	}
+	if _, err := fs.ReadFile("/a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("read err = %v", err)
+	}
+	if _, err := fs.List("/"); !errors.Is(err, ErrInjected) {
+		t.Errorf("list err = %v", err)
+	}
+	fs.Heal()
+	if err := fs.WriteFile("/a", []byte("x")); err != nil {
+		t.Fatalf("write after Heal: %v", err)
+	}
+
+	fs.FailWritesAfter(1) // one more write passes (the Heal write already counted)
+	if err := fs.WriteFile("/b", []byte("y")); !errors.Is(err, ErrInjected) {
+		t.Errorf("write beyond quota err = %v", err)
+	}
+	if _, ok := mem.files["/b"]; ok {
+		t.Error("failed write reached the inner backend")
+	}
+}
+
+func TestCrashPointAndTornWrite(t *testing.T) {
+	mem := newMem()
+	fs := New(mem, 1)
+	fs.CrashAt(2, 3) // mkdir, write OK; second write crashes with 3 torn bytes
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/b", []byte("bbbbbb")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write err = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after crash point")
+	}
+	// The torn prefix persisted; everything after the crash is dead.
+	if got := mem.files["/d/b"]; string(got) != "bbb" {
+		t.Errorf("torn write persisted %q, want %q", got, "bbb")
+	}
+	if err := fs.Remove("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash remove err = %v", err)
+	}
+	if _, err := fs.ReadFile("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("post-crash read err = %v", err)
+	}
+	// Heal models the restart: the inner state survives as the crash left it.
+	fs.Heal()
+	if got, err := fs.ReadFile("/d/a"); err != nil || string(got) != "aaaa" {
+		t.Fatalf("ReadFile after Heal = %q, %v", got, err)
+	}
+
+	// torn <= 0 persists nothing at the crash point.
+	mem2 := newMem()
+	fs2 := New(mem2, 1)
+	fs2.CrashAt(0, 0)
+	if err := fs2.WriteFile("/x", []byte("data")); !errors.Is(err, ErrCrashed) {
+		t.Fatal(err)
+	}
+	if _, ok := mem2.files["/x"]; ok {
+		t.Error("all-or-nothing crash persisted bytes")
+	}
+}
+
+func TestFlipOneBitDeterministic(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x00}, 64)
+	run := func(seed int64) []byte {
+		mem := newMem()
+		fs := New(mem, seed)
+		fs.FlipOneBit()
+		if err := fs.WriteFile("/f", payload); err != nil {
+			t.Fatal(err)
+		}
+		return mem.files["/f"]
+	}
+	a, b := run(42), run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruptions")
+	}
+	if bytes.Equal(a, payload) {
+		t.Fatal("FlipOneBit did not corrupt the payload")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+	// The switch disarms after one write.
+	mem := newMem()
+	fs := New(mem, 42)
+	fs.FlipOneBit()
+	fs.WriteFile("/f", payload)
+	fs.WriteFile("/g", payload)
+	if !bytes.Equal(mem.files["/g"], payload) {
+		t.Fatal("second write was corrupted; FlipOneBit must disarm")
+	}
+}

@@ -196,19 +196,33 @@ func (binCodec) Decode(r io.Reader, into *rdf.Graph) error {
 		return err
 	}
 	if !bytes.HasPrefix(data, pbsMagic) {
+		if len(data) < len(pbsMagic) && bytes.HasPrefix(pbsMagic, data) {
+			return fmt.Errorf("%w inside PBS magic", ErrTruncated)
+		}
 		return fmt.Errorf("%w: missing PBS magic", ErrCorrupt)
 	}
 	rest := data[len(pbsMagic):]
 	dict, rest, err := readFrame(rest)
 	if err != nil {
-		return fmt.Errorf("%w: dictionary block: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: dictionary block: %w", ErrCorrupt, err)
 	}
 	cols, rest, err := readFrame(rest)
 	if err != nil {
-		return fmt.Errorf("%w: triple block: %v", ErrCorrupt, err)
+		return fmt.Errorf("%w: triple block: %w", ErrCorrupt, err)
 	}
 	if len(rest) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes after triple block", ErrCorrupt, len(rest))
+		// Exactly one trailing chain frame (the integrity seal appended by
+		// the store) is tolerated; anything else is structural damage.
+		chain, rest, err := readFrame(rest)
+		if err != nil {
+			return fmt.Errorf("%w: chain frame: %w", ErrCorrupt, err)
+		}
+		if _, err := parseChainPayload(chain); err != nil {
+			return fmt.Errorf("%w: chain frame: %v", ErrCorrupt, err)
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes after chain frame", ErrCorrupt, len(rest))
+		}
 	}
 	terms, err := decodeDict(dict)
 	if err != nil {
@@ -357,14 +371,24 @@ func writeFrame(w *bytes.Buffer, payload []byte) {
 	w.Write(crc[:])
 }
 
-// readFrame consumes one frame, verifying length and checksum.
+// readFrame consumes one frame, verifying length and checksum. A frame cut
+// short by a torn write (missing payload or checksum bytes, or a length
+// varint with no terminator) reports ErrTruncated so callers can tell torn
+// writes from in-place tampering.
 func readFrame(p []byte) (payload, rest []byte, err error) {
-	n, p, err := getUvarint(p)
-	if err != nil {
-		return nil, nil, err
+	n, consumed := binary.Uvarint(p)
+	switch {
+	case consumed > 0:
+		p = p[consumed:]
+	case consumed == 0:
+		// Buffer ended mid-varint: every byte so far had the continuation
+		// bit set — a prefix of a longer encoding.
+		return nil, nil, fmt.Errorf("%w in frame length varint", ErrTruncated)
+	default:
+		return nil, nil, fmt.Errorf("frame length varint overflows")
 	}
 	if n > uint64(len(p)) || uint64(len(p))-n < 4 {
-		return nil, nil, fmt.Errorf("frame length %d exceeds remaining %d bytes", n, len(p))
+		return nil, nil, fmt.Errorf("frame length %d exceeds remaining %d bytes: %w", n, len(p), ErrTruncated)
 	}
 	payload, p = p[:n], p[n:]
 	want := binary.LittleEndian.Uint32(p[:4])

@@ -1,0 +1,143 @@
+package segcodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Chain is the per-file hash-chain seal of the provenance store's integrity
+// layer (DESIGN.md "Integrity & fault injection"): every store file commits
+// to the SHA-256 digest of the file that preceded it in its process's write
+// history, so truncation, reordering, and splicing of segments are
+// detectable by provio-verify without trusting file names or mtimes.
+//
+// For the binary codec the seal travels inside the file as one extra frame
+// after the triple block, so a .pbs file and its seal are written atomically:
+//
+//	frame{ 'C' 'H' 'N' 0x01 | flags | uvarint(seq) | prev[32] }
+//
+// flags bit 0 marks a chain root (a canonical sub-graph file, sealed by
+// Flush or Compact); delta segments carry flags 0 and seq = their segment
+// number. prev is the SHA-256 of the predecessor's complete file bytes — for
+// a segment, the previous segment (or the canonical file it chains from);
+// for a root, the chain head the rewrite superseded, which is what lets a
+// verifier authenticate segments left behind by a crash between the
+// canonical rewrite and segment removal.
+//
+// Text formats cannot carry a binary footer, so their seal lives in a
+// sidecar file (see internal/core's chain sidecars); this package only
+// defines the embedded-footer form and the helpers to add, read, and strip
+// it.
+type Chain struct {
+	Root bool
+	Seq  uint64
+	Prev [32]byte
+}
+
+// chainMagic leads the chain frame payload, distinguishing it from a stray
+// third data frame.
+var chainMagic = []byte{'C', 'H', 'N', 0x01}
+
+const chainRootFlag = 0x01
+
+// PrevIsZero reports whether the seal chains from the zero digest — the
+// start of a process's history.
+func (c Chain) PrevIsZero() bool { return c.Prev == [32]byte{} }
+
+// AppendChain returns file with an embedded chain frame appended. file must
+// be a complete binary segment (magic + two frames); the result still
+// decodes via the binary codec, which tolerates exactly one trailing chain
+// frame.
+func AppendChain(file []byte, c Chain) []byte {
+	var p bytes.Buffer
+	p.Write(chainMagic)
+	var flags byte
+	if c.Root {
+		flags |= chainRootFlag
+	}
+	p.WriteByte(flags)
+	putUvarint(&p, c.Seq)
+	p.Write(c.Prev[:])
+
+	out := bytes.NewBuffer(make([]byte, 0, len(file)+p.Len()+12))
+	out.Write(file)
+	writeFrame(out, p.Bytes())
+	return out.Bytes()
+}
+
+// parseChainPayload decodes the chain frame payload (after CRC check).
+func parseChainPayload(p []byte) (Chain, error) {
+	var c Chain
+	if !bytes.HasPrefix(p, chainMagic) {
+		return c, fmt.Errorf("missing chain magic")
+	}
+	p = p[len(chainMagic):]
+	if len(p) == 0 {
+		return c, fmt.Errorf("missing flags byte")
+	}
+	flags := p[0]
+	p = p[1:]
+	if flags&^chainRootFlag != 0 {
+		return c, fmt.Errorf("unknown chain flags %#02x", flags)
+	}
+	c.Root = flags&chainRootFlag != 0
+	seq, n := binary.Uvarint(p)
+	if n <= 0 {
+		return c, fmt.Errorf("bad seq varint")
+	}
+	c.Seq = seq
+	p = p[n:]
+	if len(p) != len(c.Prev) {
+		return c, fmt.Errorf("prev digest is %d bytes, want %d", len(p), len(c.Prev))
+	}
+	copy(c.Prev[:], p)
+	return c, nil
+}
+
+// chainSplit locates the embedded chain frame of a binary segment: it walks
+// the magic and the two data frames and, if a structurally valid chain frame
+// follows, returns the byte offset where it starts. ok is false when the
+// file carries no (valid, final) chain frame.
+func chainSplit(data []byte) (off int, c Chain, ok bool) {
+	if !bytes.HasPrefix(data, pbsMagic) {
+		return 0, Chain{}, false
+	}
+	rest := data[len(pbsMagic):]
+	if _, rest, _ = readFrame(rest); rest == nil {
+		return 0, Chain{}, false
+	}
+	if _, rest, _ = readFrame(rest); rest == nil {
+		return 0, Chain{}, false
+	}
+	off = len(data) - len(rest)
+	if len(rest) == 0 {
+		return 0, Chain{}, false
+	}
+	payload, rest, err := readFrame(rest)
+	if err != nil || len(rest) != 0 {
+		return 0, Chain{}, false
+	}
+	c, perr := parseChainPayload(payload)
+	if perr != nil {
+		return 0, Chain{}, false
+	}
+	return off, c, true
+}
+
+// ChainOf extracts the embedded chain seal of a binary segment file.
+// ok is false for unsealed, non-binary, or damaged files.
+func ChainOf(data []byte) (Chain, bool) {
+	_, c, ok := chainSplit(data)
+	return c, ok
+}
+
+// StripChain returns data without its embedded chain frame (data itself when
+// no valid trailing chain frame is present). The result is the canonical
+// frame sequence Encode produces.
+func StripChain(data []byte) []byte {
+	if off, _, ok := chainSplit(data); ok {
+		return data[:off]
+	}
+	return data
+}

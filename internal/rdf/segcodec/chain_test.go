@@ -1,0 +1,119 @@
+package segcodec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+func sealedSegment(t *testing.T, c Chain) []byte {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.IRI("urn:a"), P: rdf.IRI("urn:p"), O: rdf.Literal("x")})
+	g.Add(rdf.Triple{S: rdf.IRI("urn:b"), P: rdf.IRI("urn:p"), O: rdf.Literal("y")})
+	var buf bytes.Buffer
+	if err := Binary.Encode(&buf, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	return AppendChain(buf.Bytes(), c)
+}
+
+func TestChainRoundTrip(t *testing.T) {
+	want := Chain{Root: true, Seq: 7}
+	for i := range want.Prev {
+		want.Prev[i] = byte(i * 3)
+	}
+	data := sealedSegment(t, want)
+
+	got, ok := ChainOf(data)
+	if !ok {
+		t.Fatal("ChainOf: no chain found in sealed segment")
+	}
+	if got != want {
+		t.Fatalf("ChainOf = %+v, want %+v", got, want)
+	}
+	if want.PrevIsZero() {
+		t.Fatal("PrevIsZero true for non-zero prev")
+	}
+	if !(Chain{}).PrevIsZero() {
+		t.Fatal("PrevIsZero false for zero prev")
+	}
+
+	// A sealed file must still decode, and stripping the seal must recover
+	// the exact unsealed bytes.
+	into := rdf.NewGraph()
+	if err := Binary.Decode(bytes.NewReader(data), into); err != nil {
+		t.Fatalf("Decode of sealed segment: %v", err)
+	}
+	if into.Len() != 2 {
+		t.Fatalf("sealed segment decoded %d triples, want 2", into.Len())
+	}
+	stripped := StripChain(data)
+	var re bytes.Buffer
+	if err := Binary.Encode(&re, into, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripped, re.Bytes()) {
+		t.Fatal("StripChain does not recover the canonical encoding")
+	}
+	if _, ok := ChainOf(stripped); ok {
+		t.Fatal("ChainOf found a chain in a stripped segment")
+	}
+	if !bytes.Equal(StripChain(stripped), stripped) {
+		t.Fatal("StripChain of an unsealed segment must be the identity")
+	}
+}
+
+func TestChainFrameDamage(t *testing.T) {
+	data := sealedSegment(t, Chain{Seq: 3})
+
+	// Flipping any byte of the chain frame must make the file unreadable or
+	// the seal unreadable — never silently yield a different seal.
+	body := StripChain(data)
+	for i := len(body); i < len(data); i++ {
+		mut := append([]byte{}, data...)
+		mut[i] ^= 0x40
+		c, ok := ChainOf(mut)
+		if ok && c == (Chain{Seq: 3}) {
+			t.Fatalf("byte %d: flipped chain frame still reads as the original seal", i)
+		}
+		// Decode must reject damaged chain frames (CRC or structure).
+		if err := Binary.Decode(bytes.NewReader(mut), rdf.NewGraph()); err == nil {
+			t.Fatalf("byte %d: Decode accepted a damaged chain frame", i)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte %d: error does not wrap ErrCorrupt: %v", i, err)
+		}
+	}
+
+	// Two chain frames are one too many.
+	double := AppendChain(data, Chain{Seq: 4})
+	if err := Binary.Decode(bytes.NewReader(double), rdf.NewGraph()); err == nil {
+		t.Fatal("Decode accepted two chain frames")
+	}
+	// ChainOf must also refuse: the walk expects the chain frame to be final.
+	if _, ok := ChainOf(double); ok {
+		t.Fatal("ChainOf accepted a double-sealed segment")
+	}
+}
+
+func TestChainTruncationClassified(t *testing.T) {
+	data := sealedSegment(t, Chain{Seq: 1})
+	for _, n := range []int{0, 1, 3, len(data) / 2, len(data) - 5, len(data) - 1} {
+		err := Binary.Decode(bytes.NewReader(data[:n]), rdf.NewGraph())
+		if err == nil {
+			t.Fatalf("prefix %d/%d accepted", n, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: error does not wrap ErrCorrupt: %v", n, err)
+		}
+	}
+	// Prefixes that cut inside a frame must carry the finer truncation class.
+	if err := Binary.Decode(bytes.NewReader(data[:len(data)-1]), rdf.NewGraph()); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("one-byte truncation not classified as ErrTruncated: %v", err)
+	}
+	if err := Binary.Decode(bytes.NewReader(data[:2]), rdf.NewGraph()); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("magic truncation not classified as ErrTruncated: %v", err)
+	}
+}

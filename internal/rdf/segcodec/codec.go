@@ -18,6 +18,7 @@ package segcodec
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 
 	"github.com/hpc-io/prov-io/internal/rdf"
@@ -63,6 +64,13 @@ type TriplesEncoder interface {
 // ErrCorrupt is wrapped by every structural decode failure of the binary
 // codec: bad magic, truncated frames, CRC mismatches, out-of-range IDs.
 var ErrCorrupt = errors.New("segcodec: corrupt segment")
+
+// ErrTruncated is the truncation sub-class of ErrCorrupt: the input is a
+// strict prefix of a well-formed segment (a torn write cut it short).
+// errors.Is(err, ErrCorrupt) holds for every ErrTruncated error, so callers
+// that only care about "structurally bad" keep working; provio-verify uses
+// the finer class to report "truncated" instead of "tampered".
+var ErrTruncated = fmt.Errorf("%w: input truncated", ErrCorrupt)
 
 // The registered codecs.
 var (

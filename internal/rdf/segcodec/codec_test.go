@@ -278,6 +278,69 @@ func TestBinaryDecodeCorruption(t *testing.T) {
 	}
 }
 
+// TestBinaryTruncationExhaustive: EVERY strict prefix of a binary segment —
+// sealed or unsealed — must be rejected with an error wrapping ErrCorrupt.
+// The single exception is structural: cutting a sealed segment exactly at
+// its payload/seal boundary yields the valid unsealed payload. That prefix
+// is indistinguishable from a legacy file at codec level; the store auditor
+// closes it with chain analysis (internal/core verify).
+func TestBinaryTruncationExhaustive(t *testing.T) {
+	payload := validSegment(t)
+	sealed := AppendChain(payload, Chain{Seq: 3, Prev: [32]byte{9}})
+	cases := []struct {
+		name     string
+		data     []byte
+		boundary int // prefix length that legitimately decodes; -1 for none
+	}{
+		{"unsealed", payload, -1},
+		{"sealed", sealed, len(payload)},
+	}
+	for _, tc := range cases {
+		for n := 0; n < len(tc.data); n++ {
+			err := Binary.Decode(bytes.NewReader(tc.data[:n]), rdf.NewGraph())
+			if n == tc.boundary {
+				if err != nil {
+					t.Errorf("%s: payload-boundary prefix must decode as unsealed: %v", tc.name, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Fatalf("%s: prefix %d/%d accepted", tc.name, n, len(tc.data))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%s: prefix %d: error does not wrap ErrCorrupt: %v", tc.name, n, err)
+			}
+		}
+	}
+}
+
+// TestTextTruncationExhaustive: the text codecs have no framing, so a torn
+// line-oriented file may parse as a smaller valid graph — the reason text
+// stores carry .sum sidecars. The codec-level contract is only: never panic,
+// and any accepted prefix decodes to a subset of the full graph.
+func TestTextTruncationExhaustive(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Add(rdf.Triple{S: rdf.IRI("urn:a"), P: rdf.IRI("urn:p"), O: rdf.Literal("x")})
+	g.Add(rdf.Triple{S: rdf.IRI("urn:b"), P: rdf.IRI("urn:p"), O: rdf.IRI("urn:a")})
+	for _, codec := range []Codec{NTriples, Turtle} {
+		var buf bytes.Buffer
+		if err := codec.Encode(&buf, g, nil); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		for n := 0; n < len(data); n++ {
+			into := rdf.NewGraph()
+			if err := codec.Decode(bytes.NewReader(data[:n]), into); err != nil {
+				continue
+			}
+			if into.Len() > g.Len() {
+				t.Fatalf("%s: prefix %d decoded MORE triples (%d) than the full file (%d)",
+					codec.Name(), n, into.Len(), g.Len())
+			}
+		}
+	}
+}
+
 // TestBinaryDecodeRejectsInvalidTriple frames a structurally valid segment
 // whose triple is not valid RDF (literal subject) and expects an error.
 func TestBinaryDecodeRejectsInvalidTriple(t *testing.T) {

@@ -29,6 +29,12 @@ func FuzzSegcodecDecode(f *testing.F) {
 	}
 	f.Add(one.Bytes())
 
+	// ...with a chain-sealed segment and prefixes of it (torn-write shapes)...
+	sealed := AppendChain(one.Bytes(), Chain{Root: true, Seq: 0, Prev: [32]byte{1, 2, 3}})
+	f.Add(sealed)
+	f.Add(sealed[:len(one.Bytes())+3]) // cut inside the chain frame
+	f.Add(sealed[:len(sealed)-1])
+
 	// ...and with targeted corruptions of those seeds.
 	f.Add([]byte{})
 	f.Add(pbsMagic)
@@ -45,15 +51,23 @@ func FuzzSegcodecDecode(f *testing.F) {
 		if err != nil {
 			return // rejected: fine, as long as we did not panic
 		}
-		// Accepted input must re-encode to the identical bytes: the format
-		// is canonical, so decode(encode(decode(x))) == decode(x) and
-		// encode(decode(x)) == x for any accepted x.
+		// Accepted input must re-encode to the identical bytes once any
+		// chain seal is stripped: the payload format is canonical, so
+		// encode(decode(x)) == StripChain(x) for any accepted x, and a seal
+		// survives a decode/strip round-trip unchanged.
 		var re bytes.Buffer
 		if err := Binary.Encode(&re, into, nil); err != nil {
 			t.Fatalf("re-encode of accepted input failed: %v", err)
 		}
-		if !bytes.Equal(re.Bytes(), data) {
-			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes re-encoded", len(data), re.Len())
+		if !bytes.Equal(re.Bytes(), StripChain(data)) {
+			t.Fatalf("accepted input is not canonical: %d payload bytes in, %d bytes re-encoded",
+				len(StripChain(data)), re.Len())
+		}
+		if ch, ok := ChainOf(data); ok {
+			resealed := AppendChain(re.Bytes(), ch)
+			if !bytes.Equal(resealed, data) {
+				t.Fatal("seal did not survive the decode/re-seal round-trip")
+			}
 		}
 	})
 }
