@@ -118,7 +118,12 @@ type Tracker = core.Tracker
 // Store is the provenance store (per-process sub-graph files + merge).
 type Store = core.Store
 
-// Backend abstracts provenance store placement.
+// StoreBackend abstracts provenance store placement: a directory, the
+// simulated PFS, an in-memory namespace, a single-file .pvs archive, or a
+// mount spanning several (DESIGN.md "Store backends & mounts").
+type StoreBackend = core.StoreBackend
+
+// Backend is StoreBackend's historical name.
 type Backend = core.Backend
 
 // VFSBackend stores provenance in the simulated PFS.
@@ -126,6 +131,16 @@ type VFSBackend = core.VFSBackend
 
 // OSBackend stores provenance on the host filesystem.
 type OSBackend = core.OSBackend
+
+// Backend capability bits reported by StoreBackend.Caps.
+const (
+	CapAtomicWrite = core.CapAtomicWrite
+	CapPersistent  = core.CapPersistent
+	CapArchive     = core.CapArchive
+)
+
+// CapsString renders capability bits for display.
+func CapsString(caps uint32) string { return core.CapsString(caps) }
 
 // Format selects the store serialization codec. Reads always auto-detect
 // each file's codec from its magic bytes, so any Format opens any store
@@ -182,6 +197,11 @@ func LoadConfig(r io.Reader) (*Config, error) { return core.LoadConfig(r) }
 
 // NewStore creates a provenance store under dir.
 func NewStore(b Backend, dir string, f Format) (*Store, error) { return core.NewStore(b, dir, f) }
+
+// OpenStore opens a provenance store from a spec string: dir:/path (or a
+// bare path), mem:, file:/path.pvs, or mount:hot=SPEC,cold=SPEC — the form
+// the CLI tools' -store flag and the config file's store key accept.
+func OpenStore(spec string, f Format) (*Store, error) { return core.OpenStore(spec, f) }
 
 // NewTracker creates the PROV-IO library instance for process pid.
 func NewTracker(cfg *Config, store *Store, pid int) *Tracker {

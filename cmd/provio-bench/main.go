@@ -55,7 +55,8 @@ func main() {
 		// paper exhibits only
 	case "ablations":
 		ids = []string{"abl-flush", "abl-pipeline", "abl-granularity", "abl-format",
-			"abl-guid", "abl-query", "abl-ingest", "abl-codec", "abl-parallel-query"}
+			"abl-guid", "abl-query", "abl-ingest", "abl-codec", "abl-parallel-query",
+			"abl-integrity", "abl-backend"}
 	default:
 		ids = strings.Split(*exp, ",")
 	}

@@ -13,24 +13,15 @@ import (
 	"os"
 
 	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "provenance store directory (required)")
-	formatFlag := flag.String("format", "auto",
-		"store format: auto | nt | ttl | pbs (reads auto-detect per file; this only matters if the store is written to)")
+	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
+	formatFlag := flag.String("format", "auto", cli.FormatUsage)
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
-	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "provio-export: -store is required")
-		os.Exit(1)
-	}
-	format, err := provio.ParseFormat(*formatFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
-		os.Exit(1)
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
+	store, err := cli.OpenStore(*storeSpec, *formatFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-export: %v\n", err)
 		os.Exit(1)

@@ -13,6 +13,13 @@
 // the flag selects what gets written (the merged output, and — with
 // -compact — the rewritten canonical files, which is how a text store is
 // migrated to the binary format).
+//
+// -store accepts a directory or any store spec (dir:/path, file:/run.pvs,
+// mount:hot=...,cold=...). On a mounted store, -compact additionally
+// re-homes files onto their routed tiers — provio-merge -compact against
+// mount:hot=dir:/old,cold=file:/new.pvs migrates a directory store into a
+// single-file archive. Archive-backed stores are vacuumed after -compact so
+// the container sheds superseded journal frames.
 package main
 
 import (
@@ -21,11 +28,11 @@ import (
 	"os"
 	"runtime"
 
-	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "provenance store directory (required)")
+	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
 	formatFlag := flag.String("format", "auto",
 		"write format: auto | nt | ttl | pbs (auto keeps the store's existing format)")
 	ntriples := flag.Bool("ntriples", false,
@@ -36,22 +43,13 @@ func main() {
 		"fold leftover delta segments into canonical files before merging (crash recovery)")
 	flag.Parse()
 
-	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "provio-merge: -store is required")
-		os.Exit(1)
-	}
 	if *ntriples {
 		fmt.Fprintln(os.Stderr, "provio-merge: -ntriples is deprecated, use -format=nt")
 		if *formatFlag == "auto" {
 			*formatFlag = "nt"
 		}
 	}
-	format, err := provio.ParseFormat(*formatFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "provio-merge: %v\n", err)
-		os.Exit(1)
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
+	store, err := cli.OpenStore(*storeSpec, *formatFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-merge: open store: %v\n", err)
 		os.Exit(1)
@@ -60,6 +58,22 @@ func main() {
 		if err := store.Compact(); err != nil {
 			fmt.Fprintf(os.Stderr, "provio-merge: compact: %v\n", err)
 			os.Exit(1)
+		}
+		// An archive-backed store accumulates superseded journal frames as
+		// Compact rewrites files; reclaim them while we are at it.
+		for b := any(store.Backend()); b != nil; {
+			if v, ok := b.(interface{ Vacuum() error }); ok {
+				if err := v.Vacuum(); err != nil {
+					fmt.Fprintf(os.Stderr, "provio-merge: vacuum: %v\n", err)
+					os.Exit(1)
+				}
+				break
+			}
+			in, ok := b.(interface{ Inner() any })
+			if !ok {
+				break
+			}
+			b = in.Inner()
 		}
 	}
 	g, err := store.WriteMergedParallel(*parallel)
@@ -73,5 +87,5 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("merged %d triples (%d distinct subjects) from %s (%d bytes of sub-graphs, %d parse workers)\n",
-		g.Len(), len(g.Subjects()), *storeDir, total, *parallel)
+		g.Len(), len(g.Subjects()), *storeSpec, total, *parallel)
 }

@@ -5,8 +5,11 @@
 // Usage:
 //
 //	provio-query -store ./prov 'SELECT ?f WHERE { ?f a provio:File . }'
-//	provio-query -store ./prov -file query.rq
+//	provio-query -store file:run.pvs -file query.rq
 //	provio-query -store ./prov -plan 'SELECT ?f WHERE { ?f a provio:File . }'
+//
+// -store accepts a directory or any store spec (dir:/path, file:/run.pvs,
+// mount:hot=...,cold=...).
 //
 // The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
 // PREFIX declarations. -plan prints the planner's cardinality-ordered join
@@ -24,23 +27,20 @@ import (
 	"strings"
 
 	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "provenance store directory (required)")
+	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
 	queryFile := flag.String("file", "", "read the query from this file instead of argv")
 	format := flag.String("format", "tsv", "output format: tsv | json (W3C SPARQL results JSON)")
-	storeFormat := flag.String("store-format", "auto",
-		"store codec: auto | nt | ttl | pbs (reads auto-detect per file)")
+	storeFormat := flag.String("store-format", "auto", cli.FormatUsage)
 	plan := flag.Bool("plan", false, "print the query plan (EXPLAIN) instead of executing")
 	workers := flag.Int("workers", 1, "parallel query workers (1 = serial executor)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	flag.Parse()
 
-	if *storeDir == "" {
-		fatalf("-store is required")
-	}
 	var query string
 	switch {
 	case *queryFile != "":
@@ -55,11 +55,7 @@ func main() {
 		fatalf("pass the query as the single argument or via -file")
 	}
 
-	sf, err := provio.ParseFormat(*storeFormat)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, sf)
+	store, err := cli.OpenStore(*storeSpec, *storeFormat)
 	if err != nil {
 		fatalf("open store: %v", err)
 	}

@@ -14,25 +14,15 @@ import (
 	"fmt"
 	"os"
 
-	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 	"github.com/hpc-io/prov-io/internal/stats"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "provenance store directory (required)")
-	formatFlag := flag.String("format", "auto",
-		"store format: auto | nt | ttl | pbs (reads auto-detect per file)")
+	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
+	formatFlag := flag.String("format", "auto", cli.FormatUsage)
 	flag.Parse()
-	if *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "provio-stats: -store is required")
-		os.Exit(1)
-	}
-	format, err := provio.ParseFormat(*formatFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
-		os.Exit(1)
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
+	store, err := cli.OpenStore(*storeSpec, *formatFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)

@@ -15,7 +15,12 @@
 // whole processes spliced in or removed — manipulations that are locally
 // self-consistent. -strict additionally flags files carrying no seal (stores
 // written before the integrity layer are otherwise tolerated). -selftest
-// runs the deterministic crash-consistency sweep for every store format.
+// runs the deterministic crash-consistency sweep for every store format and
+// backend kind.
+//
+// -store accepts a directory or any store spec (dir:/path, file:/run.pvs,
+// mount:hot=...,cold=...), so an archive or a mounted hot/cold store audits
+// with the same exit-code contract as a plain directory.
 //
 // The exit code classifies the worst finding:
 //
@@ -34,6 +39,7 @@ import (
 	"os"
 
 	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 )
 
 // Exit codes, keyed by the worst defect kind found.
@@ -67,7 +73,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("provio-verify", flag.ContinueOnError)
 	fl.SetOutput(stderr)
-	storeDir := fl.String("store", "", "provenance store directory (required)")
+	storeSpec := fl.String("store", "", cli.StoreUsage+" (required)")
 	strict := fl.Bool("strict", false, "treat files without an integrity seal as orphaned")
 	quiet := fl.Bool("q", false, "print defects only")
 	writeHeads := fl.String("write-heads", "", "record the per-process chain heads to this file")
@@ -80,11 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *selftest {
 		return runSelftest(stdout, stderr)
 	}
-	if *storeDir == "" {
-		fmt.Fprintln(stderr, "provio-verify: -store is required")
-		return exitOperational
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, provio.FormatAuto)
+	store, err := cli.OpenStore(*storeSpec, "auto")
 	if err != nil {
 		fmt.Fprintf(stderr, "provio-verify: open store: %v\n", err)
 		return exitOperational
@@ -130,8 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if !*quiet {
-		fmt.Fprintf(stdout, "%s: %d processes, %d files (%d sealed, %d segments)\n",
-			rep.Dir, rep.Processes, rep.Files, rep.Sealed, rep.Segments)
+		fmt.Fprintf(stdout, "%s: %d processes, %d files (%d sealed, %d segments) [backend: %s]\n",
+			rep.Dir, rep.Processes, rep.Files, rep.Sealed, rep.Segments,
+			provio.CapsString(store.Backend().Caps()))
 		if len(rep.Unsealed) > 0 && !*strict {
 			fmt.Fprintf(stdout, "note: %d files carry no seal (pre-integrity store; -strict flags them)\n",
 				len(rep.Unsealed))
@@ -150,14 +153,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func runSelftest(stdout, stderr io.Writer) int {
+	// Every store format over the fault-injecting VFS backend, then the
+	// binary format over each real backend kind (the store logic under test
+	// is format × backend; the full cross product adds time, not coverage).
+	cases := []provio.CrashSweepConfig{
+		{Format: provio.FormatTurtle},
+		{Format: provio.FormatNTriples},
+		{Format: provio.FormatBinary},
+		{Format: provio.FormatBinary, Backend: "mem"},
+		{Format: provio.FormatBinary, Backend: "file"},
+		{Format: provio.FormatBinary, Backend: "mount"},
+	}
 	fail := false
-	for _, format := range []provio.Format{provio.FormatTurtle, provio.FormatNTriples, provio.FormatBinary} {
-		rep, err := provio.RunCrashSweep(provio.CrashSweepConfig{Seed: 1, Format: format, Torn: true})
+	for _, cfg := range cases {
+		cfg.Seed = 1
+		cfg.Torn = true
+		rep, err := provio.RunCrashSweep(cfg)
 		if err != nil {
-			fmt.Fprintf(stderr, "provio-verify: selftest %v: %v\n", format, err)
+			fmt.Fprintf(stderr, "provio-verify: selftest %v: %v\n", cfg.Format, err)
 			return exitOperational
 		}
-		fmt.Fprintf(stdout, "%v %s\n", format, rep)
+		backend := cfg.Backend
+		if backend == "" {
+			backend = "vfs"
+		}
+		fmt.Fprintf(stdout, "%s %v %s\n", backend, cfg.Format, rep)
 		for _, v := range rep.Violations {
 			fmt.Fprintf(stderr, "provio-verify: %s\n", v)
 			fail = true

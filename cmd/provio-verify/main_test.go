@@ -166,7 +166,12 @@ func TestSelftest(t *testing.T) {
 	if code != exitClean {
 		t.Fatalf("selftest: code %d, stderr %q", code, errb)
 	}
-	if strings.Count(out, "crash sweep:") != 3 {
-		t.Fatalf("selftest output missing per-format reports: %q", out)
+	if strings.Count(out, "crash sweep:") != 6 {
+		t.Fatalf("selftest output missing per-case reports: %q", out)
+	}
+	for _, want := range []string{"vfs ttl", "vfs nt", "vfs pbs", "mem pbs", "file pbs", "mount pbs"} {
+		if !strings.Contains(out, want+" crash sweep:") {
+			t.Fatalf("selftest output missing %q sweep: %q", want, out)
+		}
 	}
 }

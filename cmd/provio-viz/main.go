@@ -15,25 +15,18 @@ import (
 	"os"
 
 	provio "github.com/hpc-io/prov-io"
+	"github.com/hpc-io/prov-io/internal/cli"
 )
 
 func main() {
-	storeDir := flag.String("store", "", "provenance store directory (required)")
-	formatFlag := flag.String("format", "auto",
-		"store format: auto | nt | ttl | pbs (reads auto-detect per file)")
+	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
+	formatFlag := flag.String("format", "auto", cli.FormatUsage)
 	out := flag.String("o", "", "output DOT file (default stdout)")
 	product := flag.String("product", "", "file path of a data product whose lineage to highlight")
 	title := flag.String("title", "PROV-IO provenance", "graph title")
 	flag.Parse()
 
-	if *storeDir == "" {
-		fatalf("-store is required")
-	}
-	format, err := provio.ParseFormat(*formatFlag)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	store, err := provio.NewStore(provio.OSBackend{}, *storeDir, format)
+	store, err := cli.OpenStore(*storeSpec, *formatFlag)
 	if err != nil {
 		fatalf("open store: %v", err)
 	}

@@ -1,0 +1,71 @@
+package backend
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// Dir stores provenance in a directory of the host filesystem — the paper's
+// "directory on the parallel file system". Paths are ordinary OS paths; the
+// store's directory is whatever root the spec ("dir:/path") named.
+type Dir struct{}
+
+// MkdirAll implements Storage.
+func (Dir) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// dirTmpSeq disambiguates concurrent atomic writes to the same target.
+var dirTmpSeq atomic.Uint64
+
+// WriteFile implements Storage. The write is atomic: data lands in a
+// temporary file in the target's directory and is renamed over the target,
+// so a crash mid-write can never expose a half-written store file on a real
+// filesystem (rename is atomic on POSIX). The torn-write scenarios the
+// integrity harness injects model pre-fix filesystems and non-atomic
+// backends.
+func (Dir) WriteFile(path string, data []byte) error {
+	tmp := fmt.Sprintf("%s.tmp%d", path, dirTmpSeq.Add(1))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// ReadFile implements Storage.
+func (Dir) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Remove implements Storage.
+func (Dir) Remove(path string) error { return os.Remove(path) }
+
+// List implements Storage.
+func (Dir) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements Storage.
+func (Dir) Stat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Caps implements Storage.
+func (Dir) Caps() uint32 { return CapAtomicWrite | CapPersistent }

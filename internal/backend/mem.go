@@ -1,0 +1,108 @@
+package backend
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is an in-memory Storage: the hot tier of a mounted store, and the
+// cheapest substrate for tests and benchmarks. Contents die with the
+// process — a mounted store keeps only unacknowledged-rewritable state
+// (delta segments that Compact folds into the cold tier) there.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{files: make(map[string][]byte), dirs: map[string]bool{"/": true}}
+}
+
+// MkdirAll implements Storage.
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mkdirLocked(dir)
+	return nil
+}
+
+func (m *Mem) mkdirLocked(dir string) {
+	dir = strings.TrimSuffix(dir, "/")
+	for dir != "" && !m.dirs[dir] {
+		m.dirs[dir] = true
+		i := strings.LastIndex(dir, "/")
+		if i <= 0 {
+			break
+		}
+		dir = dir[:i]
+	}
+}
+
+// WriteFile implements Storage.
+func (m *Mem) WriteFile(path string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if i := strings.LastIndex(path, "/"); i > 0 {
+		m.mkdirLocked(path[:i])
+	}
+	m.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadFile implements Storage.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, notExist("read", path)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Storage.
+func (m *Mem) List(dir string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	dir = strings.TrimSuffix(dir, "/")
+	if !m.dirs[dir] && dir != "" {
+		return nil, notExist("list", dir)
+	}
+	var names []string
+	prefix := dir + "/"
+	for p := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			names = append(names, p[len(prefix):])
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements Storage.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Stat implements Storage.
+func (m *Mem) Stat(path string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[path]
+	if !ok {
+		return 0, notExist("stat", path)
+	}
+	return int64(len(data)), nil
+}
+
+// Caps implements Storage.
+func (m *Mem) Caps() uint32 { return CapAtomicWrite }

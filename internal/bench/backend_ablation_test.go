@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAblationBackend(t *testing.T) {
+	rep := run(t, "abl-backend")
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per backend kind", len(rep.Rows))
+	}
+	var storeBytes []float64
+	for _, row := range rep.Rows {
+		name := row[0]
+		if row[1] == "" || row[1] == "none" {
+			t.Errorf("%s: no capability flags reported", name)
+		}
+		storeBytes = append(storeBytes, parseNum(t, row[3]))
+	}
+	// Every backend holds the same logical store, so TotalBytes must agree.
+	for i, n := range storeBytes {
+		if n <= 0 || n != storeBytes[0] {
+			t.Errorf("row %d: store bytes %v, want %v on every backend", i, n, storeBytes[0])
+		}
+	}
+	if rep.ArtifactName != "BENCH_backend.json" {
+		t.Fatalf("artifact name %q", rep.ArtifactName)
+	}
+	var doc struct {
+		Live []struct {
+			Backend     string `json:"backend"`
+			MediaBytes  int64  `json:"media_bytes"`
+			MediaAfter  int64  `json:"media_bytes_after_vacuum"`
+			Merged      int    `json:"merged_triples"`
+			CleanVerify bool   `json:"verify_clean"`
+		} `json:"live_ablation"`
+	}
+	if err := json.Unmarshal([]byte(rep.Artifact), &doc); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(doc.Live) != 4 {
+		t.Fatalf("live rows = %d, want 4", len(doc.Live))
+	}
+	for _, row := range doc.Live {
+		if !row.CleanVerify {
+			t.Errorf("%s: Verify not clean", row.Backend)
+		}
+		if row.Merged <= 0 || row.Merged != doc.Live[0].Merged {
+			t.Errorf("%s: merged %d triples, want %d on every backend", row.Backend, row.Merged, doc.Live[0].Merged)
+		}
+		switch row.Backend {
+		case "mem":
+			if row.MediaBytes != 0 {
+				t.Errorf("mem: media bytes %d, want 0 (nothing physical)", row.MediaBytes)
+			}
+		case "file", "mount":
+			if row.MediaBytes <= 0 {
+				t.Errorf("%s: no archive footprint measured", row.Backend)
+			}
+			// Compact can grow the cold archive (hot segments fold into its
+			// canonicals), so only a live post-vacuum footprint is asserted.
+			if row.MediaAfter <= 0 {
+				t.Errorf("%s: no post-vacuum archive footprint measured", row.Backend)
+			}
+		}
+	}
+}

@@ -40,6 +40,7 @@ var registry = map[string]Runner{
 	"abl-codec":          AblationCodec,
 	"abl-parallel-query": AblationParallelQuery,
 	"abl-integrity":      AblationIntegrity,
+	"abl-backend":        AblationBackend,
 }
 
 // order lists experiment IDs in presentation order.

@@ -1,0 +1,32 @@
+// Package cli is the store-opening plumbing shared by the provio command
+// line tools: one place that resolves the -store flag (a spec string; a bare
+// directory path stays a valid alias for dir:) together with the store
+// format name, so every tool accepts every backend and their help text stays
+// in sync.
+package cli
+
+import (
+	"fmt"
+
+	"github.com/hpc-io/prov-io/internal/core"
+)
+
+// StoreUsage is the shared help text of the -store flag.
+const StoreUsage = "provenance store: a directory, or a spec — dir:/path | mem: | file:/store.pvs | mount:hot=SPEC,cold=SPEC"
+
+// FormatUsage is the shared help text of the store-format flags.
+const FormatUsage = "store codec: auto | nt | ttl | pbs (reads auto-detect per file)"
+
+// OpenStore opens the store a tool's -store and format flags name. The empty
+// spec is rejected (-store is required everywhere); the format name goes
+// through core.ParseFormat.
+func OpenStore(spec, format string) (*core.Store, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("-store is required")
+	}
+	f, err := core.ParseFormat(format)
+	if err != nil {
+		return nil, err
+	}
+	return core.OpenStore(spec, f)
+}

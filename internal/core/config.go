@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/hpc-io/prov-io/internal/backend"
 	"github.com/hpc-io/prov-io/internal/model"
 )
 
@@ -126,8 +127,13 @@ type Config struct {
 
 	// StoreDir is the directory provenance files are written to.
 	StoreDir string
-	Format   Format
-	Mode     Mode
+	// Store, when non-empty, selects the store backend and location as a
+	// spec string (the OpenStore grammar): dir:/path, mem:, file:/path.pvs,
+	// or mount:hot=SPEC,cold=SPEC. It supersedes StoreDir; StoreDir remains
+	// the plain-directory shorthand.
+	Store  string
+	Format Format
+	Mode   Mode
 	// FlushEvery triggers a periodic flush after this many records when
 	// Mode is ModePeriodic.
 	FlushEvery int
@@ -199,6 +205,20 @@ func (c *Config) EnabledClasses() []string {
 	return out
 }
 
+// StoreSpec resolves the config's store selection to a spec string: the
+// store key verbatim when set, otherwise the StoreDir directory.
+func (c *Config) StoreSpec() string {
+	if c.Store != "" {
+		return c.Store
+	}
+	return "dir:" + c.StoreDir
+}
+
+// OpenStore opens the store the config selects, in the config's format.
+func (c *Config) OpenStore() (*Store, error) {
+	return OpenStore(c.StoreSpec(), c.Format)
+}
+
 // Clone returns a deep copy.
 func (c *Config) Clone() *Config {
 	nc := *c
@@ -213,6 +233,7 @@ func (c *Config) Clone() *Config {
 // per line, '#' comments. Recognized keys:
 //
 //	store_dir   = /path/to/store
+//	store       = dir:/path | mem: | file:/path.pvs | mount:hot=SPEC,cold=SPEC
 //	format      = auto | nt | ttl | pbs   (also: turtle, ntriples, binary)
 //	mode        = at_end | periodic
 //	flush_every = 4096
@@ -245,6 +266,11 @@ func LoadConfig(r io.Reader) (*Config, error) {
 		switch key {
 		case "store_dir":
 			cfg.StoreDir = val
+		case "store":
+			if _, err := backend.ParseSpec(val); err != nil {
+				return nil, fmt.Errorf("core: config line %d: key store: %v", lineNo, err)
+			}
+			cfg.Store = val
 		case "format":
 			f, err := ParseFormat(val)
 			if err != nil {

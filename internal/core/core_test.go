@@ -91,6 +91,16 @@ disable = Open
 		cfg.Mode != ModePeriodic || cfg.FlushEvery != 128 || !cfg.Duration {
 		t.Errorf("config = %+v", cfg)
 	}
+	if got := cfg.StoreSpec(); got != "dir:/run1/prov" {
+		t.Errorf("StoreSpec() = %q, want store_dir as a dir: alias", got)
+	}
+	cfg2, err := LoadConfig(strings.NewReader("store = mount:hot=mem:,cold=file:/hist.pvs\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg2.StoreSpec(); got != "mount:hot=mem:,cold=file:/hist.pvs" {
+		t.Errorf("StoreSpec() = %q, want the configured spec verbatim", got)
+	}
 	if !cfg.Enabled(model.Create) || !cfg.Enabled(model.File) {
 		t.Error("track/enable lists not applied")
 	}
@@ -112,10 +122,14 @@ func TestLoadConfigErrors(t *testing.T) {
 		"duration = maybe",
 		"track = NotAClass",
 		"unknown_key = 1",
+		"store = bogus:/x",
+		"store = mount:hot=mem:",
 	}
 	for _, doc := range cases {
 		if _, err := LoadConfig(strings.NewReader(doc)); err == nil {
 			t.Errorf("LoadConfig(%q) succeeded", doc)
+		} else if strings.HasPrefix(doc, "store =") && !strings.Contains(err.Error(), "key store") {
+			t.Errorf("LoadConfig(%q) error %q does not name the store key", doc, err)
 		}
 	}
 }

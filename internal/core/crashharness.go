@@ -3,9 +3,12 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"github.com/hpc-io/prov-io/internal/backend"
 	"github.com/hpc-io/prov-io/internal/faultfs"
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
@@ -42,6 +45,15 @@ type CrashSweepConfig struct {
 	// every crash point is all-or-nothing, which is what the store's own
 	// backends guarantee (OSBackend writes via temp file + rename).
 	Torn bool
+	// Backend selects the substrate under fault injection: "vfs" (the
+	// default, the simulated PFS), "mem", "file" (a real on-disk .pvs
+	// archive, reopened fresh from disk for recovery so journal replay is in
+	// the loop), or "mount" (hot/cold tiers of separate mem backends, so
+	// tier routing and fallback run under every crash point). The in-memory
+	// substrates model the store's crash-consistency logic, not media
+	// durability — their state survives in-object across the simulated
+	// restart, exactly as the vfs sweep always has.
+	Backend string
 }
 
 // CrashSweepReport summarizes a sweep.
@@ -67,7 +79,52 @@ func (c *CrashSweepConfig) withDefaults() CrashSweepConfig {
 	if out.FlushEvery <= 0 {
 		out.FlushEvery = 2
 	}
+	if out.Backend == "" {
+		out.Backend = "vfs"
+	}
 	return out
+}
+
+// newInner builds one fresh substrate of the configured kind, plus a reopen
+// function modeling the post-crash restart (for the file backend that means
+// replaying the on-disk journal into a brand-new Archive) and a cleanup for
+// any host-filesystem scratch state.
+func (c CrashSweepConfig) newInner() (inner Backend, reopen func() (Backend, error), cleanup func(), err error) {
+	same := func(b Backend) func() (Backend, error) {
+		return func() (Backend, error) { return b, nil }
+	}
+	noop := func() {}
+	switch c.Backend {
+	case "", "vfs":
+		b := VFSBackend{View: vfs.NewStore().NewView()}
+		return b, same(b), noop, nil
+	case "mem":
+		b := backend.NewMem()
+		return b, same(b), noop, nil
+	case "mount":
+		m, merr := backend.NewMount("/prov",
+			backend.Tier{Name: "hot", Hot: true, B: backend.NewMem(), Root: "/prov"},
+			backend.Tier{Name: "cold", Hot: false, B: backend.NewMem(), Root: "/prov"})
+		if merr != nil {
+			return nil, nil, nil, merr
+		}
+		return m, same(m), noop, nil
+	case "file":
+		dir, derr := os.MkdirTemp("", "provio-crash-*")
+		if derr != nil {
+			return nil, nil, nil, derr
+		}
+		path := filepath.Join(dir, "store.pvs")
+		a, aerr := backend.OpenArchive(path)
+		if aerr != nil {
+			os.RemoveAll(dir)
+			return nil, nil, nil, aerr
+		}
+		return a, func() (Backend, error) { return backend.OpenArchive(path) },
+			func() { os.RemoveAll(dir) }, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("core: unknown crash-sweep backend %q (want vfs, mem, file, or mount)", c.Backend)
+	}
 }
 
 // ntLines renders a graph as its set of N-Triples lines, the record-level
@@ -138,8 +195,13 @@ func subset(a, b map[string]bool) bool {
 // whether Compact recovered (as opposed to verifiably rejecting) and a
 // non-empty violation when any invariant broke.
 func runCrashPoint(cfg CrashSweepConfig, point, torn int) (recovered bool, violation string) {
-	tag := fmt.Sprintf("%v point %d torn %d", cfg.Format, point, torn)
-	inner := VFSBackend{View: vfs.NewStore().NewView()}
+	cfg = cfg.withDefaults()
+	tag := fmt.Sprintf("%v/%s point %d torn %d", cfg.Format, cfg.Backend, point, torn)
+	inner, reopen, cleanup, err := cfg.newInner()
+	if err != nil {
+		return false, fmt.Sprintf("%s: building substrate: %v", tag, err)
+	}
+	defer cleanup()
 	fs := faultfs.New(inner, cfg.Seed).CrashAt(point, torn)
 	acked, tracked := crashWorkload(fs, cfg)
 	if !fs.Crashed() {
@@ -147,7 +209,11 @@ func runCrashPoint(cfg CrashSweepConfig, point, torn int) (recovered bool, viola
 	}
 
 	// Recovery: reopen the surviving state with a fresh store, compact, audit.
-	rstore, err := NewStore(inner, "/prov", cfg.Format)
+	rinner, err := reopen()
+	if err != nil {
+		return false, fmt.Sprintf("%s: reopening the substrate: %v", tag, err)
+	}
+	rstore, err := NewStore(rinner, "/prov", cfg.Format)
 	if err != nil {
 		return false, fmt.Sprintf("%s: reopening the store: %v", tag, err)
 	}
@@ -189,7 +255,12 @@ func runCrashPoint(cfg CrashSweepConfig, point, torn int) (recovered bool, viola
 // invariant breaks land in the report's Violations.
 func RunCrashSweep(cfg CrashSweepConfig) (*CrashSweepReport, error) {
 	cfg = cfg.withDefaults()
-	probe := faultfs.New(VFSBackend{View: vfs.NewStore().NewView()}, cfg.Seed)
+	probeInner, _, probeCleanup, err := cfg.newInner()
+	if err != nil {
+		return nil, err
+	}
+	defer probeCleanup()
+	probe := faultfs.New(probeInner, cfg.Seed)
 	acked, tracked := crashWorkload(probe, cfg)
 	if len(acked) == 0 || !subset(acked, tracked) || !subset(tracked, acked) {
 		return nil, fmt.Errorf("core: crash sweep probe run did not acknowledge its full workload")

@@ -3,47 +3,84 @@ package core
 import (
 	"bytes"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
+	"github.com/hpc-io/prov-io/internal/backend"
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
 	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
 	"github.com/hpc-io/prov-io/internal/vfs"
 )
 
-// Backend abstracts where the Provenance Store keeps its files: the
-// simulated Lustre namespace (vfs) during experiments, or the real OS
-// filesystem for the CLI tools and examples.
-type Backend interface {
+// StoreBackend abstracts where the Provenance Store keeps its files: a
+// directory on the real filesystem, the simulated Lustre namespace (vfs)
+// during experiments, an in-memory namespace, a single-file archive, or a
+// mount spanning several of those (see internal/backend and DESIGN.md
+// "Store backends & mounts"). The store's whole write model fits this
+// interface — whole-file reads and writes of named files inside one logical
+// directory — which is what keeps the chain, verification, and recovery code
+// backend-agnostic.
+//
+// The method set is the structural twin of backend.Storage (and of the
+// Backend interface internal/faultfs decorates); it is stated here rather
+// than aliased so core does not depend on the backend package for its
+// central abstraction, and so fault-injection wrappers satisfy it without
+// adapters. Keep the three in sync.
+//
+// Contract:
+//   - WriteFile replaces the whole file; whether the replacement is atomic
+//     is advertised by the CapAtomicWrite bit of Caps.
+//   - ReadFile and Stat report a missing file with an error satisfying
+//     errors.Is(err, fs.ErrNotExist).
+//   - List returns the sorted file names (not paths) directly inside dir.
+//   - Remove fails if the file does not exist.
+type StoreBackend interface {
 	MkdirAll(dir string) error
 	WriteFile(path string, data []byte) error
 	ReadFile(path string) ([]byte, error)
 	// List returns the file names (not paths) inside dir, sorted.
 	List(dir string) ([]string, error)
 	Remove(path string) error
+	// Stat returns the file's size in bytes.
+	Stat(path string) (int64, error)
+	// Caps advertises the backend's capability flags (backend.Cap* bits).
+	Caps() uint32
 }
+
+// Backend is the StoreBackend interface's historical name, kept for the
+// existing construction call sites.
+type Backend = StoreBackend
+
+// Capability bits re-exported from the backend package so callers holding
+// only a core.StoreBackend can interpret Caps.
+const (
+	CapAtomicWrite = backend.CapAtomicWrite
+	CapPersistent  = backend.CapPersistent
+	CapArchive     = backend.CapArchive
+)
+
+// CapsString renders capability bits for tooling output.
+func CapsString(caps uint32) string { return backend.CapsString(caps) }
 
 // VFSBackend stores provenance in a vfs view (the simulated PFS).
 type VFSBackend struct{ View *vfs.View }
 
-// MkdirAll implements Backend.
+// MkdirAll implements StoreBackend.
 func (b VFSBackend) MkdirAll(dir string) error { return b.View.MkdirAll(dir) }
 
-// WriteFile implements Backend.
+// WriteFile implements StoreBackend.
 func (b VFSBackend) WriteFile(path string, data []byte) error { return b.View.WriteFile(path, data) }
 
-// ReadFile implements Backend.
+// ReadFile implements StoreBackend.
 func (b VFSBackend) ReadFile(path string) ([]byte, error) { return b.View.ReadFile(path) }
 
-// Remove implements Backend.
+// Remove implements StoreBackend.
 func (b VFSBackend) Remove(path string) error { return b.View.Remove(path) }
 
-// List implements Backend.
+// List implements StoreBackend.
 func (b VFSBackend) List(dir string) ([]string, error) {
 	infos, err := b.View.ReadDir(dir)
 	if err != nil {
@@ -58,54 +95,22 @@ func (b VFSBackend) List(dir string) ([]string, error) {
 	return names, nil
 }
 
-// OSBackend stores provenance on the host filesystem.
-type OSBackend struct{}
-
-// MkdirAll implements Backend.
-func (OSBackend) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
-
-// osTmpSeq disambiguates concurrent atomic writes to the same target.
-var osTmpSeq atomic.Uint64
-
-// WriteFile implements Backend. The write is atomic: data lands in a
-// temporary file in the target's directory and is renamed over the target,
-// so a crash mid-write can never expose a half-written store file on a real
-// filesystem (rename is atomic on POSIX). The torn-write scenarios the
-// integrity harness injects model pre-fix filesystems and non-atomic
-// backends.
-func (OSBackend) WriteFile(path string, data []byte) error {
-	tmp := fmt.Sprintf("%s.tmp%d", path, osTmpSeq.Add(1))
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
-}
-
-// ReadFile implements Backend.
-func (OSBackend) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
-
-// Remove implements Backend.
-func (OSBackend) Remove(path string) error { return os.Remove(path) }
-
-// List implements Backend.
-func (OSBackend) List(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+// Stat implements StoreBackend.
+func (b VFSBackend) Stat(path string) (int64, error) {
+	fi, err := b.View.Stat(path)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	return names, nil
+	return fi.Size, nil
 }
+
+// Caps implements StoreBackend. The vfs models a crash-consistent PFS whose
+// writes are whole-file and journaled, but its contents die with the process.
+func (VFSBackend) Caps() uint32 { return backend.CapAtomicWrite }
+
+// OSBackend stores provenance on the host filesystem; it is the directory
+// backend of the backend package under its historical core name.
+type OSBackend = backend.Dir
 
 // Store is the Provenance Store component: a directory of per-process
 // sub-graph files plus merge support.
@@ -166,6 +171,25 @@ func NewStore(backend Backend, dir string, format Format) (*Store, error) {
 	return s, nil
 }
 
+// OpenStore opens a store from a spec string — the URI-style form every CLI
+// tool and the config file accept (backend.ParseSpec grammar):
+//
+//	dir:/path (or a bare path)   directory store
+//	mem:                         in-memory store
+//	file:/path.pvs               single-file archive store
+//	mount:hot=SPEC,cold=SPEC     mounted store spanning two backends
+//
+// The spec names both the backend and the logical store directory, so this
+// is the one call sites need instead of pairing NewStore with a hand-built
+// backend.
+func OpenStore(spec string, format Format) (*Store, error) {
+	b, dir, err := backend.Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(b, dir, format)
+}
+
 // detectDirFormat resolves FormatAuto: the codec extension of the first
 // canonical sub-graph file present (segments decide only if no canonical
 // file exists), defaulting to Turtle for an empty directory.
@@ -206,6 +230,9 @@ func detectDirFormat(backend Backend, dir string) Format {
 
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Backend returns the store's backend.
+func (s *Store) Backend() StoreBackend { return s.backend }
 
 // Format returns the store's resolved write format.
 func (s *Store) Format() Format { return s.format }
@@ -510,7 +537,9 @@ func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
 // extension is rewritten even when it has no segments — so compacting with a
 // binary store migrates a text store to .pbs (and vice versa), the
 // format-migration path of the codec layer. Same-format pids with no
-// segments are left untouched.
+// segments are left untouched — unless the store is mounted and their files
+// sit outside their routed tier, in which case Compact relocates them
+// verbatim, the cross-backend migration path of the mount layer.
 //
 // Compact audits before it folds (the same audit provio-verify runs) and
 // recovers exactly the damage an interrupted write of unacknowledged data
@@ -559,12 +588,41 @@ func (s *Store) Compact() error {
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
+	mis := misplacer(s.backend)
 	for _, pid := range pids {
 		pa := a.pids[pid]
 		dirty := len(pa.segs) > 0 || len(pa.staleSums) > 0 || len(pa.canonicals) > 1
 		for _, c := range pa.canonicals {
 			if filepath.Ext(c.name) != s.codec.Ext() {
 				dirty = true
+			}
+		}
+		// On a mounted store, a clean pid whose canonical file (or its
+		// sidecar) lives outside its routed tier is migration work: rewrite
+		// the same bytes through the mount, which homes them on the routed
+		// tier and drops the stale copy (write-through cleanup). The files
+		// move verbatim — no re-encode, no new seal — so chain heads survive
+		// a cross-backend migration byte-for-byte.
+		if !dirty && mis != nil {
+			var moves []string
+			for _, c := range pa.canonicals {
+				for _, n := range []string{c.name, c.sumName} {
+					if n == "" {
+						continue
+					}
+					if p := filepath.ToSlash(filepath.Join(s.dir, n)); mis.Misplaced(p) {
+						moves = append(moves, p)
+					}
+				}
+			}
+			for _, p := range moves {
+				data, err := s.backend.ReadFile(p)
+				if err != nil {
+					return err
+				}
+				if err := s.backend.WriteFile(p, data); err != nil {
+					return err
+				}
 			}
 		}
 		if !dirty {
@@ -642,11 +700,29 @@ func (s *Store) TotalBytes() (int64, error) {
 	}
 	var total int64
 	for _, f := range files {
-		data, err := s.backend.ReadFile(f)
+		n, err := s.backend.Stat(f)
 		if err != nil {
 			return 0, err
 		}
-		total += int64(len(data))
+		total += n
 	}
 	return total, nil
+}
+
+// misplacer unwraps decorator chains (anything exposing Inner() any, such as
+// the fault-injection wrapper) to find a backend that reports tier
+// misplacement — the Mount overlay.
+func misplacer(b StoreBackend) interface{ Misplaced(string) bool } {
+	v := any(b)
+	for v != nil {
+		if m, ok := v.(interface{ Misplaced(string) bool }); ok {
+			return m
+		}
+		in, ok := v.(interface{ Inner() any })
+		if !ok {
+			return nil
+		}
+		v = in.Inner()
+	}
+	return nil
 }

@@ -24,8 +24,8 @@ import (
 )
 
 // Backend is the storage interface faultfs decorates — structurally
-// identical to core.Backend, redeclared here so faultfs stays importable
-// from core itself.
+// identical to core.StoreBackend (and backend.Storage), redeclared here so
+// faultfs stays importable from core itself.
 type Backend interface {
 	MkdirAll(dir string) error
 	WriteFile(path string, data []byte) error
@@ -33,6 +33,10 @@ type Backend interface {
 	// List returns the file names (not paths) inside dir, sorted.
 	List(dir string) ([]string, error)
 	Remove(path string) error
+	// Stat returns the file's size in bytes.
+	Stat(path string) (int64, error)
+	// Caps advertises the backend's capability flags.
+	Caps() uint32
 }
 
 // ErrInjected is the error returned by operations failed through the
@@ -55,6 +59,7 @@ const (
 	OpRead
 	OpList
 	OpRemove
+	OpStat
 )
 
 func (k OpKind) String() string {
@@ -69,6 +74,8 @@ func (k OpKind) String() string {
 		return "list"
 	case OpRemove:
 		return "remove"
+	case OpStat:
+		return "stat"
 	}
 	return fmt.Sprintf("op(%d)", uint8(k))
 }
@@ -282,3 +289,28 @@ func (f *FS) Remove(path string) error {
 	}
 	return f.inner.Remove(path)
 }
+
+// Stat implements Backend. Stats fail alongside reads: both observe state
+// without mutating it.
+func (f *FS) Stat(path string) (int64, error) {
+	f.mu.Lock()
+	f.recordLocked(OpStat, path, 0)
+	crashed, fail := f.crashed, f.failReads
+	f.mu.Unlock()
+	if crashed {
+		return 0, ErrCrashed
+	}
+	if fail {
+		return 0, ErrInjected
+	}
+	return f.inner.Stat(path)
+}
+
+// Caps implements Backend, forwarding the inner backend's capabilities:
+// fault injection changes behavior, not what the substrate guarantees when
+// healthy.
+func (f *FS) Caps() uint32 { return f.inner.Caps() }
+
+// Inner returns the decorated backend, letting store code unwrap decorator
+// chains to reach capability interfaces (core's misplacement probe).
+func (f *FS) Inner() any { return f.inner }

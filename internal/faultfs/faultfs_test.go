@@ -44,6 +44,44 @@ func (m *memBackend) Remove(path string) error {
 	delete(m.files, path)
 	return nil
 }
+func (m *memBackend) Stat(path string) (int64, error) {
+	d, ok := m.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%s: not found", path)
+	}
+	return int64(len(d)), nil
+}
+func (m *memBackend) Caps() uint32 { return 7 }
+
+func TestStatCapsInner(t *testing.T) {
+	mem := newMem()
+	fs := New(mem, 1)
+	if err := fs.WriteFile("/d/a", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := fs.Stat("/d/a"); err != nil || n != 5 {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+	if got := fs.Trace(); got[len(got)-1].Kind != OpStat {
+		t.Fatalf("Stat not traced: %+v", got[len(got)-1])
+	}
+	if fs.Caps() != 7 {
+		t.Fatalf("Caps = %d, want inner's 7", fs.Caps())
+	}
+	if fs.Inner() != any(mem) {
+		t.Fatal("Inner did not return the decorated backend")
+	}
+	fs.FailReads(true)
+	if _, err := fs.Stat("/d/a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Stat under FailReads = %v", err)
+	}
+	fs.Heal()
+	fs.CrashAt(0, 0)
+	fs.Remove("/d/a") // trip the crash point
+	if _, err := fs.Stat("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Stat = %v", err)
+	}
+}
 
 func TestPassThroughAndTrace(t *testing.T) {
 	mem := newMem()

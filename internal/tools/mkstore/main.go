@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "store directory to create (required)")
+	dir := flag.String("dir", "", "store directory or spec to create (required; dir:/path | file:/run.pvs | mount:hot=...,cold=...)")
 	formatFlag := flag.String("format", "pbs", "store codec: nt | ttl | pbs")
 	records := flag.Int("records", 24, "I/O records per run")
 	flag.Parse()
@@ -39,8 +39,8 @@ func main() {
 	fmt.Printf("mkstore: wrote %s store to %s\n", *formatFlag, *dir)
 }
 
-func build(dir string, format provio.Format, records int) error {
-	store, err := provio.NewStore(provio.OSBackend{}, dir, format)
+func build(spec string, format provio.Format, records int) error {
+	store, err := provio.OpenStore(spec, format)
 	if err != nil {
 		return err
 	}
