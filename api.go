@@ -214,6 +214,47 @@ func ReduceLineage(g *Graph, roots []Term, maxHops int) *Graph {
 	return core.ReduceLineage(g, roots, maxHops)
 }
 
+// ---- Leveled segments & statistics pushdown ----
+
+// SegmentPruner is the pushdown hint of a pruned store read: the union of
+// triple patterns the read could touch. Store.MergePruned skips segments
+// (and whole packs) whose embedded statistics prove no pattern can match.
+type SegmentPruner = core.SegmentPruner
+
+// PrunePattern is one triple pattern of a SegmentPruner; nil positions are
+// unbound.
+type PrunePattern = core.PrunePattern
+
+// ScanStats reports what a pruned read decoded versus skipped, per level
+// (Store.MergePruned, Store.ReduceLineagePruned).
+type ScanStats = core.ScanStats
+
+// LevelScan is one level's slice of a ScanStats.
+type LevelScan = core.LevelScan
+
+// LevelInfo is one level's occupancy in Store.Levels' layout report.
+type LevelInfo = core.LevelInfo
+
+// ErrNothingToPack is returned by Store.PackSegments when the store holds
+// no segments or lower-level packs to fold.
+var ErrNothingToPack = core.ErrNothingToPack
+
+// PrunerForQuery derives a segment pruner from a parsed SPARQL query — the
+// glue between ParseQuery and Store.MergePruned. It returns nil (prune
+// nothing) when the query's shape forbids pushdown (zero-length property
+// paths).
+func PrunerForQuery(q *sparql.Query) *SegmentPruner {
+	pats, ok := q.PrunePatterns()
+	if !ok {
+		return nil
+	}
+	pr := &SegmentPruner{}
+	for _, p := range pats {
+		pr.Patterns = append(pr.Patterns, PrunePattern{S: p[0], P: p[1], O: p[2]})
+	}
+	return pr
+}
+
 // MergeStores unifies several runs' provenance stores into one graph
 // (cross-run provenance).
 func MergeStores(stores ...*Store) (*Graph, error) { return core.MergeStores(stores...) }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	provio-merge -store ./prov [-format auto|nt|ttl|pbs] [-parallel N] [-compact]
+//	provio-merge -store ./prov -compact -level 1
 //
 // Reading auto-detects each file's codec from its magic bytes, so stores
 // mixing .nt, .ttl, and .pbs files merge correctly regardless of -format;
@@ -20,14 +21,23 @@
 // mount:hot=dir:/old,cold=file:/new.pvs migrates a directory store into a
 // single-file archive. Archive-backed stores are vacuumed after -compact so
 // the container sheds superseded journal frames.
+//
+// -compact -level N performs LEVELED compaction instead: loose delta
+// segments (and packs below level N) are folded verbatim into one level-N
+// pack container whose header carries pushdown statistics, leaving canonical
+// files and hash chains untouched — provio-verify against heads recorded
+// before the compaction still passes. Queries then skip packs and members
+// whose statistics rule them out (see provio-query -plan).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	provio "github.com/hpc-io/prov-io"
 	"github.com/hpc-io/prov-io/internal/cli"
 )
 
@@ -41,6 +51,8 @@ func main() {
 		"parse worker pool size for the merge (1 = sequential)")
 	compact := flag.Bool("compact", false,
 		"fold leftover delta segments into canonical files before merging (crash recovery)")
+	level := flag.Int("level", 0,
+		"with -compact: fold delta segments into a level-N pack (leveled compaction) instead of canonical files")
 	flag.Parse()
 
 	if *ntriples {
@@ -53,6 +65,31 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-merge: open store: %v\n", err)
 		os.Exit(1)
+	}
+	if *level > 0 {
+		if !*compact {
+			fmt.Fprintln(os.Stderr, "provio-merge: -level requires -compact")
+			os.Exit(2)
+		}
+		name, err := store.PackSegments(*level)
+		if err != nil {
+			if errors.Is(err, provio.ErrNothingToPack) {
+				fmt.Println("nothing to pack: no loose segments or lower-level packs")
+				return
+			}
+			fmt.Fprintf(os.Stderr, "provio-merge: pack: %v\n", err)
+			os.Exit(1)
+		}
+		levels, err := store.Levels()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "provio-merge: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("packed segments into %s (level %d)\n", name, *level)
+		for _, li := range levels {
+			fmt.Printf("  L%d: %d file(s), %d unit(s), %d bytes\n", li.Level, li.Files, li.Units, li.Bytes)
+		}
+		return
 	}
 	if *compact {
 		if err := store.Compact(); err != nil {

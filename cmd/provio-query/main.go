@@ -13,9 +13,15 @@
 //
 // The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
 // PREFIX declarations. -plan prints the planner's cardinality-ordered join
-// plan (EXPLAIN) without executing the query. -workers N evaluates with the
-// morsel-driven parallel executor (N > 1); results are identical to serial.
-// -cpuprofile/-memprofile write pprof profiles of the run.
+// plan (EXPLAIN) without executing the query, preceded by the pushdown
+// report (segments decoded vs skipped, per level). -workers N evaluates with
+// the morsel-driven parallel executor (N > 1); results are identical to
+// serial. -cpuprofile/-memprofile write pprof profiles of the run.
+//
+// Loading goes through statistics pushdown: segments (and whole packs) whose
+// zone maps, predicate lists, and Bloom filters prove the query's patterns
+// cannot match are never decoded. Results are identical to an exhaustive
+// merge; -no-prune forces the exhaustive path.
 package main
 
 import (
@@ -35,7 +41,8 @@ func main() {
 	queryFile := flag.String("file", "", "read the query from this file instead of argv")
 	format := flag.String("format", "tsv", "output format: tsv | json (W3C SPARQL results JSON)")
 	storeFormat := flag.String("store-format", "auto", cli.FormatUsage)
-	plan := flag.Bool("plan", false, "print the query plan (EXPLAIN) instead of executing")
+	plan := flag.Bool("plan", false, "print the pushdown report and query plan (EXPLAIN) instead of executing")
+	noPrune := flag.Bool("no-prune", false, "disable segment-statistics pushdown (decode every segment)")
 	workers := flag.Int("workers", 1, "parallel query workers (1 = serial executor)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
@@ -55,15 +62,25 @@ func main() {
 		fatalf("pass the query as the single argument or via -file")
 	}
 
+	q, err := provio.ParseQuery(query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var pruner *provio.SegmentPruner
+	if !*noPrune {
+		pruner = provio.PrunerForQuery(q)
+	}
+
 	store, err := cli.OpenStore(*storeSpec, *storeFormat)
 	if err != nil {
 		fatalf("open store: %v", err)
 	}
-	g, err := store.Merge()
+	g, scan, err := store.MergePruned(pruner, *workers)
 	if err != nil {
 		fatalf("merge: %v", err)
 	}
 	if *plan {
+		fmt.Printf("pushdown: %s\n", scan)
 		out, err := provio.ExplainQuery(g, query)
 		if err != nil {
 			fatalf("%v", err)
@@ -100,7 +117,7 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples\n", len(res.Rows), g.Len())
+	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples; %s\n", len(res.Rows), g.Len(), scan)
 }
 
 func renderTerm(t provio.Term, ns *provio.Namespaces) string {

@@ -7,6 +7,10 @@
 // Usage:
 //
 //	provio-stats -store ./prov
+//
+// The report opens with the store's physical layout: per-level file/unit/byte
+// counts (L0 = loose flush segments, L1+ = compacted packs) and the scan line
+// of the merge that fed the statistics (segments decoded vs skipped).
 package main
 
 import (
@@ -27,11 +31,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)
 	}
-	g, err := store.Merge()
+	levels, err := store.Levels()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)
 	}
+	g, scan, err := store.MergePruned(nil, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("store layout")
+	for _, li := range levels {
+		kind := "pack(s)"
+		if li.Level == 0 {
+			kind = "file(s)"
+		}
+		fmt.Printf("  L%d: %d %s, %d unit(s), %d bytes\n", li.Level, li.Files, kind, li.Units, li.Bytes)
+	}
+	fmt.Printf("  scan: %s\n\n", scan)
 	if err := stats.Compute(g).WriteWithAgents(os.Stdout, g); err != nil {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)

@@ -132,8 +132,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if !*quiet {
-		fmt.Fprintf(stdout, "%s: %d processes, %d files (%d sealed, %d segments) [backend: %s]\n",
-			rep.Dir, rep.Processes, rep.Files, rep.Sealed, rep.Segments,
+		fmt.Fprintf(stdout, "%s: %d processes, %d files (%d sealed, %d segments, %d packs) [backend: %s]\n",
+			rep.Dir, rep.Processes, rep.Files, rep.Sealed, rep.Segments, rep.Packs,
 			provio.CapsString(store.Backend().Caps()))
 		if len(rep.Unsealed) > 0 && !*strict {
 			fmt.Fprintf(stdout, "note: %d files carry no seal (pre-integrity store; -strict flags them)\n",

@@ -245,6 +245,19 @@ func (a *Archive) ReadFile(path string) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
+// ReadFileRange implements RangeReader against the replayed in-memory copy
+// (the journal is whole-file framed, so there is no cheaper extent source).
+func (a *Archive) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	data, ok := a.files[path]
+	if !ok {
+		return nil, notExist("read", path)
+	}
+	off, n = clampRange(int64(len(data)), off, n)
+	return append([]byte(nil), data[off:off+n]...), nil
+}
+
 // List implements Storage.
 func (a *Archive) List(dir string) ([]string, error) {
 	a.mu.Lock()

@@ -87,6 +87,35 @@ func CapsString(caps uint32) string {
 	return s
 }
 
+// RangeReader is the optional partial-read capability behind lazy segment
+// loading (DESIGN.md "Leveled segments & pushdown"): backends that can serve
+// a byte extent of a file without materializing the whole file implement it,
+// and the store's pruned read paths use it to fetch a pack's header and just
+// the members a query needs. Backends (and decorators, such as the fault
+// injector) that do not implement it are served by whole-file ReadFile
+// fallback — the capability changes I/O volume, never results.
+//
+// Contract: the returned slice is file[off : min(off+n, size)] — reads
+// beyond EOF are clamped, an offset at or past EOF returns an empty slice,
+// and a missing file reports fs.ErrNotExist like ReadFile.
+type RangeReader interface {
+	ReadFileRange(path string, off, n int64) ([]byte, error)
+}
+
+// clampRange clamps [off, off+n) to a file of the given size.
+func clampRange(size, off, n int64) (int64, int64) {
+	if off < 0 {
+		off = 0
+	}
+	if off > size {
+		off = size
+	}
+	if n < 0 || off+n > size {
+		n = size - off
+	}
+	return off, n
+}
+
 // notExist returns a *fs.PathError satisfying errors.Is(err, fs.ErrNotExist)
 // for the named operation.
 func notExist(op, path string) error {

@@ -79,6 +79,25 @@ func contractSuite(t *testing.T, b Storage, root string) {
 		t.Fatalf("after overwrite: %q", data)
 	}
 
+	// Every built-in backend implements the optional RangeReader capability;
+	// check the clamped-extent contract on each.
+	rr, ok := b.(RangeReader)
+	if !ok {
+		t.Fatalf("%T does not implement RangeReader", b)
+	}
+	if got, err := rr.ReadFileRange(join("prov_p000001.nt"), 1, 3); err != nil || string(got) != "amm" {
+		t.Fatalf("ReadFileRange(1,3) = %q, %v", got, err)
+	}
+	if got, err := rr.ReadFileRange(join("prov_p000001.nt"), 4, 100); err != nil || string(got) != "a\n" {
+		t.Fatalf("ReadFileRange past EOF = %q, %v", got, err)
+	}
+	if got, err := rr.ReadFileRange(join("prov_p000001.nt"), 99, 5); err != nil || len(got) != 0 {
+		t.Fatalf("ReadFileRange at EOF = %q, %v", got, err)
+	}
+	if _, err := rr.ReadFileRange(join("missing"), 0, 4); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadFileRange(missing) = %v, want fs.ErrNotExist", err)
+	}
+
 	names, err := b.List(root)
 	if err != nil {
 		t.Fatalf("List: %v", err)

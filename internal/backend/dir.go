@@ -39,6 +39,26 @@ func (Dir) WriteFile(path string, data []byte) error {
 // ReadFile implements Storage.
 func (Dir) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
 
+// ReadFileRange implements RangeReader via pread, so a pruned scan of a
+// large pack touches only the header extent and matched members.
+func (Dir) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	off, n = clampRange(fi.Size(), off, n)
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // Remove implements Storage.
 func (Dir) Remove(path string) error { return os.Remove(path) }
 

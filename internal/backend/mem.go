@@ -63,6 +63,18 @@ func (m *Mem) ReadFile(path string) ([]byte, error) {
 	return append([]byte(nil), data...), nil
 }
 
+// ReadFileRange implements RangeReader against the in-memory copy.
+func (m *Mem) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[path]
+	if !ok {
+		return nil, notExist("read", path)
+	}
+	off, n = clampRange(int64(len(data)), off, n)
+	return append([]byte(nil), data[off:off+n]...), nil
+}
+
 // List implements Storage.
 func (m *Mem) List(dir string) ([]string, error) {
 	m.mu.RLock()

@@ -149,6 +149,34 @@ func (m *Mount) ReadFile(path string) ([]byte, error) {
 	return nil, firstErr
 }
 
+// ReadFileRange implements RangeReader, falling back across tiers like
+// ReadFile. A tier whose backend lacks the capability serves the range via a
+// whole-file read, so the mount's answer never depends on tier composition.
+func (m *Mount) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	var firstErr error
+	for _, t := range m.ordered(path) {
+		p := m.rewrite(t, path)
+		var data []byte
+		var err error
+		if rr, ok := t.B.(RangeReader); ok {
+			data, err = rr.ReadFileRange(p, off, n)
+		} else {
+			data, err = t.B.ReadFile(p)
+			if err == nil {
+				o, c := clampRange(int64(len(data)), off, n)
+				data = data[o : o+c]
+			}
+		}
+		if err == nil {
+			return data, nil
+		}
+		if firstErr == nil || errors.Is(firstErr, fs.ErrNotExist) {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
 // Stat implements Storage, falling back across tiers.
 func (m *Mount) Stat(path string) (int64, error) {
 	var firstErr error

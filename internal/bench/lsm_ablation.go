@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/sparql"
+)
+
+// AblationLSM measures the leveled segment layer with statistics pushdown
+// (DESIGN.md "Leveled segments & pushdown") against the exhaustive read path
+// it replaces. A store of per-process delta segments with disjoint entity
+// populations is compacted into pack levels (heads recorded BEFORE packing —
+// VerifyAgainst must stay clean after, since members relocate verbatim), and
+// three cold reads run on a fresh store handle each time: the exhaustive
+// merge, a selective single-subject SPARQL query, and a bounded lineage
+// reduction. The run enforces the acceptance gates inline: the selective
+// query and the lineage reduction must decode at most 25% of the store's
+// units, with results byte-identical to the exhaustive path.
+func AblationLSM(s Scale) (*Report, error) {
+	nPids, recordsPer := 12, 24
+	if s == ScalePaper {
+		nPids, recordsPer = 32, 96
+	}
+
+	tmp, err := os.MkdirTemp("", "provio-abllsm-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	spec := "dir:" + filepath.Join(tmp, "store")
+
+	r := &Report{
+		ID:      "abl-lsm",
+		Title:   "Ablation: leveled segments + zone-map/Bloom pushdown (skip segments, not triples)",
+		Columns: []string{"read", "decoded/units", "fraction", "packs pruned", "wall(ms)", "result parity"},
+		Notes: []string{
+			fmt.Sprintf("%d periodic processes x %d records (disjoint entities per process), FlushEvery=8, last 2 processes folded canonical; PackSegments(1) then PackSegments(2)", nPids, recordsPer),
+			"exhaustive baseline decodes every unit; pruned reads consult per-segment stats frames and pack headers",
+			"chain heads recorded before compaction; VerifyAgainst after both pack steps must exit clean (verbatim member relocation)",
+			"gates enforced by this runner: selective query and lineage decode <= 25% of units, results byte-identical to exhaustive",
+		},
+		ArtifactName: "BENCH_lsm.json",
+	}
+
+	// Workload: periodic trackers leave sealed delta segments; every process
+	// owns a disjoint entity population so segment statistics can
+	// discriminate. The last two processes Close instead, leaving canonical
+	// L0 files that never enter packs.
+	var probe rdf.Term // a data object private to pid 0
+	build, err := core.OpenStore(spec, core.FormatBinary)
+	if err != nil {
+		return nil, err
+	}
+	for pid := 0; pid < nPids; pid++ {
+		cfg := core.DefaultConfig()
+		canonical := pid >= nPids-2
+		if !canonical {
+			cfg.Mode = core.ModePeriodic
+			cfg.FlushEvery = 8
+		}
+		tr := core.NewTracker(cfg, build, pid)
+		user := tr.RegisterUser(fmt.Sprintf("user-p%02d", pid))
+		prog := tr.RegisterProgram(fmt.Sprintf("program-p%02d", pid), user)
+		for i := 0; i < recordsPer; i++ {
+			obj := tr.TrackDataObject(model.File, fmt.Sprintf("/exp/p%02d/f%03d", pid, i), "", rdf.Term{}, rdf.Term{})
+			if pid == 0 && i == 0 {
+				probe = obj
+			}
+			tr.TrackIO(model.Write, "write", obj, prog, time.Duration(i)*time.Microsecond, 0)
+		}
+		if canonical {
+			if err := tr.Close(); err != nil {
+				return nil, err
+			}
+		} else if err := tr.Drain(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Heads before compaction are the anchor leveled compaction must preserve.
+	preRep, err := build.Verify()
+	if err != nil {
+		return nil, err
+	}
+	if !preRep.Clean() {
+		return nil, fmt.Errorf("bench: pre-pack store failed Verify: %v", preRep.Defects)
+	}
+	headsOK := true
+	for _, level := range []int{1, 2} {
+		if _, err := build.PackSegments(level); err != nil {
+			return nil, fmt.Errorf("bench: PackSegments(%d): %w", level, err)
+		}
+		vrep, err := build.VerifyAgainst(preRep.Heads)
+		if err != nil {
+			return nil, err
+		}
+		if !vrep.Clean() {
+			headsOK = false
+			return nil, fmt.Errorf("bench: heads not preserved across PackSegments(%d): %v", level, vrep.Defects)
+		}
+	}
+	levels, err := build.Levels()
+	if err != nil {
+		return nil, err
+	}
+
+	coldStore := func() (*core.Store, error) { return core.OpenStore(spec, core.FormatBinary) }
+
+	// Exhaustive baseline: every unit decoded.
+	st, err := coldStore()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	full, exhScan, err := st.MergePruned(nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	exhWall := time.Since(start)
+	query := fmt.Sprintf("SELECT ?p ?o WHERE { <%s> ?p ?o }", probe.Value)
+	q, err := sparql.Parse(query, nil)
+	if err != nil {
+		return nil, err
+	}
+	wantRes, err := resultBytes(full, q)
+	if err != nil {
+		return nil, err
+	}
+	wantLineage, err := graphBytes(core.ReduceLineage(full, []rdf.Term{probe}, 2))
+	if err != nil {
+		return nil, err
+	}
+
+	// Selective query, pruner derived from the query itself.
+	pats, ok := q.PrunePatterns()
+	if !ok {
+		return nil, fmt.Errorf("bench: query unexpectedly refused a pruning hint")
+	}
+	pruner := &core.SegmentPruner{}
+	for _, p := range pats {
+		pruner.Patterns = append(pruner.Patterns, core.PrunePattern{S: p[0], P: p[1], O: p[2]})
+	}
+	st, err = coldStore()
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	pg, qScan, err := st.MergePruned(pruner, 1)
+	if err != nil {
+		return nil, err
+	}
+	qWall := time.Since(start)
+	gotRes, err := resultBytes(pg, q)
+	if err != nil {
+		return nil, err
+	}
+	queryParity := bytes.Equal(gotRes, wantRes)
+
+	// Pruned lineage: fixpoint over CanContainNode probes.
+	st, err = coldStore()
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	lg, lScan, err := st.ReduceLineagePruned([]rdf.Term{probe}, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	lWall := time.Since(start)
+	gotLineage, err := graphBytes(lg)
+	if err != nil {
+		return nil, err
+	}
+	lineageParity := bytes.Equal(gotLineage, wantLineage)
+
+	frac := func(sc *core.ScanStats) float64 {
+		if sc.Units == 0 {
+			return 1
+		}
+		return float64(sc.Decoded) / float64(sc.Units)
+	}
+	addRow := func(name string, sc *core.ScanStats, wall time.Duration, parity bool) {
+		r.AddRow(name, fmt.Sprintf("%d/%d", sc.Decoded, sc.Units),
+			fmt.Sprintf("%.2f", frac(sc)), fmt.Sprintf("%d/%d", sc.PacksSkipped, sc.Packs),
+			ms(wall), fmt.Sprintf("%v", parity))
+	}
+	addRow("exhaustive merge", exhScan, exhWall, true)
+	addRow("selective query", qScan, qWall, queryParity)
+	addRow("lineage (2 hops)", lScan, lWall, lineageParity)
+
+	// The acceptance gates, enforced here so a regression fails the run.
+	const maxFraction = 0.25
+	switch {
+	case !queryParity:
+		return nil, fmt.Errorf("bench: pruned query results diverge from exhaustive")
+	case !lineageParity:
+		return nil, fmt.Errorf("bench: pruned lineage diverges from exhaustive")
+	case frac(qScan) > maxFraction:
+		return nil, fmt.Errorf("bench: selective query decoded %d/%d units (> %.0f%%)", qScan.Decoded, qScan.Units, maxFraction*100)
+	case frac(lScan) > maxFraction:
+		return nil, fmt.Errorf("bench: lineage decoded %d/%d units (> %.0f%%)", lScan.Decoded, lScan.Units, maxFraction*100)
+	}
+
+	doc := struct {
+		Experiment string            `json:"experiment"`
+		Workload   map[string]int    `json:"workload"`
+		Levels     []core.LevelInfo  `json:"levels"`
+		Exhaustive *core.ScanStats   `json:"exhaustive_scan"`
+		Query      *core.ScanStats   `json:"selective_query_scan"`
+		Lineage    *core.ScanStats   `json:"lineage_scan"`
+		Walls      map[string]string `json:"wall_ms"`
+		Gates      map[string]any    `json:"gates"`
+	}{
+		Experiment: "abl-lsm: leveled segment tiers with zone-map/Bloom pushdown",
+		Workload: map[string]int{
+			"processes": nPids, "records_per_process": recordsPer, "flush_every": 8,
+		},
+		Levels:     levels,
+		Exhaustive: exhScan,
+		Query:      qScan,
+		Lineage:    lScan,
+		Walls: map[string]string{
+			"exhaustive": ms(exhWall), "selective_query": ms(qWall), "lineage": ms(lWall),
+		},
+		Gates: map[string]any{
+			"max_decoded_fraction":        maxFraction,
+			"query_decoded_fraction":      frac(qScan),
+			"lineage_decoded_fraction":    frac(lScan),
+			"query_results_byte_equal":    queryParity,
+			"lineage_results_byte_equal":  lineageParity,
+			"heads_preserved_across_pack": headsOK,
+		},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	r.Artifact = string(out) + "\n"
+	return r, nil
+}
+
+// resultBytes evaluates q over g and renders the W3C results JSON — a
+// deterministic byte form for parity checks.
+func resultBytes(g *rdf.Graph, q *sparql.Query) ([]byte, error) {
+	res, err := sparql.Eval(g, q)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// graphBytes renders g as deterministic sorted N-Triples.
+func graphBytes(g *rdf.Graph) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

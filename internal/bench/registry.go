@@ -41,6 +41,7 @@ var registry = map[string]Runner{
 	"abl-parallel-query": AblationParallelQuery,
 	"abl-integrity":      AblationIntegrity,
 	"abl-backend":        AblationBackend,
+	"abl-lsm":            AblationLSM,
 }
 
 // order lists experiment IDs in presentation order.

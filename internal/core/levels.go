@@ -1,0 +1,241 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/rdf/segcodec"
+)
+
+// Leveled compaction (DESIGN.md "Leveled segments & pushdown"): level 0 is
+// the loose-file tier every flush writes into; PackSegments folds L0 delta
+// segments — and any lower-level packs — into one L-N pack container whose
+// header carries per-member and pack-level statistics. Member bytes move
+// VERBATIM (the same relocation property cross-backend Compact relies on):
+// digests, seals, and chain heads survive packing byte-for-byte, so
+// provio-verify against heads recorded before a compaction still passes.
+// Canonical sub-graph files never enter packs — they are the chain anchors
+// recovery rewrites in place.
+
+// ErrNothingToPack is returned by PackSegments when the store holds no
+// segments or lower-level packs to fold.
+var ErrNothingToPack = errors.New("core: no segments to pack at this level")
+
+// packName formats a pack file name. The "prov_p" prefix keeps packs inside
+// the store's provenance-file listing (exhaustive merges pick them up through
+// the codec registry); the name deliberately matches neither the canonical
+// nor the segment pattern, so per-process chain logic never mistakes a pack
+// for chain history.
+func packName(level, seq int) string {
+	return fmt.Sprintf("prov_pack.l%02d.%04d%s", level, seq, segcodec.Pack.Ext())
+}
+
+// parsePackName is packName's inverse; ok is false for non-pack names.
+func parsePackName(name string) (level, seq int, ok bool) {
+	if _, err := fmt.Sscanf(name, "prov_pack.l%02d.%04d.psk", &level, &seq); err != nil {
+		return 0, 0, false
+	}
+	if name != packName(level, seq) {
+		return 0, 0, false
+	}
+	return level, seq, true
+}
+
+// PackSegments folds every loose delta segment (sidecars included) and every
+// pack below the target level into one new level-`level` pack, then removes
+// the sources. It refuses on an unclean audit — packing damaged history
+// would seal the damage in — and is an offline operation: run it on a
+// quiescent store (no live trackers), like Compact. Returns the new pack's
+// file name, or ErrNothingToPack when there is nothing to fold.
+//
+// A crash between the pack write and source removal leaves members
+// duplicated as loose files; the audit treats byte-identical duplicates as
+// one file, so verification stays clean and re-running PackSegments (or
+// Compact) converges.
+func (s *Store) PackSegments(level int) (string, error) {
+	if level < 1 {
+		return "", fmt.Errorf("core: pack level %d out of range (levels start at 1)", level)
+	}
+	a, err := s.audit(false)
+	if err != nil {
+		return "", err
+	}
+	var defects []Defect
+	for _, pa := range a.pids {
+		defects = append(defects, pa.defects...)
+	}
+	defects = append(defects, a.packDefects...)
+	if len(defects) > 0 {
+		sortDefects(defects)
+		return "", &IntegrityError{Defects: defects}
+	}
+
+	names, err := s.backend.List(s.dir)
+	if err != nil {
+		return "", err
+	}
+	maxSeq := -1
+	var sourceFiles []string // loose files to remove, sidecar before segment
+	var oldPacks []string
+	entries := make(map[string]segcodec.PackEntry) // by member name
+	for _, n := range names {
+		if lvl, seq, ok := parsePackName(n); ok {
+			if lvl == level && seq > maxSeq {
+				maxSeq = seq
+			}
+			if lvl >= level {
+				continue
+			}
+			path := filepath.ToSlash(filepath.Join(s.dir, n))
+			data, err := s.backend.ReadFile(path)
+			if err != nil {
+				return "", err
+			}
+			h, err := segcodec.DecodePackHeader(data)
+			if err != nil || int64(len(data)) != h.WantSize {
+				return "", fmt.Errorf("core: pack %s unreadable: %w", n, err)
+			}
+			for _, m := range h.Members {
+				e := segcodec.PackEntry{Name: m.Name, Data: data[m.Off : m.Off+m.Size]}
+				if m.HasStats {
+					ms := m.Stats
+					e.Stats = &ms
+				}
+				if prev, dup := entries[m.Name]; dup && !bytes.Equal(prev.Data, e.Data) {
+					return "", fmt.Errorf("core: member %s differs between packs", m.Name)
+				}
+				entries[m.Name] = e
+			}
+			oldPacks = append(oldPacks, path)
+			continue
+		}
+		_, seg, isSum, ok := parseStoreName(n)
+		if !ok || seg < 0 {
+			continue // canonical files and foreign names stay loose
+		}
+		path := filepath.ToSlash(filepath.Join(s.dir, n))
+		data, err := s.backend.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		e := segcodec.PackEntry{Name: n, Data: data}
+		if !isSum {
+			if st, ok := segcodec.StatsOf(data); ok {
+				e.Stats = &st
+			}
+		}
+		if prev, dup := entries[n]; dup && !bytes.Equal(prev.Data, e.Data) {
+			return "", fmt.Errorf("core: member %s differs between source copies", n)
+		}
+		entries[n] = e
+		sourceFiles = append(sourceFiles, path)
+	}
+	if len(entries) == 0 {
+		return "", ErrNothingToPack
+	}
+
+	// Deterministic member order; zero-padded names sort by (pid, seg).
+	memberNames := make([]string, 0, len(entries))
+	for n := range entries {
+		memberNames = append(memberNames, n)
+	}
+	sort.Strings(memberNames)
+	ordered := make([]segcodec.PackEntry, 0, len(entries))
+	union := rdf.NewGraph()
+	for _, n := range memberNames {
+		e := entries[n]
+		ordered = append(ordered, e)
+		if isCodecFile(e.Name) {
+			if err := segcodec.Detect(e.Data).Decode(bytes.NewReader(e.Data), union); err != nil {
+				return "", fmt.Errorf("core: packing %s: %w", e.Name, err)
+			}
+		}
+	}
+	packStats := segcodec.ComputeGraphStats(union)
+	var buf bytes.Buffer
+	if err := segcodec.EncodePack(&buf, level, ordered, &packStats); err != nil {
+		return "", err
+	}
+	name := packName(level, maxSeq+1)
+	if err := s.backend.WriteFile(filepath.ToSlash(filepath.Join(s.dir, name)), buf.Bytes()); err != nil {
+		return "", err
+	}
+
+	// Sources go only after the pack is durable. Sidecars before their
+	// segments (a crash must never strand a sidecar whose file is gone), old
+	// packs last.
+	sort.Slice(sourceFiles, func(i, j int) bool {
+		si, sj := strings.HasSuffix(sourceFiles[i], chainSidecarExt), strings.HasSuffix(sourceFiles[j], chainSidecarExt)
+		if si != sj {
+			return si
+		}
+		return sourceFiles[i] < sourceFiles[j]
+	})
+	for _, p := range append(sourceFiles, oldPacks...) {
+		if err := s.backend.Remove(p); err != nil {
+			return "", err
+		}
+	}
+	return name, nil
+}
+
+// LevelInfo is one level's occupancy in the store's layout.
+type LevelInfo struct {
+	Level int   `json:"level"`
+	Files int   `json:"files"` // loose files at L0; pack containers at L>0
+	Units int   `json:"units"` // decodable units (files / RDF members)
+	Bytes int64 `json:"bytes"`
+}
+
+// Levels reports the store's leveled layout for tooling (provio-stats).
+func (s *Store) Levels() ([]LevelInfo, error) {
+	files, err := s.subgraphFiles()
+	if err != nil {
+		return nil, err
+	}
+	byLevel := map[int]*LevelInfo{}
+	at := func(l int) *LevelInfo {
+		li := byLevel[l]
+		if li == nil {
+			li = &LevelInfo{Level: l}
+			byLevel[l] = li
+		}
+		return li
+	}
+	for _, f := range files {
+		size, err := s.backend.Stat(f)
+		if err != nil {
+			return nil, err
+		}
+		if filepath.Ext(f) == segcodec.Pack.Ext() {
+			h, _, err := s.readPackHeader(f)
+			if err != nil {
+				return nil, err
+			}
+			li := at(h.Level)
+			li.Files++
+			li.Bytes += size
+			for _, m := range h.Members {
+				if isCodecFile(m.Name) {
+					li.Units++
+				}
+			}
+			continue
+		}
+		li := at(0)
+		li.Files++
+		li.Units++
+		li.Bytes += size
+	}
+	out := make([]LevelInfo, 0, len(byLevel))
+	for _, li := range byLevel {
+		out = append(out, *li)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Level < out[j].Level })
+	return out, nil
+}

@@ -25,6 +25,14 @@ import (
 //
 // maxHops <= 0 means unbounded (full connected component).
 func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
+	out, _ := reduceLineageKept(g, roots, maxHops)
+	return out
+}
+
+// reduceLineageKept is ReduceLineage exposing the kept-node terms alongside
+// the reduced graph — the probe set the store's pruned lineage fixpoint
+// (Store.ReduceLineagePruned) feeds back into segment-stats probes.
+func reduceLineageKept(g *rdf.Graph, roots []rdf.Term, maxHops int) (*rdf.Graph, []rdf.Term) {
 	v := g.Snapshot()
 	keep := map[rdf.ID]int{}
 	var frontier []rdf.ID
@@ -98,7 +106,11 @@ func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 		out.Add(rdf.Triple{S: termOf(s), P: termOf(p), O: termOf(o)})
 		return true
 	})
-	return out
+	kept := make([]rdf.Term, 0, len(keep))
+	for id := range keep {
+		kept = append(kept, termOf(id))
+	}
+	return out, kept
 }
 
 // lineageRelationIDs resolves the traversable relation predicates to their

@@ -454,79 +454,20 @@ func (s *Store) Merge() (*rdf.Graph, error) {
 // triple-identical to Merge(): graph union is order-independent and
 // idempotent. workers <= 1 merges sequentially.
 func (s *Store) MergeParallel(workers int) (*rdf.Graph, error) {
-	files, err := s.subgraphFiles()
-	if err != nil {
-		return nil, err
-	}
-	return s.mergeFiles(files, workers)
+	g, _, err := s.MergePruned(nil, workers)
+	return g, err
 }
 
+// mergeFiles decodes an explicit file list (packs included, through the
+// codec registry) into one graph — the order-independence property-test
+// entry point. Listing-driven merges go through MergePruned instead, the
+// store's one pruner-aware merge path.
 func (s *Store) mergeFiles(files []string, workers int) (*rdf.Graph, error) {
-	if workers <= 1 || len(files) < 2 {
-		merged := rdf.NewGraph()
-		for _, f := range files {
-			if err := s.decodeFileInto(f, merged); err != nil {
-				return nil, err
-			}
-		}
-		return merged, nil
+	units := make([]scanUnit, len(files))
+	for i, f := range files {
+		units[i] = scanUnit{path: f}
 	}
-	if workers > len(files) {
-		workers = len(files)
-	}
-
-	// Each worker owns a private accumulator graph: parsing AND union both
-	// parallelize with zero cross-worker contention, and because each
-	// accumulator is already GUID-deduplicated, the sequential combine at
-	// the end touches far fewer triples than the files contained.
-	jobs := make(chan string)
-	accs := make([]*rdf.Graph, workers)
-	var (
-		workerWG sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-	failed := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return firstErr != nil
-	}
-	for w := 0; w < workers; w++ {
-		accs[w] = rdf.NewGraph()
-		workerWG.Add(1)
-		go func(acc *rdf.Graph) {
-			defer workerWG.Done()
-			for f := range jobs {
-				if failed() {
-					continue // drain remaining jobs after an error
-				}
-				if err := s.decodeFileInto(f, acc); err != nil {
-					fail(err)
-				}
-			}
-		}(accs[w])
-	}
-	for _, f := range files {
-		jobs <- f
-	}
-	close(jobs)
-	workerWG.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	merged := accs[0]
-	for _, acc := range accs[1:] {
-		merged.Merge(acc)
-	}
-	return merged, nil
+	return s.decodeUnits(units, workers)
 }
 
 // Compact folds every process's delta segments into its canonical sub-graph
@@ -578,6 +519,7 @@ func (s *Store) Compact() error {
 	for _, pa := range a.pids {
 		defects = append(defects, pa.defects...)
 	}
+	defects = append(defects, a.packDefects...)
 	if len(defects) > 0 {
 		sortDefects(defects)
 		return &IntegrityError{Defects: defects}
@@ -593,7 +535,7 @@ func (s *Store) Compact() error {
 		pa := a.pids[pid]
 		dirty := len(pa.segs) > 0 || len(pa.staleSums) > 0 || len(pa.canonicals) > 1
 		for _, c := range pa.canonicals {
-			if filepath.Ext(c.name) != s.codec.Ext() {
+			if filepath.Ext(c.name) != s.codec.Ext() || c.packed != "" {
 				dirty = true
 			}
 		}
@@ -650,9 +592,10 @@ func (s *Store) Compact() error {
 			return err
 		}
 		// Drop the old-format canonical files the rewrite replaced, their
-		// sidecars included.
+		// sidecars included. Packed copies have no loose file to remove —
+		// their container goes below.
 		for _, c := range pa.canonicals {
-			if c.name == filepath.Base(s.processFile(pid)) {
+			if c.name == filepath.Base(s.processFile(pid)) || c.packed != "" {
 				continue
 			}
 			if c.sumName != "" {
@@ -663,6 +606,13 @@ func (s *Store) Compact() error {
 			if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, c.name))); err != nil {
 				return err
 			}
+		}
+	}
+	// Every packed member is folded above (a pid with packed files is always
+	// dirty), so the pack containers are now superseded history.
+	for _, n := range a.packFiles {
+		if err := s.backend.Remove(filepath.ToSlash(filepath.Join(s.dir, n))); err != nil {
+			return err
 		}
 	}
 	return nil

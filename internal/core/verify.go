@@ -82,9 +82,10 @@ func (d Defect) String() string {
 type VerifyReport struct {
 	Dir       string
 	Processes int
-	Files     int // provenance files examined (sidecars not counted)
+	Files     int // provenance files examined (sidecars not counted; pack members counted individually)
 	Sealed    int // files carrying a valid chain seal
 	Segments  int // delta segment files among Files
+	Packs     int // pack containers examined (their members audited like loose files)
 	// Unsealed lists intact files carrying no seal. Tolerated by default —
 	// they are what pre-integrity stores look like — but provio-verify
 	// -strict turns them into orphaned defects, closing the one local gap
@@ -222,6 +223,7 @@ type auditFile struct {
 	sumName string          // sidecar name, "" if none
 	graph   *rdf.Graph      // decoded content when audit(keepGraphs) and intact
 	bad     bool            // at least one defect charged to this file
+	packed  string          // pack file the bytes live in; "" for a loose file
 }
 
 // pidAudit is the audit state of one process.
@@ -246,6 +248,18 @@ func (pa *pidAudit) addDefect(kind DefectKind, name, format string, args ...any)
 type storeAudit struct {
 	pids                    map[int]*pidAudit
 	files, sealed, segments int
+	packs                   int
+	packFiles               []string // pack names Compact deletes after folding
+	// packDefects are structural findings against pack containers themselves
+	// (unreadable header, foreign member names, conflicting duplicates) —
+	// kept apart from per-pid defects so they never perturb chain heads.
+	packDefects []Defect
+}
+
+func (a *storeAudit) addPackDefect(kind DefectKind, name, format string, args ...any) {
+	a.packDefects = append(a.packDefects, Defect{
+		Name: name, Kind: kind, Detail: fmt.Sprintf(format, args...),
+	})
 }
 
 // parseStoreName splits a store file name into its parts. ok is false for
@@ -281,26 +295,104 @@ func (s *Store) audit(keepGraphs bool) (*storeAudit, error) {
 	}
 	a := &storeAudit{pids: make(map[int]*pidAudit)}
 	sums := make(map[string][]byte)
+	sumFrom := make(map[string]string)
 	type entry struct {
 		name     string
 		pid, seg int
+		data     []byte
+		packed   string // pack file the bytes came from; "" for loose
 	}
 	var entries []entry
-	for _, n := range names {
-		pid, seg, isSum, ok := parseStoreName(n)
-		if !ok {
-			continue
+	addSum := func(n string, data []byte, src string) {
+		if prev, ok := sums[n]; ok {
+			if !bytes.Equal(prev, data) {
+				a.addPackDefect(DefectTampered, n,
+					"sidecar copies differ between %s and %s", sumFrom[n], src)
+			}
+			return
 		}
-		if isSum {
+		sums[n] = data
+		sumFrom[n] = src
+	}
+	for _, n := range names {
+		if _, _, isPack := parsePackName(n); isPack {
+			// A pack container: structural checks here, then its members join
+			// the audit exactly as if they were loose files — packing must be
+			// invisible to chain analysis.
 			data, err := s.backend.ReadFile(filepath.ToSlash(filepath.Join(s.dir, n)))
 			if err != nil {
 				return nil, fmt.Errorf("core: reading %s: %w", n, err)
 			}
-			sums[n] = data
+			a.packs++
+			a.packFiles = append(a.packFiles, n)
+			h, herr := segcodec.DecodePackHeader(data)
+			if herr == nil && int64(len(data)) != h.WantSize {
+				werr := segcodec.ErrCorrupt
+				if int64(len(data)) < h.WantSize {
+					werr = segcodec.ErrTruncated
+				}
+				herr = fmt.Errorf("pack is %d bytes, header implies %d: %w", len(data), h.WantSize, werr)
+			}
+			if herr != nil {
+				kind := DefectTampered
+				if errors.Is(herr, segcodec.ErrTruncated) {
+					kind = DefectTruncated
+				}
+				a.addPackDefect(kind, n, "%v", herr)
+				continue
+			}
+			for _, m := range h.Members {
+				mdata := data[m.Off : m.Off+m.Size]
+				pid, seg, isSum, ok := parseStoreName(m.Name)
+				if !ok {
+					a.addPackDefect(DefectOrphaned, n, "pack member %s is not a store file name", m.Name)
+					continue
+				}
+				if isSum {
+					addSum(m.Name, mdata, n)
+					continue
+				}
+				entries = append(entries, entry{m.Name, pid, seg, mdata, n})
+			}
 			continue
 		}
-		entries = append(entries, entry{n, pid, seg})
+		pid, seg, isSum, ok := parseStoreName(n)
+		if !ok {
+			continue
+		}
+		data, err := s.backend.ReadFile(filepath.ToSlash(filepath.Join(s.dir, n)))
+		if err != nil {
+			return nil, fmt.Errorf("core: reading %s: %w", n, err)
+		}
+		if isSum {
+			addSum(n, data, "the store directory")
+			continue
+		}
+		entries = append(entries, entry{n, pid, seg, data, ""})
 	}
+	// Same-name copies (a crash between a pack write and source removal
+	// duplicates members as loose files) audit as one file when byte-identical
+	// — preferring the loose copy, which recovery can remove — and as damage
+	// when they conflict.
+	byName := make(map[string]int, len(entries))
+	deduped := entries[:0:0]
+	for _, e := range entries {
+		i, seen := byName[e.name]
+		if !seen {
+			byName[e.name] = len(deduped)
+			deduped = append(deduped, e)
+			continue
+		}
+		if !bytes.Equal(deduped[i].data, e.data) {
+			a.addPackDefect(DefectTampered, e.name, "copies differ between %s and %s",
+				packSrc(deduped[i].packed), packSrc(e.packed))
+			continue
+		}
+		if deduped[i].packed != "" && e.packed == "" {
+			deduped[i] = e
+		}
+	}
+	entries = deduped
 	pidOf := func(pid int) *pidAudit {
 		pa := a.pids[pid]
 		if pa == nil {
@@ -311,10 +403,11 @@ func (s *Store) audit(keepGraphs bool) (*storeAudit, error) {
 	}
 	for _, e := range entries {
 		pa := pidOf(e.pid)
-		f, err := s.auditOne(pa, e.name, e.seg, sums, keepGraphs)
+		f, err := s.auditOne(pa, e.name, e.seg, e.data, sums, keepGraphs)
 		if err != nil {
 			return nil, err
 		}
+		f.packed = e.packed
 		a.files++
 		if f.meta != nil {
 			a.sealed++
@@ -372,13 +465,17 @@ func (s *Store) audit(keepGraphs bool) (*storeAudit, error) {
 	return a, nil
 }
 
-// auditOne reads and integrity-checks a single store file.
-func (s *Store) auditOne(pa *pidAudit, name string, seg int, sums map[string][]byte, keepGraph bool) (*auditFile, error) {
-	path := filepath.ToSlash(filepath.Join(s.dir, name))
-	data, err := s.backend.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("core: reading %s: %w", name, err)
+// packSrc names where a duplicated file copy lives, for defect messages.
+func packSrc(pack string) string {
+	if pack == "" {
+		return "the store directory"
 	}
+	return pack
+}
+
+// auditOne integrity-checks a single store file (loose or a pack member —
+// the caller supplies the bytes either way).
+func (s *Store) auditOne(pa *pidAudit, name string, seg int, data []byte, sums map[string][]byte, keepGraph bool) (*auditFile, error) {
 	f := &auditFile{name: name, seg: seg, data: data, digest: fileDigest(data)}
 	codec, _ := segcodec.ByExt(filepath.Ext(name))
 	binary := len(codec.Magic()) > 0
@@ -629,6 +726,9 @@ func (pa *pidAudit) markDroppableTail() {
 		return
 	}
 	tail := pa.segs[len(pa.segs)-1]
+	if tail.packed != "" {
+		return // a packed member is not individually removable
+	}
 	tailNames := map[string]bool{tail.name: true, tail.name + chainSidecarExt: true}
 	for _, d := range pa.defects {
 		if d.Kind == DefectMissing || !tailNames[d.Name] {
@@ -657,9 +757,10 @@ func sortDefects(ds []Defect) {
 func (a *storeAudit) report(dir string) *VerifyReport {
 	rep := &VerifyReport{
 		Dir: dir, Processes: len(a.pids),
-		Files: a.files, Sealed: a.sealed, Segments: a.segments,
+		Files: a.files, Sealed: a.sealed, Segments: a.segments, Packs: a.packs,
 		Heads: make(map[int][32]byte, len(a.pids)),
 	}
+	rep.Defects = append(rep.Defects, a.packDefects...)
 	for pid, pa := range a.pids {
 		rep.Defects = append(rep.Defects, pa.defects...)
 		rep.Heads[pid] = pa.head

@@ -20,8 +20,16 @@ import (
 //	magic      4 bytes  'P' 'B' 'S' <version=0x01>
 //	dict frame          frame{ term dictionary block }
 //	triple frame        frame{ triple ID columns }
+//	stats frame         frame{ 'S' 'T' 'A' 0x01 ... }   optional (see stats.go)
+//	chain frame         frame{ 'C' 'H' 'N' 0x01 ... }   optional (see chain.go)
 //
 //	frame{payload} = uvarint(len(payload)) | payload | crc32-IEEE(payload), LE
+//
+// The encoder always writes the stats frame; files from before it existed
+// (or with the frame stripped) decode identically — stats only gate segment
+// pruning, never correctness. When present, the frame must byte-match the
+// stats recomputed from the decoded contents, so a decodable segment can
+// never carry stats that would prune wrongly.
 //
 // The dictionary block is the segment's delta of newly seen terms: every
 // distinct term the segment's triples use, exactly once, sorted in the
@@ -63,6 +71,14 @@ func (binCodec) EncodeTriples(w io.Writer, ts []rdf.Triple) error {
 
 // encodeTermTriples builds the segment-local dictionary by term value.
 func encodeTermTriples(w io.Writer, ts []rdf.Triple) error {
+	terms, tris := termTriples(ts)
+	return writeSegment(w, terms, tris)
+}
+
+// termTriples builds the canonically sorted segment-local term dictionary of
+// a triple slice plus the triples as local-ID rows (unsorted, undeduplicated
+// — writeSegment and ComputeGraphStats normalize them).
+func termTriples(ts []rdf.Triple) ([]rdf.Term, [][3]uint32) {
 	idx := make(map[rdf.Term]uint32, 3*len(ts)/2)
 	var terms []rdf.Term
 	collect := func(t rdf.Term) {
@@ -84,7 +100,7 @@ func encodeTermTriples(w io.Writer, ts []rdf.Triple) error {
 	for i, t := range ts {
 		tris[i] = [3]uint32{idx[t.S], idx[t.P], idx[t.O]}
 	}
-	return writeSegment(w, terms, tris)
+	return terms, tris
 }
 
 // EncodeRefs is the ID-space fast path: the segment-local dictionary is
@@ -125,10 +141,9 @@ func (binCodec) EncodeRefs(w io.Writer, refs []rdf.TripleID, src TermSource) err
 	return writeSegment(w, sorted, tris)
 }
 
-// writeSegment emits the framed segment: tris are local-ID triples (indexes
-// into terms), sorted and deduplicated here so output is deterministic and
-// identical whichever encode entry point produced them.
-func writeSegment(w io.Writer, terms []rdf.Term, tris [][3]uint32) error {
+// sortDedupTriples sorts local-ID triples into the canonical (s, p, o)
+// order and drops duplicates in place.
+func sortDedupTriples(tris [][3]uint32) [][3]uint32 {
 	sort.Slice(tris, func(i, j int) bool {
 		a, b := tris[i], tris[j]
 		if a[0] != b[0] {
@@ -145,7 +160,15 @@ func writeSegment(w io.Writer, terms []rdf.Term, tris [][3]uint32) error {
 			dedup = append(dedup, t)
 		}
 	}
-	tris = dedup
+	return dedup
+}
+
+// writeSegment emits the framed segment: tris are local-ID triples (indexes
+// into terms), sorted and deduplicated here so output is deterministic and
+// identical whichever encode entry point produced them. A stats frame
+// summarizing the segment (see SegStats) follows the triple block.
+func writeSegment(w io.Writer, terms []rdf.Term, tris [][3]uint32) error {
+	tris = sortDedupTriples(tris)
 
 	var dict bytes.Buffer
 	putUvarint(&dict, uint64(len(terms)))
@@ -182,10 +205,14 @@ func writeSegment(w io.Writer, terms []rdf.Term, tris [][3]uint32) error {
 		prevO = int64(t[2])
 	}
 
-	bw := bytes.NewBuffer(make([]byte, 0, len(pbsMagic)+dict.Len()+col.Len()+24))
+	st := ComputeStats(terms, tris)
+	sta := st.encode()
+
+	bw := bytes.NewBuffer(make([]byte, 0, len(pbsMagic)+dict.Len()+col.Len()+len(sta)+36))
 	bw.Write(pbsMagic)
 	writeFrame(bw, dict.Bytes())
 	writeFrame(bw, col.Bytes())
+	writeFrame(bw, sta)
 	_, err := w.Write(bw.Bytes())
 	return err
 }
@@ -210,25 +237,57 @@ func (binCodec) Decode(r io.Reader, into *rdf.Graph) error {
 	if err != nil {
 		return fmt.Errorf("%w: triple block: %w", ErrCorrupt, err)
 	}
-	if len(rest) != 0 {
-		// Exactly one trailing chain frame (the integrity seal appended by
-		// the store) is tolerated; anything else is structural damage.
-		chain, rest, err := readFrame(rest)
-		if err != nil {
-			return fmt.Errorf("%w: chain frame: %w", ErrCorrupt, err)
-		}
-		if _, err := parseChainPayload(chain); err != nil {
-			return fmt.Errorf("%w: chain frame: %v", ErrCorrupt, err)
-		}
-		if len(rest) != 0 {
+	// After the data frames: an optional stats frame, then an optional chain
+	// frame (the integrity seal appended by the store), in that order.
+	// Anything else is structural damage.
+	var statsPayload []byte
+	sawChain := false
+	for len(rest) != 0 {
+		if sawChain {
 			return fmt.Errorf("%w: %d trailing bytes after chain frame", ErrCorrupt, len(rest))
+		}
+		var fp []byte
+		fp, rest, err = readFrame(rest)
+		if err != nil {
+			return fmt.Errorf("%w: footer frame: %w", ErrCorrupt, err)
+		}
+		switch {
+		case bytes.HasPrefix(fp, staMagic):
+			if statsPayload != nil {
+				return fmt.Errorf("%w: duplicate stats frame", ErrCorrupt)
+			}
+			statsPayload = fp
+		case bytes.HasPrefix(fp, chainMagic):
+			if _, err := parseChainPayload(fp); err != nil {
+				return fmt.Errorf("%w: chain frame: %v", ErrCorrupt, err)
+			}
+			sawChain = true
+		default:
+			return fmt.Errorf("%w: unrecognized footer frame", ErrCorrupt)
 		}
 	}
 	terms, err := decodeDict(dict)
 	if err != nil {
 		return fmt.Errorf("%w: dictionary block: %v", ErrCorrupt, err)
 	}
-	if err := decodeTriples(cols, terms, into); err != nil {
+	ss, ps, os, err := decodeCols(cols, terms)
+	if err != nil {
+		return fmt.Errorf("%w: triple block: %v", ErrCorrupt, err)
+	}
+	if statsPayload != nil {
+		// The stats frame must be exactly what the encoder would derive from
+		// this content — a forged or stale summary could prune segments that
+		// still hold answers, so it is rejected instead of trusted.
+		tris := make([][3]uint32, len(ss))
+		for i := range tris {
+			tris[i] = [3]uint32{ss[i], ps[i], os[i]}
+		}
+		canon := ComputeStats(terms, tris)
+		if want := canon.encode(); !bytes.Equal(want, statsPayload) {
+			return fmt.Errorf("%w: stats frame does not match segment contents", ErrCorrupt)
+		}
+	}
+	if err := materializeTriples(terms, ss, ps, os, into); err != nil {
 		return fmt.Errorf("%w: triple block: %v", ErrCorrupt, err)
 	}
 	return nil
@@ -285,29 +344,29 @@ func decodeDict(p []byte) ([]rdf.Term, error) {
 	return terms, nil
 }
 
-// decodeTriples walks the delta-encoded ID columns and unions the
-// materialized triples into the graph in batches.
-func decodeTriples(p []byte, terms []rdf.Term, into *rdf.Graph) error {
+// decodeCols walks the delta-encoded ID columns into per-column local-ID
+// arrays, range-checking every ID against the dictionary.
+func decodeCols(p []byte, terms []rdf.Term) (ss, ps, os []uint32, err error) {
 	n, p, err := getUvarint(p)
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
 	// Three varints of at least one byte each per triple.
 	if n > uint64(len(p))/3+1 {
-		return fmt.Errorf("triple count %d exceeds payload", n)
+		return nil, nil, nil, fmt.Errorf("triple count %d exceeds payload", n)
 	}
 	nt := uint64(len(terms))
-	ss := make([]uint32, n)
+	ss = make([]uint32, n)
 	var s uint64
 	for i := range ss {
 		d, r, err := getUvarint(p)
 		if err != nil {
-			return fmt.Errorf("S column at %d: %v", i, err)
+			return nil, nil, nil, fmt.Errorf("S column at %d: %v", i, err)
 		}
 		p = r
 		s += d
 		if s >= nt {
-			return fmt.Errorf("S column at %d: term ID %d out of range (%d terms)", i, s, nt)
+			return nil, nil, nil, fmt.Errorf("S column at %d: term ID %d out of range (%d terms)", i, s, nt)
 		}
 		ss[i] = uint32(s)
 	}
@@ -328,21 +387,24 @@ func decodeTriples(p []byte, terms []rdf.Term, into *rdf.Graph) error {
 		}
 		return col, nil
 	}
-	ps, err := readCol("P")
-	if err != nil {
-		return err
+	if ps, err = readCol("P"); err != nil {
+		return nil, nil, nil, err
 	}
-	os, err := readCol("O")
-	if err != nil {
-		return err
+	if os, err = readCol("O"); err != nil {
+		return nil, nil, nil, err
 	}
 	if len(p) != 0 {
-		return fmt.Errorf("%d trailing bytes", len(p))
+		return nil, nil, nil, fmt.Errorf("%d trailing bytes", len(p))
 	}
+	return ss, ps, os, nil
+}
 
+// materializeTriples unions the decoded ID columns into the graph in
+// batches, validating RDF shape per triple.
+func materializeTriples(terms []rdf.Term, ss, ps, os []uint32, into *rdf.Graph) error {
 	const chunk = 1024
 	batch := make([]rdf.Triple, 0, chunk)
-	for i := uint64(0); i < n; i++ {
+	for i := range ss {
 		t := rdf.Triple{S: terms[ss[i]], P: terms[ps[i]], O: terms[os[i]]}
 		if !t.Valid() {
 			return fmt.Errorf("triple %d is not valid RDF (S kind %d, P kind %d, O kind %d)",

@@ -46,9 +46,9 @@ const chainRootFlag = 0x01
 func (c Chain) PrevIsZero() bool { return c.Prev == [32]byte{} }
 
 // AppendChain returns file with an embedded chain frame appended. file must
-// be a complete binary segment (magic + two frames); the result still
-// decodes via the binary codec, which tolerates exactly one trailing chain
-// frame.
+// be a complete binary segment (magic + data frames + optional stats frame);
+// the result still decodes via the binary codec, which tolerates exactly one
+// trailing chain frame.
 func AppendChain(file []byte, c Chain) []byte {
 	var p bytes.Buffer
 	p.Write(chainMagic)
@@ -109,6 +109,10 @@ func chainSplit(data []byte) (off int, c Chain, ok bool) {
 	}
 	if _, rest, _ = readFrame(rest); rest == nil {
 		return 0, Chain{}, false
+	}
+	// Skip the optional stats frame so the seal stays the final frame.
+	if fp, after, err := readFrame(rest); err == nil && bytes.HasPrefix(fp, staMagic) {
+		rest = after
 	}
 	off = len(data) - len(rest)
 	if len(rest) == 0 {

@@ -80,10 +80,13 @@ var (
 	Turtle Codec = ttlCodec{}
 	// Binary is the ID-space binary segment codec (.pbs).
 	Binary Codec = binCodec{}
+	// Pack is the leveled pack container (.psk) holding member store files
+	// verbatim; see pack.go.
+	Pack Codec = packCodec{}
 )
 
 // codecs holds the registry in registration order.
-var codecs = []Codec{NTriples, Turtle, Binary}
+var codecs = []Codec{NTriples, Turtle, Binary, Pack}
 
 // Register adds a codec to the registry. Codecs registered later win name
 // and extension collisions; built-ins are registered at init.

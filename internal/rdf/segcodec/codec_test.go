@@ -280,27 +280,33 @@ func TestBinaryDecodeCorruption(t *testing.T) {
 
 // TestBinaryTruncationExhaustive: EVERY strict prefix of a binary segment —
 // sealed or unsealed — must be rejected with an error wrapping ErrCorrupt.
-// The single exception is structural: cutting a sealed segment exactly at
-// its payload/seal boundary yields the valid unsealed payload. That prefix
-// is indistinguishable from a legacy file at codec level; the store auditor
-// closes it with chain analysis (internal/core verify).
+// The exceptions are structural frame boundaries: cutting at the end of the
+// triple frame yields a valid legacy (pre-stats) segment, and cutting a
+// sealed segment at its payload/seal boundary yields the valid unsealed
+// payload. Those prefixes are indistinguishable from older files at codec
+// level; the store auditor closes them with chain analysis (internal/core
+// verify).
 func TestBinaryTruncationExhaustive(t *testing.T) {
 	payload := validSegment(t)
+	legacy := StripStats(payload)
+	if len(legacy) == len(payload) {
+		t.Fatal("validSegment carries no stats frame")
+	}
 	sealed := AppendChain(payload, Chain{Seq: 3, Prev: [32]byte{9}})
 	cases := []struct {
-		name     string
-		data     []byte
-		boundary int // prefix length that legitimately decodes; -1 for none
+		name       string
+		data       []byte
+		boundaries map[int]bool // prefix lengths that legitimately decode
 	}{
-		{"unsealed", payload, -1},
-		{"sealed", sealed, len(payload)},
+		{"unsealed", payload, map[int]bool{len(legacy): true}},
+		{"sealed", sealed, map[int]bool{len(legacy): true, len(payload): true}},
 	}
 	for _, tc := range cases {
 		for n := 0; n < len(tc.data); n++ {
 			err := Binary.Decode(bytes.NewReader(tc.data[:n]), rdf.NewGraph())
-			if n == tc.boundary {
+			if tc.boundaries[n] {
 				if err != nil {
-					t.Errorf("%s: payload-boundary prefix must decode as unsealed: %v", tc.name, err)
+					t.Errorf("%s: frame-boundary prefix %d must decode as a legacy segment: %v", tc.name, n, err)
 				}
 				continue
 			}

@@ -1,0 +1,242 @@
+package segcodec
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// The pack container (.psk) is the on-disk form of the store's compacted
+// segment levels (DESIGN.md "Leveled segments & pushdown"): one file holding
+// many store files byte-for-byte verbatim, fronted by a header that carries
+// each member's name, extent, and stats block plus a pack-level stats union.
+//
+// Members travel verbatim on purpose: a packed segment's bytes — seal
+// included — are exactly what was audited before packing, so file digests,
+// chain links, and externally recorded chain heads survive leveled
+// compaction unchanged (the same property PR 7's verbatim relocation gives
+// cross-backend migration). The header exists for readers: per-member stats
+// let a pruned read skip members — or the whole pack — without fetching
+// member bytes, and member extents let a backend with range reads fetch only
+// the members a query needs.
+//
+// Layout:
+//
+//	magic      4 bytes  'P' 'S' 'K' <version=0x01>
+//	header frame        frame{ header block }
+//	member bytes        each member's verbatim file bytes, concatenated
+//
+//	header block:
+//	  uvarint level
+//	  uvarint memberCount
+//	  per member: uvarint nameLen | name | uvarint size
+//	              uvarint statsLen | stats payload      (0 = no stats)
+//	  uvarint packStatsLen | pack stats payload         (0 = no stats)
+//
+// Member names keep their original store-file names; opaque members (chain
+// sidecar files, which are not RDF) ride along for the auditor and are
+// skipped by Decode. Stats payloads reuse the 'STA\x01' encoding of the
+// segment stats frame.
+type packCodec struct{}
+
+var pskMagic = []byte{'P', 'S', 'K', 0x01}
+
+func (packCodec) Name() string  { return "psk" }
+func (packCodec) Ext() string   { return ".psk" }
+func (packCodec) Magic() []byte { return pskMagic }
+
+// Encode is not supported: packs hold files, not graphs. Build them with
+// EncodePack.
+func (packCodec) Encode(io.Writer, *rdf.Graph, *rdf.Namespaces) error {
+	return fmt.Errorf("segcodec: psk is a container format; build packs with EncodePack")
+}
+
+// Decode unions every RDF member of the pack into the graph, routing each
+// member through the codec its own magic bytes identify — so an exhaustive
+// (unpruned) read of a leveled store needs no pack-specific logic beyond
+// this method. Non-codec members (integrity sidecars) are skipped.
+func (packCodec) Decode(r io.Reader, into *rdf.Graph) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	h, err := DecodePackHeader(data)
+	if err != nil {
+		return err
+	}
+	if int64(len(data)) < h.WantSize {
+		return fmt.Errorf("%w: pack is %d bytes, header promises %d", ErrTruncated, len(data), h.WantSize)
+	}
+	if int64(len(data)) > h.WantSize {
+		return fmt.Errorf("%w: %d trailing bytes after pack body", ErrCorrupt, int64(len(data))-h.WantSize)
+	}
+	for _, m := range h.Members {
+		if _, ok := ByExt(filepath.Ext(m.Name)); !ok {
+			continue // opaque member (e.g. a chain sidecar)
+		}
+		seg := data[m.Off : m.Off+m.Size]
+		if err := Detect(seg).Decode(bytes.NewReader(seg), into); err != nil {
+			return fmt.Errorf("pack member %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+// PackEntry is one member handed to EncodePack.
+type PackEntry struct {
+	Name string
+	Data []byte
+	// Stats is the member's stats block (nil = none; the member then always
+	// matches during pruning).
+	Stats *SegStats
+}
+
+// PackMember is one member of a decoded pack header.
+type PackMember struct {
+	Name     string
+	Off      int64 // byte offset of the member's verbatim bytes in the pack file
+	Size     int64
+	Stats    SegStats
+	HasStats bool
+}
+
+// PackHeader is the decoded header of a pack file.
+type PackHeader struct {
+	Level   int
+	Members []PackMember
+	// Stats is the pack-level union (zero SegStats with HasStats false when
+	// absent): if it cannot match, no member can.
+	Stats    SegStats
+	HasStats bool
+	// BodyOff is where member bytes start; WantSize is the total file size
+	// the header implies.
+	BodyOff  int64
+	WantSize int64
+}
+
+// CanMatchMember reports whether a triple pattern could match the member —
+// always true for members without stats.
+func (m *PackMember) CanMatchMember(s, p, o *rdf.Term) bool {
+	return !m.HasStats || m.Stats.CanMatch(s, p, o)
+}
+
+// EncodePack writes a pack holding the entries verbatim. packStats is the
+// pack-level stats union (nil to omit). Nested packs are rejected: a pack
+// member must be an ordinary store file.
+func EncodePack(w io.Writer, level int, entries []PackEntry, packStats *SegStats) error {
+	if level < 1 {
+		return fmt.Errorf("segcodec: pack level %d out of range (levels start at 1)", level)
+	}
+	var h bytes.Buffer
+	putUvarint(&h, uint64(level))
+	putUvarint(&h, uint64(len(entries)))
+	var bodyLen int
+	for _, e := range entries {
+		if filepath.Ext(e.Name) == Pack.Ext() {
+			return fmt.Errorf("segcodec: pack member %s is itself a pack", e.Name)
+		}
+		putUvarint(&h, uint64(len(e.Name)))
+		h.WriteString(e.Name)
+		putUvarint(&h, uint64(len(e.Data)))
+		if e.Stats != nil {
+			sp := e.Stats.encode()
+			putUvarint(&h, uint64(len(sp)))
+			h.Write(sp)
+		} else {
+			putUvarint(&h, 0)
+		}
+		bodyLen += len(e.Data)
+	}
+	if packStats != nil {
+		sp := packStats.encode()
+		putUvarint(&h, uint64(len(sp)))
+		h.Write(sp)
+	} else {
+		putUvarint(&h, 0)
+	}
+
+	out := bytes.NewBuffer(make([]byte, 0, len(pskMagic)+h.Len()+bodyLen+16))
+	out.Write(pskMagic)
+	writeFrame(out, h.Bytes())
+	for _, e := range entries {
+		out.Write(e.Data)
+	}
+	_, err := w.Write(out.Bytes())
+	return err
+}
+
+// DecodePackHeader parses a pack's header from data, which may be just a
+// prefix of the file (the lazy-read path fetches the head of the pack and
+// retries with more bytes on ErrTruncated). Member offsets are absolute file
+// offsets; member bytes need not be present in data.
+func DecodePackHeader(data []byte) (*PackHeader, error) {
+	if !bytes.HasPrefix(data, pskMagic) {
+		if len(data) < len(pskMagic) && bytes.HasPrefix(pskMagic, data) {
+			return nil, fmt.Errorf("%w inside PSK magic", ErrTruncated)
+		}
+		return nil, fmt.Errorf("%w: missing PSK magic", ErrCorrupt)
+	}
+	rest := data[len(pskMagic):]
+	payload, rest, err := readFrame(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: pack header frame: %w", ErrCorrupt, err)
+	}
+	h := &PackHeader{BodyOff: int64(len(data) - len(rest))}
+
+	level, payload, err := getUvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: pack level: %v", ErrCorrupt, err)
+	}
+	h.Level = int(level)
+	count, payload, err := getUvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: pack member count: %v", ErrCorrupt, err)
+	}
+	// Every member costs at least 3 header bytes (three varints).
+	if count > uint64(len(payload))/3+1 {
+		return nil, fmt.Errorf("%w: member count %d exceeds header payload", ErrCorrupt, count)
+	}
+	off := h.BodyOff
+	h.Members = make([]PackMember, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var m PackMember
+		if m.Name, payload, err = getString(payload); err != nil {
+			return nil, fmt.Errorf("%w: member %d name: %v", ErrCorrupt, i, err)
+		}
+		var size uint64
+		if size, payload, err = getUvarint(payload); err != nil {
+			return nil, fmt.Errorf("%w: member %d size: %v", ErrCorrupt, i, err)
+		}
+		var sp string
+		if sp, payload, err = getString(payload); err != nil {
+			return nil, fmt.Errorf("%w: member %d stats: %v", ErrCorrupt, i, err)
+		}
+		if len(sp) > 0 {
+			if m.Stats, err = parseStatsPayload([]byte(sp)); err != nil {
+				return nil, fmt.Errorf("%w: member %d stats: %v", ErrCorrupt, i, err)
+			}
+			m.HasStats = true
+		}
+		m.Off, m.Size = off, int64(size)
+		off += int64(size)
+		h.Members = append(h.Members, m)
+	}
+	var sp string
+	if sp, payload, err = getString(payload); err != nil {
+		return nil, fmt.Errorf("%w: pack stats: %v", ErrCorrupt, err)
+	}
+	if len(sp) > 0 {
+		if h.Stats, err = parseStatsPayload([]byte(sp)); err != nil {
+			return nil, fmt.Errorf("%w: pack stats: %v", ErrCorrupt, err)
+		}
+		h.HasStats = true
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in pack header", ErrCorrupt, len(payload))
+	}
+	h.WantSize = off
+	return h, nil
+}

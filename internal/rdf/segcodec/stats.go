@@ -1,0 +1,465 @@
+package segcodec
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/hpc-io/prov-io/internal/rdf"
+)
+
+// SegStats is the per-segment statistics block behind query pushdown
+// (DESIGN.md "Leveled segments & pushdown"): a summary of what a segment can
+// possibly contain, cheap enough to consult without decoding the segment.
+// Binary segments carry it as a CRC32-framed 'STA\x01' frame between the
+// triple block and the chain seal; pack files additionally carry one per
+// member plus a pack-level union in their header.
+//
+// Every field is conservative: a reader may skip a segment only when the
+// stats PROVE no triple of interest can be inside. Absent fields (legacy
+// files, oversized boundary terms, too many predicates) always read as
+// "could match", so pruning can never drop results — at worst it decodes a
+// segment it did not need.
+//
+// The block holds:
+//
+//   - triple and term counts (a zero-triple segment matches nothing);
+//   - a zone map: the minimum and maximum term per column (S, P, O) in the
+//     canonical rdf.TermLess order — the dictionary is sorted in that order,
+//     so these are the terms of the smallest and largest local ID each
+//     column references;
+//   - the exact distinct-predicate list (capped; beyond the cap the list is
+//     omitted rather than truncated, which would be unsound);
+//   - a Bloom filter over every term in the segment's dictionary, so "does
+//     term X appear here at all" is answerable with no false negatives.
+type SegStats struct {
+	Triples uint64
+	Terms   uint64
+	// ZoneOK marks which per-column zone maps are present; Min/Max are the
+	// boundary terms of present columns. A column's zone map is omitted when
+	// a boundary term's value exceeds maxZoneValueLen (keeping the frame
+	// small and the comparison cheap).
+	ZoneOK   [3]bool
+	Min, Max [3]rdf.Term
+	// Preds is the exact distinct-predicate list in canonical term order,
+	// or nil when the segment has more than maxPredList distinct predicates
+	// (or the stats block predates the field).
+	Preds []rdf.Term
+	// Bloom is the term membership filter; an empty filter means absent.
+	Bloom Bloom
+}
+
+// staMagic leads the stats frame payload, distinguishing it from the chain
+// frame and from a stray data frame.
+var staMagic = []byte{'S', 'T', 'A', 0x01}
+
+const (
+	// maxZoneValueLen bounds the boundary-term values stored in a zone map;
+	// columns with longer boundaries omit their zone map (bloom still works).
+	maxZoneValueLen = 256
+	// maxPredList bounds the exact distinct-predicate list.
+	maxPredList = 64
+	// bloomBitsPerTerm and bloomHashes size the term filter for roughly a
+	// 1% false-positive rate.
+	bloomBitsPerTerm = 10
+	bloomHashes      = 7
+)
+
+// stats flag bits.
+const (
+	staZoneS = 1 << iota
+	staZoneP
+	staZoneO
+	staPreds
+	staBloom
+)
+
+// Bloom is a split Bloom filter over term identities (double hashing over a
+// 64-bit FNV-1a of the term's kind, value, language, and datatype).
+type Bloom struct {
+	K    uint8
+	Bits []byte
+}
+
+// Empty reports whether the filter is absent.
+func (b Bloom) Empty() bool { return len(b.Bits) == 0 }
+
+// newBloom returns a filter sized for n terms.
+func newBloom(n int) Bloom {
+	bits := n * bloomBitsPerTerm
+	if bits < 64 {
+		bits = 64
+	}
+	bits = (bits + 63) &^ 63
+	return Bloom{K: bloomHashes, Bits: make([]byte, bits/8)}
+}
+
+// termHash is the 64-bit FNV-1a over a term's identity.
+func termHash(t rdf.Term) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	step := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xFF // field separator outside the byte alphabet boundary
+		h *= prime
+	}
+	h ^= uint64(t.Kind)
+	h *= prime
+	step(t.Value)
+	step(t.Lang)
+	step(t.Datatype)
+	return h
+}
+
+// Add sets the term's bits.
+func (b Bloom) Add(t rdf.Term) {
+	h := termHash(t)
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	m := uint32(len(b.Bits) * 8)
+	for i := uint32(0); i < uint32(b.K); i++ {
+		idx := (h1 + i*h2) % m
+		b.Bits[idx/8] |= 1 << (idx % 8)
+	}
+}
+
+// Has reports whether the term may be in the set (false = definitely not).
+func (b Bloom) Has(t rdf.Term) bool {
+	if b.Empty() {
+		return true
+	}
+	h := termHash(t)
+	h1, h2 := uint32(h), uint32(h>>32)|1
+	m := uint32(len(b.Bits) * 8)
+	for i := uint32(0); i < uint32(b.K); i++ {
+		idx := (h1 + i*h2) % m
+		if b.Bits[idx/8]&(1<<(idx%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeStats derives the stats block of a segment from its sorted term
+// dictionary and its sorted, deduplicated local-ID triples — the exact
+// arrays writeSegment serializes, so encode and decode agree byte-for-byte
+// on the canonical stats frame.
+func ComputeStats(terms []rdf.Term, tris [][3]uint32) SegStats {
+	st := SegStats{Triples: uint64(len(tris)), Terms: uint64(len(terms))}
+	st.Bloom = newBloom(len(terms))
+	for _, t := range terms {
+		st.Bloom.Add(t)
+	}
+	if len(tris) == 0 {
+		st.Preds = []rdf.Term{}
+		return st
+	}
+	var mn, mx [3]uint32
+	for c := 0; c < 3; c++ {
+		mn[c], mx[c] = tris[0][c], tris[0][c]
+	}
+	predSet := make(map[uint32]bool)
+	for _, t := range tris {
+		for c := 0; c < 3; c++ {
+			if t[c] < mn[c] {
+				mn[c] = t[c]
+			}
+			if t[c] > mx[c] {
+				mx[c] = t[c]
+			}
+		}
+		predSet[t[1]] = true
+	}
+	// The dictionary is sorted in canonical term order, so the boundary
+	// local IDs map straight to boundary terms.
+	for c := 0; c < 3; c++ {
+		lo, hi := terms[mn[c]], terms[mx[c]]
+		if len(lo.Value) <= maxZoneValueLen && len(hi.Value) <= maxZoneValueLen {
+			st.ZoneOK[c] = true
+			st.Min[c], st.Max[c] = lo, hi
+		}
+	}
+	if len(predSet) <= maxPredList {
+		ids := make([]uint32, 0, len(predSet))
+		for id := range predSet {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		st.Preds = make([]rdf.Term, len(ids))
+		for i, id := range ids {
+			st.Preds[i] = terms[id]
+		}
+	}
+	return st
+}
+
+// ComputeGraphStats is ComputeStats over a whole graph — the pack encoder
+// uses it to build the pack-level union stats from its members' decoded
+// triples (text members included, which carry no stats of their own).
+func ComputeGraphStats(g *rdf.Graph) SegStats {
+	terms, tris := termTriples(g.Triples())
+	sortDedupTriples(tris)
+	return ComputeStats(terms, tris)
+}
+
+// encode renders the canonical stats frame payload.
+func (st *SegStats) encode() []byte {
+	var b bytes.Buffer
+	b.Write(staMagic)
+	putUvarint(&b, st.Triples)
+	putUvarint(&b, st.Terms)
+	var flags byte
+	for c := 0; c < 3; c++ {
+		if st.ZoneOK[c] {
+			flags |= staZoneS << c
+		}
+	}
+	if st.Preds != nil {
+		flags |= staPreds
+	}
+	if !st.Bloom.Empty() {
+		flags |= staBloom
+	}
+	b.WriteByte(flags)
+	for c := 0; c < 3; c++ {
+		if st.ZoneOK[c] {
+			putTerm(&b, st.Min[c])
+			putTerm(&b, st.Max[c])
+		}
+	}
+	if st.Preds != nil {
+		putUvarint(&b, uint64(len(st.Preds)))
+		for _, p := range st.Preds {
+			putTerm(&b, p)
+		}
+	}
+	if !st.Bloom.Empty() {
+		b.WriteByte(st.Bloom.K)
+		putUvarint(&b, uint64(len(st.Bloom.Bits)))
+		b.Write(st.Bloom.Bits)
+	}
+	return b.Bytes()
+}
+
+// parseStatsPayload decodes a stats frame payload (after the CRC check).
+func parseStatsPayload(p []byte) (SegStats, error) {
+	var st SegStats
+	if !bytes.HasPrefix(p, staMagic) {
+		return st, fmt.Errorf("missing stats magic")
+	}
+	p = p[len(staMagic):]
+	var err error
+	if st.Triples, p, err = getUvarint(p); err != nil {
+		return st, fmt.Errorf("triple count: %v", err)
+	}
+	if st.Terms, p, err = getUvarint(p); err != nil {
+		return st, fmt.Errorf("term count: %v", err)
+	}
+	if len(p) == 0 {
+		return st, fmt.Errorf("missing flags byte")
+	}
+	flags := p[0]
+	p = p[1:]
+	if flags&^(staZoneS|staZoneP|staZoneO|staPreds|staBloom) != 0 {
+		return st, fmt.Errorf("unknown stats flags %#02x", flags)
+	}
+	for c := 0; c < 3; c++ {
+		if flags&(staZoneS<<c) == 0 {
+			continue
+		}
+		st.ZoneOK[c] = true
+		if st.Min[c], p, err = getTerm(p); err != nil {
+			return st, fmt.Errorf("zone %d min: %v", c, err)
+		}
+		if st.Max[c], p, err = getTerm(p); err != nil {
+			return st, fmt.Errorf("zone %d max: %v", c, err)
+		}
+	}
+	if flags&staPreds != 0 {
+		var n uint64
+		if n, p, err = getUvarint(p); err != nil {
+			return st, fmt.Errorf("predicate count: %v", err)
+		}
+		if n > maxPredList {
+			return st, fmt.Errorf("predicate list of %d exceeds cap %d", n, maxPredList)
+		}
+		st.Preds = make([]rdf.Term, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var t rdf.Term
+			if t, p, err = getTerm(p); err != nil {
+				return st, fmt.Errorf("predicate %d: %v", i, err)
+			}
+			st.Preds = append(st.Preds, t)
+		}
+	}
+	if flags&staBloom != 0 {
+		if len(p) == 0 {
+			return st, fmt.Errorf("missing bloom k byte")
+		}
+		st.Bloom.K = p[0]
+		p = p[1:]
+		var n uint64
+		if n, p, err = getUvarint(p); err != nil {
+			return st, fmt.Errorf("bloom size: %v", err)
+		}
+		if st.Bloom.K == 0 || n == 0 || n > uint64(len(p)) {
+			return st, fmt.Errorf("bloom of %d bytes exceeds remaining %d", n, len(p))
+		}
+		st.Bloom.Bits = append([]byte(nil), p[:n]...)
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return st, fmt.Errorf("%d trailing bytes", len(p))
+	}
+	return st, nil
+}
+
+// putTerm serializes one term (kind, value, and literal tags).
+func putTerm(b *bytes.Buffer, t rdf.Term) {
+	b.WriteByte(byte(t.Kind))
+	putUvarint(b, uint64(len(t.Value)))
+	b.WriteString(t.Value)
+	if t.Kind == rdf.LiteralTerm {
+		putUvarint(b, uint64(len(t.Lang)))
+		b.WriteString(t.Lang)
+		putUvarint(b, uint64(len(t.Datatype)))
+		b.WriteString(t.Datatype)
+	}
+}
+
+// getTerm deserializes one putTerm-encoded term.
+func getTerm(p []byte) (rdf.Term, []byte, error) {
+	var t rdf.Term
+	if len(p) == 0 {
+		return t, nil, fmt.Errorf("missing kind byte")
+	}
+	t.Kind = rdf.TermKind(p[0])
+	p = p[1:]
+	if t.Kind != rdf.IRITerm && t.Kind != rdf.BlankTerm && t.Kind != rdf.LiteralTerm {
+		return t, nil, fmt.Errorf("invalid term kind %d", t.Kind)
+	}
+	var err error
+	if t.Value, p, err = getString(p); err != nil {
+		return t, nil, err
+	}
+	if t.Kind == rdf.LiteralTerm {
+		if t.Lang, p, err = getString(p); err != nil {
+			return t, nil, err
+		}
+		if t.Datatype, p, err = getString(p); err != nil {
+			return t, nil, err
+		}
+	}
+	return t, p, nil
+}
+
+// inZone reports whether t can lie inside column c's zone map (true when the
+// column has no zone map).
+func (st *SegStats) inZone(c int, t rdf.Term) bool {
+	if !st.ZoneOK[c] {
+		return true
+	}
+	return !rdf.TermLess(t, st.Min[c]) && !rdf.TermLess(st.Max[c], t)
+}
+
+// CanMatch reports whether a triple pattern (nil = wildcard per position)
+// could match any triple of the segment. False means provably no match, so
+// the segment may be skipped without decoding.
+func (st *SegStats) CanMatch(s, p, o *rdf.Term) bool {
+	if st.Triples == 0 {
+		return false
+	}
+	if p != nil && st.Preds != nil {
+		found := false
+		for _, t := range st.Preds {
+			if t == *p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for c, t := range []*rdf.Term{s, p, o} {
+		if t == nil {
+			continue
+		}
+		if !st.Bloom.Has(*t) {
+			return false
+		}
+		if !st.inZone(c, *t) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanContainNode reports whether the term could appear in the segment's
+// subject or object column — the probe the pruned lineage traversal uses for
+// frontier nodes (edges and annotations both touch a node as S or O).
+func (st *SegStats) CanContainNode(t rdf.Term) bool {
+	if st.Triples == 0 {
+		return false
+	}
+	if !st.Bloom.Has(t) {
+		return false
+	}
+	return st.inZone(0, t) || st.inZone(2, t)
+}
+
+// StatsOf extracts the embedded stats frame of a binary segment file.
+// ok is false for legacy (pre-stats), non-binary, or damaged files — the
+// always-match answer, so callers degrade to decoding.
+func StatsOf(data []byte) (SegStats, bool) {
+	payload, _, ok := statsSplit(data)
+	if !ok {
+		return SegStats{}, false
+	}
+	st, err := parseStatsPayload(payload)
+	if err != nil {
+		return SegStats{}, false
+	}
+	return st, true
+}
+
+// statsSplit locates the stats frame of a binary segment: payload is the
+// frame payload, off the byte offset where the frame starts. ok is false
+// when no structurally valid stats frame is present.
+func statsSplit(data []byte) (payload []byte, off int, ok bool) {
+	if !bytes.HasPrefix(data, pbsMagic) {
+		return nil, 0, false
+	}
+	rest := data[len(pbsMagic):]
+	if _, rest, _ = readFrame(rest); rest == nil {
+		return nil, 0, false
+	}
+	if _, rest, _ = readFrame(rest); rest == nil {
+		return nil, 0, false
+	}
+	off = len(data) - len(rest)
+	payload, _, err := readFrame(rest)
+	if err != nil || !bytes.HasPrefix(payload, staMagic) {
+		return nil, 0, false
+	}
+	return payload, off, true
+}
+
+// StripStats returns data without its embedded stats frame (data itself when
+// none is present) — the pre-stats payload form, used by canonicality checks
+// that compare across format generations.
+func StripStats(data []byte) []byte {
+	payload, off, ok := statsSplit(data)
+	if !ok {
+		return data
+	}
+	var lenBytes bytes.Buffer
+	putUvarint(&lenBytes, uint64(len(payload)))
+	frameLen := lenBytes.Len() + len(payload) + 4
+	out := make([]byte, 0, len(data)-frameLen)
+	out = append(out, data[:off]...)
+	out = append(out, data[off+frameLen:]...)
+	return out
+}

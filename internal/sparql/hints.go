@@ -1,0 +1,85 @@
+package sparql
+
+import "github.com/hpc-io/prov-io/internal/rdf"
+
+// PrunePatterns derives the query's segment-pushdown hint: the union of
+// every triple pattern its WHERE clause could touch, as (S, P, O) triples
+// with nil in unbound positions. The store's segment pruner may skip a
+// segment only when NO returned pattern can match it — triples matching no
+// pattern cannot participate in any binding, so the query's results over the
+// pruned store equal the results over the full store.
+//
+// Property paths decompose per step: in a sequence path only the first step
+// sees the subject binding and only the last sees the object, intermediate
+// nodes are unbound, and an inverse step (^iri) swaps its subject and object
+// sides. ok is false — prune nothing — when any step carries a cardinality
+// modifier (*, +, ?): zero-length paths match node-to-itself without
+// touching any triple, so their results depend on the graph's node domain,
+// which pruning would shrink.
+func (q *Query) PrunePatterns() ([][3]*rdf.Term, bool) {
+	if q.Where == nil {
+		return nil, true
+	}
+	var pats [][3]*rdf.Term
+	if !collectPrunePatterns(q.Where, &pats) {
+		return nil, false
+	}
+	return pats, true
+}
+
+func collectPrunePatterns(g *Group, out *[][3]*rdf.Term) bool {
+	for _, e := range g.Elems {
+		switch e := e.(type) {
+		case TriplePattern:
+			if !patternHints(e, out) {
+				return false
+			}
+		case OptionalElem:
+			if !collectPrunePatterns(e.Group, out) {
+				return false
+			}
+		case UnionElem:
+			for _, alt := range e.Alternatives {
+				if !collectPrunePatterns(alt, out) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func patternHints(tp TriplePattern, out *[][3]*rdf.Term) bool {
+	var s, o *rdf.Term
+	if !tp.S.IsVar() {
+		t := tp.S.Term
+		s = &t
+	}
+	if !tp.O.IsVar() {
+		t := tp.O.Term
+		o = &t
+	}
+	if tp.P.IsVar() || len(tp.P.Steps) == 0 {
+		*out = append(*out, [3]*rdf.Term{s, nil, o})
+		return true
+	}
+	steps := tp.P.Steps
+	for i, st := range steps {
+		if st.Mod != PathOnce {
+			return false
+		}
+		var ss, oo *rdf.Term
+		if i == 0 {
+			ss = s
+		}
+		if i == len(steps)-1 {
+			oo = o
+		}
+		p := st.IRI
+		if st.Inverse {
+			ss, oo = oo, ss
+		}
+		*out = append(*out, [3]*rdf.Term{ss, &p, oo})
+	}
+	return true
+}

@@ -1,0 +1,104 @@
+package sparql
+
+import (
+	"testing"
+)
+
+func parseQ(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func TestPrunePatternsBasic(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s <urn:p> "x" . <urn:a> ?p ?o }`)
+	pats, ok := q.PrunePatterns()
+	if !ok || len(pats) != 2 {
+		t.Fatalf("ok=%v pats=%d, want 2 patterns", ok, len(pats))
+	}
+	if pats[0][0] != nil || pats[0][1] == nil || pats[0][1].Value != "urn:p" || pats[0][2] == nil {
+		t.Fatalf("pattern 0 = %v", pats[0])
+	}
+	if pats[1][0] == nil || pats[1][0].Value != "urn:a" || pats[1][1] != nil || pats[1][2] != nil {
+		t.Fatalf("pattern 1 = %v", pats[1])
+	}
+}
+
+func TestPrunePatternsOptionalAndUnion(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE {
+		?s <urn:p> ?o .
+		OPTIONAL { ?s <urn:q> ?n }
+		{ ?s <urn:r1> ?x } UNION { ?s <urn:r2> ?x }
+	}`)
+	pats, ok := q.PrunePatterns()
+	if !ok || len(pats) != 4 {
+		t.Fatalf("ok=%v pats=%d, want 4 patterns (OPTIONAL and UNION included)", ok, len(pats))
+	}
+	preds := map[string]bool{}
+	for _, p := range pats {
+		if p[1] != nil {
+			preds[p[1].Value] = true
+		}
+	}
+	for _, want := range []string{"urn:p", "urn:q", "urn:r1", "urn:r2"} {
+		if !preds[want] {
+			t.Errorf("predicate %s missing from hint", want)
+		}
+	}
+}
+
+func TestPrunePatternsSequencePath(t *testing.T) {
+	q := parseQ(t, `SELECT ?o WHERE { <urn:a> <urn:p>/<urn:q> ?o }`)
+	pats, ok := q.PrunePatterns()
+	if !ok || len(pats) != 2 {
+		t.Fatalf("ok=%v pats=%d, want per-step decomposition", ok, len(pats))
+	}
+	// Step 1: subject bound, object (the intermediate node) unbound.
+	if pats[0][0] == nil || pats[0][0].Value != "urn:a" || pats[0][1].Value != "urn:p" || pats[0][2] != nil {
+		t.Fatalf("step 1 = %v", pats[0])
+	}
+	// Step 2: subject unbound, object is the pattern object (a variable here).
+	if pats[1][0] != nil || pats[1][1].Value != "urn:q" || pats[1][2] != nil {
+		t.Fatalf("step 2 = %v", pats[1])
+	}
+}
+
+func TestPrunePatternsInversePath(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s ^<urn:p> <urn:a> }`)
+	pats, ok := q.PrunePatterns()
+	if !ok || len(pats) != 1 {
+		t.Fatalf("ok=%v pats=%d", ok, len(pats))
+	}
+	// ^iri traverses object→subject: the bound <urn:a> sits in the SUBJECT
+	// position of the underlying triples.
+	if pats[0][0] == nil || pats[0][0].Value != "urn:a" || pats[0][2] != nil {
+		t.Fatalf("inverse step = %v", pats[0])
+	}
+}
+
+func TestPrunePatternsModifierBails(t *testing.T) {
+	for _, src := range []string{
+		`SELECT ?o WHERE { <urn:a> <urn:p>* ?o }`,
+		`SELECT ?o WHERE { <urn:a> <urn:p>+ ?o }`,
+		`SELECT ?o WHERE { <urn:a> <urn:p>? ?o }`,
+	} {
+		q := parseQ(t, src)
+		if pats, ok := q.PrunePatterns(); ok {
+			t.Errorf("%s: ok=true (pats=%d), want bail — zero/extended-length paths must disable pruning", src, len(pats))
+		}
+	}
+}
+
+func TestPrunePatternsLiteralObject(t *testing.T) {
+	q := parseQ(t, `SELECT ?s WHERE { ?s <urn:p> 42 }`)
+	pats, ok := q.PrunePatterns()
+	if !ok || len(pats) != 1 || pats[0][2] == nil {
+		t.Fatalf("ok=%v pats=%v", ok, pats)
+	}
+	if !pats[0][2].IsLiteral() {
+		t.Fatalf("object hint is not a literal: %v", pats[0][2])
+	}
+}
