@@ -43,6 +43,7 @@ var (
 	TypedLiteral = rdf.TypedLiteral
 	Integer      = rdf.Integer
 	Double       = rdf.Double
+	Decimal      = rdf.Decimal
 	Boolean      = rdf.Boolean
 )
 
@@ -209,9 +210,19 @@ func NewTracker(cfg *Config, store *Store, pid int) *Tracker {
 }
 
 // ReduceLineage extracts the provenance sub-graph within maxHops lineage
-// edges of the roots (provenance reduction; maxHops<=0 is unbounded).
+// edges of the roots (provenance reduction; maxHops<=0 is unbounded). The
+// closure is memoized on the graph's current snapshot — a repeat against an
+// unchanged graph is served from the cache, and any Add/Remove invalidates
+// it. Treat the returned graph as read-only; use ReduceLineageUncached for
+// a private copy.
 func ReduceLineage(g *Graph, roots []Term, maxHops int) *Graph {
 	return core.ReduceLineage(g, roots, maxHops)
+}
+
+// ReduceLineageUncached is ReduceLineage without the snapshot memo: the
+// caller owns the returned graph.
+func ReduceLineageUncached(g *Graph, roots []Term, maxHops int) *Graph {
+	return core.ReduceLineageUncached(g, roots, maxHops)
 }
 
 // ---- Leveled segments & statistics pushdown ----
@@ -458,12 +469,23 @@ func Query(g *Graph, query string) (*QueryResult, error) {
 	return sparql.Exec(g, query, model.Namespaces())
 }
 
-// QueryParallel is Query with morsel-driven parallel execution: the query's
-// leading index scan is partitioned across `workers` goroutines over the
-// same snapshot. Results are identical — row for row — to Query; workers <=
-// 1 (or a plan the morsel scan cannot cover) is the serial path.
+// QueryParallel is Query with morsel-driven parallel execution: the plan's
+// leading operator (index scan, property path, or each UNION alternative)
+// is partitioned across `workers` goroutines over the same snapshot.
+// Results are identical — byte for byte — to Query; workers <= 1 is the
+// serial path.
 func QueryParallel(g *Graph, query string, workers int) (*QueryResult, error) {
 	return sparql.ExecParallel(g, query, model.Namespaces(), workers)
+}
+
+// QueryInfo reports how a query was served: from the epoch-keyed result
+// cache, by the parallel executor (with task count), or serially (with the
+// named reason).
+type QueryInfo = sparql.ExecInfo
+
+// QueryParallelInfo is QueryParallel exposing the execution report.
+func QueryParallelInfo(g *Graph, query string, workers int) (*QueryResult, QueryInfo, error) {
+	return sparql.ExecParallelInfo(g, query, model.Namespaces(), workers)
 }
 
 // ParseQuery parses a SPARQL SELECT query without evaluating it.
@@ -475,6 +497,13 @@ func ParseQuery(query string) (*sparql.Query, error) {
 // EXPLAIN rendering — the cardinality-ordered join plan — without executing.
 func ExplainQuery(g *Graph, query string) (string, error) {
 	return sparql.Explain(g, query, model.Namespaces())
+}
+
+// ExplainQueryWorkers is ExplainQuery plus the parallel-execution decision
+// for the given worker count: the task decomposition, or the named reason
+// the plan would run serially.
+func ExplainQueryWorkers(g *Graph, query string, workers int) (string, error) {
+	return sparql.ExplainWorkers(g, query, model.Namespaces(), workers)
 }
 
 // VizOptions controls DOT rendering.

@@ -56,7 +56,7 @@ func main() {
 	case "ablations":
 		ids = []string{"abl-flush", "abl-pipeline", "abl-granularity", "abl-format",
 			"abl-guid", "abl-query", "abl-ingest", "abl-codec", "abl-parallel-query",
-			"abl-integrity", "abl-backend"}
+			"abl-sparql", "abl-integrity", "abl-backend"}
 	default:
 		ids = strings.Split(*exp, ",")
 	}

@@ -14,9 +14,13 @@
 // The prov/provio/rdf/xsd prefixes are pre-bound; queries may add more with
 // PREFIX declarations. -plan prints the planner's cardinality-ordered join
 // plan (EXPLAIN) without executing the query, preceded by the pushdown
-// report (segments decoded vs skipped, per level). -workers N evaluates with
-// the morsel-driven parallel executor (N > 1); results are identical to
-// serial. -cpuprofile/-memprofile write pprof profiles of the run.
+// report (segments decoded vs skipped, per level); the plan ends with the
+// parallel-execution decision for -workers — the task decomposition, or the
+// named reason the plan runs serially. -workers N evaluates with the
+// morsel-driven parallel executor (N > 1); results are byte-identical to
+// serial. -repeat N runs the query N times in-process, exercising the
+// epoch-keyed result cache; each run reports how it was served on stderr.
+// -cpuprofile/-memprofile write pprof profiles of the run.
 //
 // Loading goes through statistics pushdown: segments (and whole packs) whose
 // zone maps, predicate lists, and Bloom filters prove the query's patterns
@@ -44,6 +48,7 @@ func main() {
 	plan := flag.Bool("plan", false, "print the pushdown report and query plan (EXPLAIN) instead of executing")
 	noPrune := flag.Bool("no-prune", false, "disable segment-statistics pushdown (decode every segment)")
 	workers := flag.Int("workers", 1, "parallel query workers (1 = serial executor)")
+	repeat := flag.Int("repeat", 1, "run the query this many times in-process (cache demo)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	flag.Parse()
@@ -81,7 +86,7 @@ func main() {
 	}
 	if *plan {
 		fmt.Printf("pushdown: %s\n", scan)
-		out, err := provio.ExplainQuery(g, query)
+		out, err := provio.ExplainQueryWorkers(g, query, *workers)
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -90,7 +95,20 @@ func main() {
 	}
 
 	stopCPU := startCPUProfile(*cpuprofile)
-	res, err := provio.QueryParallel(g, query, *workers)
+	var res *provio.QueryResult
+	var info provio.QueryInfo
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	for i := 1; i <= *repeat; i++ {
+		res, info, err = provio.QueryParallelInfo(g, query, *workers)
+		if err != nil {
+			break
+		}
+		if *repeat > 1 {
+			fmt.Fprintf(os.Stderr, "run %d/%d: %d solution(s); %s\n", i, *repeat, len(res.Rows), info.Summary())
+		}
+	}
 	stopCPU()
 	if err != nil {
 		fatalf("%v", err)
@@ -117,7 +135,7 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples; %s\n", len(res.Rows), g.Len(), scan)
+	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples; %s; %s\n", len(res.Rows), g.Len(), info.Summary(), scan)
 }
 
 func renderTerm(t provio.Term, ns *provio.Namespaces) string {

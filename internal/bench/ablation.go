@@ -240,7 +240,8 @@ func AblationQuery(s Scale) (*Report, error) {
 		return nil, err
 	}
 	idT, err := timeQuery(rounds, func() error {
-		core.ReduceLineage(g, []rdf.Term{product}, 0)
+		// Uncached: this row compares the traversals, not the snapshot memo.
+		core.ReduceLineageUncached(g, []rdf.Term{product}, 0)
 		return nil
 	})
 	if err != nil {

@@ -39,6 +39,7 @@ var registry = map[string]Runner{
 	"abl-ingest":         AblationIngest,
 	"abl-codec":          AblationCodec,
 	"abl-parallel-query": AblationParallelQuery,
+	"abl-sparql":         AblationSPARQL,
 	"abl-integrity":      AblationIntegrity,
 	"abl-backend":        AblationBackend,
 	"abl-lsm":            AblationLSM,

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/sparql"
+	"github.com/hpc-io/prov-io/internal/vfs"
+	"github.com/hpc-io/prov-io/internal/workloads/dassa"
+)
+
+// sparqlRow is one measurement in the BENCH_sparql.json artifact.
+type sparqlRow struct {
+	Section string `json:"section"`
+	Variant string `json:"variant"`
+	Millis  string `json:"ms"`
+	Note    string `json:"note,omitempty"`
+}
+
+// AblationSPARQL measures what this PR's unified-operator-tree engine adds
+// on top of the morsel-parallel executor (abl-parallel-query):
+//
+//  1. Aggregation: a GROUP BY/COUNT dashboard query end-to-end in the
+//     ID-space engine, serial vs parallel, against the term-space legacy
+//     oracle running the same aggregation.
+//  2. Result cache: the same query cold (full execution) vs repeated
+//     against an unchanged graph (served from the epoch-keyed snapshot
+//     memo). The cache gate — a cached repeat >= 10x cheaper than cold —
+//     is CPU-count independent and is asserted in the artifact.
+//  3. Parallel UNION: a two-alternative UNION that previous engines ran
+//     serially, at 1/2/4/8 workers. Multi-worker speedup needs real cores;
+//     on a 1-vCPU runner this section reports overhead, and the artifact's
+//     acceptance section says so (as in abl-parallel-query).
+//
+// The report's artifact is BENCH_sparql.json.
+func AblationSPARQL(s Scale) (*Report, error) {
+	files := 32
+	if s == ScalePaper {
+		files = 128
+	}
+	dassaCfg := dassa.Config{Files: files, Ranks: 4, Lineage: dassa.AttrLineage}
+	store := vfs.NewStore()
+	if err := dassa.GenerateInputs(store.NewView(), dassaCfg); err != nil {
+		return nil, err
+	}
+	dres, err := dassa.Run(store, dassaCfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := dres.Store.Merge()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Report{
+		ID:      "abl-sparql",
+		Title:   "Ablation: operator-tree engine — aggregates, result cache, parallel UNION",
+		Columns: []string{"section", "variant", "ms", "note"},
+		Notes: []string{
+			"aggregate = GROUP BY/COUNT over the merged DASSA provenance graph; legacy = term-space oracle",
+			"cache rows compare a cold execution against a repeat served from the epoch-keyed snapshot memo",
+			fmt.Sprintf("GOMAXPROCS=%d here; multi-worker UNION rows show overhead, not speedup, below 2 cores", runtime.GOMAXPROCS(0)),
+		},
+		ArtifactName: "BENCH_sparql.json",
+	}
+	var rows []sparqlRow
+	add := func(section, variant string, d time.Duration, note string) {
+		rows = append(rows, sparqlRow{Section: section, Variant: variant, Millis: fmtMillis(d), Note: note})
+		r.AddRow(section, variant, fmtMillis(d), note)
+	}
+
+	const rounds = 20
+	ns := model.Namespaces()
+
+	// 1. Aggregation: per-API read counts, the dashboard query from README.
+	aggText := `SELECT ?api (COUNT(?file) AS ?reads) WHERE {
+		?file provio:wasReadBy ?api .
+	} GROUP BY ?api ORDER BY ?api`
+	aggQ, err := sparql.Parse(aggText, ns)
+	if err != nil {
+		return nil, err
+	}
+	legacyT, err := timeQuery(rounds, func() error {
+		_, err := sparql.EvalLegacy(g, aggQ)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	serialT, err := timeQuery(rounds, func() error {
+		_, err := sparql.Eval(g, aggQ)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	parT, err := timeQuery(rounds, func() error {
+		_, err := sparql.EvalParallel(g, aggQ, 4)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	add("aggregate", "legacy term-space", legacyT, "")
+	add("aggregate", "operator tree serial", serialT, fmtSpeedup(legacyT, serialT)+" vs legacy")
+	add("aggregate", "operator tree w=4", parT, fmtSpeedup(legacyT, parT)+" vs legacy")
+
+	// 2. Result cache: cold execution vs epoch-keyed repeat. Eval bypasses
+	// the cache (it always executes); Exec serves repeats from the snapshot
+	// memo after the warming run.
+	coldT, err := timeQuery(rounds, func() error {
+		_, err := sparql.Eval(g, aggQ)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, info, err := sparql.ExecParallelInfo(g, aggText, ns, 1); err != nil {
+		return nil, err
+	} else if info.CacheHit {
+		return nil, fmt.Errorf("abl-sparql: warming run reported a cache hit")
+	}
+	var lastInfo sparql.ExecInfo
+	cachedT, err := timeQuery(rounds, func() error {
+		_, info, err := sparql.ExecParallelInfo(g, aggText, ns, 1)
+		lastInfo = info
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !lastInfo.CacheHit {
+		return nil, fmt.Errorf("abl-sparql: repeated query against an unchanged graph was not served from the cache")
+	}
+	cacheSpeedup := float64(coldT) / float64(cachedT)
+	cachePass := cacheSpeedup >= 10
+	if !cachePass {
+		return nil, fmt.Errorf("abl-sparql: cached repeat only %.2fx cheaper than cold (%s vs %s ms), gate is >=10x",
+			cacheSpeedup, fmtMillis(cachedT), fmtMillis(coldT))
+	}
+	add("result cache", "cold execution", coldT, "")
+	add("result cache", "cached repeat", cachedT,
+		fmt.Sprintf("%s vs cold (gate >=10.00x: %v)", fmtSpeedup(coldT, cachedT), cachePass))
+
+	// 3. Parallel UNION: both alternatives are parallel-sized scans; the
+	// decomposition runs them as independent task lists.
+	unionText := `SELECT ?f ?api WHERE {
+		{ ?f provio:wasReadBy ?api } UNION { ?f provio:wasWrittenBy ?api }
+	}`
+	unionQ, err := sparql.Parse(unionText, ns)
+	if err != nil {
+		return nil, err
+	}
+	var union1 time.Duration
+	for _, w := range parallelQueryWorkers {
+		w := w
+		d, err := timeQuery(rounds, func() error {
+			_, err := sparql.EvalParallel(g, unionQ, w)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		note := ""
+		if w == 1 {
+			union1 = d
+		} else {
+			note = fmtSpeedup(union1, d) + " vs w=1"
+		}
+		add("parallel UNION", fmt.Sprintf("w=%d", w), d, note)
+	}
+
+	artifact, err := sparqlArtifactJSON(rows, cacheSpeedup, cachePass)
+	if err != nil {
+		return nil, err
+	}
+	r.Artifact = artifact
+	return r, nil
+}
+
+func sparqlArtifactJSON(rows []sparqlRow, cacheSpeedup float64, cachePass bool) (string, error) {
+	acceptance := fmt.Sprintf(
+		"cache gate PASS: cached repeat %.2fx cheaper than cold execution (gate >=10x; CPU-count independent). ", cacheSpeedup)
+	if !cachePass {
+		acceptance = fmt.Sprintf(
+			"cache gate FAIL: cached repeat only %.2fx cheaper than cold execution (gate >=10x). ", cacheSpeedup)
+	}
+	acceptance += "The parallel-UNION speedup gate is not measurable on a 1-vCPU runner: with no spare cores the " +
+		"worker ladder measures the task-decomposition overhead instead of speedup (see abl-parallel-query); " +
+		"byte-identity of the parallel UNION/path/aggregate results is asserted by the repository's parity tests, " +
+		"not timed here."
+	doc := struct {
+		Experiment  string            `json:"experiment"`
+		Environment map[string]string `json:"environment"`
+		Rows        []sparqlRow       `json:"measurements"`
+		Acceptance  string            `json:"acceptance"`
+		Notes       []string          `json:"notes"`
+	}{
+		Experiment: "abl-sparql: unified operator tree — aggregate pushdown, epoch-keyed result cache, parallel UNION",
+		Environment: map[string]string{
+			"goos": runtime.GOOS, "goarch": runtime.GOARCH,
+			"go":         runtime.Version(),
+			"num_cpu":    fmt.Sprint(runtime.NumCPU()),
+			"gomaxprocs": fmt.Sprint(runtime.GOMAXPROCS(0)),
+		},
+		Rows:       rows,
+		Acceptance: acceptance,
+		Notes: []string{
+			"aggregate: avg of 20 rounds of the GROUP BY/COUNT dashboard query on the quiescent merged DASSA graph",
+			"result cache: cold = Eval (always executes); cached = Exec repeat keyed on the snapshot (watermark, removeEpoch) pair — any Add/Remove moves the pair and invalidates",
+			"parallel UNION: each alternative flattens into its own morselized scan task; no serial fallback",
+		},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
+}

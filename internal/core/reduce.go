@@ -1,6 +1,9 @@
 package core
 
 import (
+	"strconv"
+	"strings"
+
 	"github.com/hpc-io/prov-io/internal/model"
 	"github.com/hpc-io/prov-io/internal/rdf"
 )
@@ -24,9 +27,57 @@ import (
 // while ingest continues.
 //
 // maxHops <= 0 means unbounded (full connected component).
+//
+// The closure is memoized on the graph's current snapshot, keyed by
+// (roots, maxHops): Graph.Snapshot returns a fresh snapshot (with an empty
+// memo) whenever the (watermark, removeEpoch) pair moves, so any Add or
+// Remove invalidates every cached closure automatically, exactly like the
+// SPARQL result cache. A cached sub-graph is shared between callers and
+// must be treated as read-only; use ReduceLineageUncached to obtain a
+// private graph or to time the traversal itself.
 func ReduceLineage(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
+	snap := g.Snapshot()
+	key := lineageMemoKey(roots, maxHops)
+	if v, ok := snap.Memo(key); ok {
+		if e, ok := v.(lineageEntry); ok && e.watermark == snap.Watermark() && e.removeEpoch == snap.RemoveEpoch() {
+			return e.out
+		}
+	}
+	out, _ := reduceLineageKept(g, roots, maxHops)
+	snap.SetMemo(key, lineageEntry{watermark: snap.Watermark(), removeEpoch: snap.RemoveEpoch(), out: out})
+	return out
+}
+
+// ReduceLineageUncached is ReduceLineage without the snapshot memo: every
+// call runs the BFS and returns a graph the caller owns. The abl-query
+// ablation times this variant so the ID-space-vs-term-space comparison is
+// not short-circuited by the cache.
+func ReduceLineageUncached(g *rdf.Graph, roots []rdf.Term, maxHops int) *rdf.Graph {
 	out, _ := reduceLineageKept(g, roots, maxHops)
 	return out
+}
+
+// lineageEntry is one memoized lineage closure plus the epochs it was
+// computed at (belt to the snapshot-identity keying, as in sparql/cache.go).
+type lineageEntry struct {
+	watermark   int
+	removeEpoch uint64
+	out         *rdf.Graph
+}
+
+// lineageMemoKey builds the snapshot-memo key for a lineage question. Root
+// order is preserved: the closure is order-insensitive, but canonicalizing
+// here would buy cache hits only for permuted repeats at the cost of a sort
+// per call.
+func lineageMemoKey(roots []rdf.Term, maxHops int) string {
+	var b strings.Builder
+	b.WriteString("lineage\x00")
+	b.WriteString(strconv.Itoa(maxHops))
+	for _, r := range roots {
+		b.WriteByte('\x00')
+		b.WriteString(r.String())
+	}
+	return b.String()
 }
 
 // reduceLineageKept is ReduceLineage exposing the kept-node terms alongside

@@ -122,3 +122,34 @@ func TestMergeStoresCrossRun(t *testing.T) {
 		t.Errorf("accuracy records = %d, want 2", n)
 	}
 }
+
+// TestReduceLineageCache: a repeated lineage question against an unchanged
+// graph is served from the snapshot memo; any mutation invalidates it.
+func TestReduceLineageCache(t *testing.T) {
+	tr, nodes := chainTracker(6)
+	g := tr.Graph()
+	cold := ReduceLineage(g, []rdf.Term{nodes[3]}, 2)
+	if warm := ReduceLineage(g, []rdf.Term{nodes[3]}, 2); warm != cold {
+		t.Fatal("repeat lineage question against an unchanged graph was recomputed")
+	}
+	// Different roots or hops are distinct cache entries.
+	if other := ReduceLineage(g, []rdf.Term{nodes[3]}, 3); other == cold {
+		t.Fatal("different maxHops returned the cached closure")
+	}
+	// A mutation moves the snapshot epoch pair: the cache must miss and the
+	// fresh closure must see the new edge.
+	g.Add(rdf.Triple{S: nodes[3], P: model.WasDerivedFrom.IRI(), O: rdf.IRI(model.NodeIRI(model.File, "/new-root"))})
+	fresh := ReduceLineage(g, []rdf.Term{nodes[3]}, 2)
+	if fresh == cold {
+		t.Fatal("Add did not invalidate the lineage cache")
+	}
+	if fresh.Len() <= cold.Len() {
+		t.Fatalf("post-Add closure has %d triples, want more than %d", fresh.Len(), cold.Len())
+	}
+	// Uncached variant always hands back a private graph.
+	a := ReduceLineageUncached(g, []rdf.Term{nodes[3]}, 2)
+	b := ReduceLineageUncached(g, []rdf.Term{nodes[3]}, 2)
+	if a == b {
+		t.Fatal("ReduceLineageUncached returned a shared graph")
+	}
+}

@@ -36,7 +36,22 @@ type Snapshot struct {
 	// eagerly instead, sharing every untouched node.
 	idxMu sync.Mutex
 	idx   atomic.Pointer[snapIndex]
+
+	// memo caches derived results (query results, lineage closures) keyed by
+	// an arbitrary string. A snapshot is immutable, so anything computed from
+	// it stays valid for its whole lifetime; because Graph.Snapshot returns a
+	// fresh Snapshot whenever the (watermark, removeEpoch) pair moves, the
+	// memo dies with the snapshot on any Add or Remove — epoch-keyed
+	// invalidation for free. Entries should be treated as read-only by every
+	// consumer.
+	memo sync.Map
 }
+
+// Memo returns the cached value stored under key, if any.
+func (s *Snapshot) Memo(key string) (any, bool) { return s.memo.Load(key) }
+
+// SetMemo caches a derived value under key for the snapshot's lifetime.
+func (s *Snapshot) SetMemo(key string, v any) { s.memo.Store(key, v) }
 
 // snapPO is one (predicate, object) adjacency entry of a subject.
 type snapPO struct{ p, o termID }
@@ -250,6 +265,11 @@ func (s *Snapshot) Len() int { return len(s.refs) }
 // every triple visible in the snapshot was appended at a log position below
 // it.
 func (s *Snapshot) Watermark() int { return s.watermark }
+
+// RemoveEpoch returns the graph's remove epoch at pin time. Together with
+// Watermark it identifies the exact graph state a snapshot (and anything
+// memoized on it) was computed from.
+func (s *Snapshot) RemoveEpoch() uint64 { return s.removeEpoch }
 
 // TermCount returns the number of terms in the snapshot's term table.
 func (s *Snapshot) TermCount() int { return len(s.terms) }

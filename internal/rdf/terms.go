@@ -30,6 +30,7 @@ const (
 	XSDDouble  = "http://www.w3.org/2001/XMLSchema#double"
 	XSDBoolean = "http://www.w3.org/2001/XMLSchema#boolean"
 	XSDLong    = "http://www.w3.org/2001/XMLSchema#long"
+	XSDDecimal = "http://www.w3.org/2001/XMLSchema#decimal"
 )
 
 // RDFType is the rdf:type predicate IRI.
@@ -76,6 +77,10 @@ func Integer(v int64) Term { return TypedLiteral(strconv.FormatInt(v, 10), XSDIn
 
 // Double returns an xsd:double literal.
 func Double(v float64) Term { return TypedLiteral(strconv.FormatFloat(v, 'g', -1, 64), XSDDouble) }
+
+// Decimal returns an xsd:decimal literal. The lexical form never uses an
+// exponent ('f' formatting), as the xsd:decimal lexical space requires.
+func Decimal(v float64) Term { return TypedLiteral(strconv.FormatFloat(v, 'f', -1, 64), XSDDecimal) }
 
 // Boolean returns an xsd:boolean literal.
 func Boolean(v bool) Term {

@@ -6,19 +6,78 @@ import "github.com/hpc-io/prov-io/internal/rdf"
 type Query struct {
 	Prefixes *rdf.Namespaces
 	Distinct bool
-	// Vars are the projected variable names (without '?'). Empty means '*'.
+	// Vars are the projected output names in SELECT order (without '?'),
+	// including aggregate aliases. Empty means '*'.
 	Vars []string
-	// Count, when non-empty, selects COUNT(?Count) AS ?CountAs. CountAll
-	// selects COUNT(*).
-	Count    string
-	CountAll bool
-	CountAs  string
+	// Aggs are the aggregate projections, in SELECT order. When Aggs or
+	// GroupBy is non-empty the query is an aggregate query: solutions are
+	// grouped by the GroupBy variables (one global group when GroupBy is
+	// empty) and each group emits one output row.
+	Aggs []Aggregate
+	// GroupBy lists the GROUP BY variables in declaration order.
+	GroupBy []string
 
 	Where   *Group
 	OrderBy []OrderKey
 	Limit   int // -1 means no limit
 	Offset  int
 }
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// String returns the SPARQL spelling of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return "AGG?"
+}
+
+// Aggregate is one (FUNC(?var) AS ?alias) projection.
+type Aggregate struct {
+	Func AggFunc
+	// Var is the aggregated variable; Star marks COUNT(*).
+	Var  string
+	Star bool
+	// Distinct marks FUNC(DISTINCT ?var).
+	Distinct bool
+	// As is the output alias.
+	As string
+}
+
+// aggAliases returns the set of aggregate output aliases.
+func (q *Query) aggAliases() map[string]bool {
+	if len(q.Aggs) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(q.Aggs))
+	for _, a := range q.Aggs {
+		set[a.As] = true
+	}
+	return set
+}
+
+// isAggregate reports whether the query groups and aggregates solutions.
+func (q *Query) isAggregate() bool { return len(q.Aggs) > 0 || len(q.GroupBy) > 0 }
 
 // OrderKey is one ORDER BY sort key.
 type OrderKey struct {

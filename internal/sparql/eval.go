@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"fmt"
 	"regexp"
 	"sort"
 	"strconv"
@@ -36,24 +37,49 @@ type Result struct {
 	Rows []Binding
 }
 
-// Exec parses and evaluates a query against g in one call.
-func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
-	q, err := Parse(query, base)
-	if err != nil {
-		return nil, err
+// ExecInfo reports how one Exec/ExecParallel call was executed: whether the
+// epoch-keyed result cache answered it, and if not, whether the plan was
+// morsel-parallelized or why it stayed serial.
+type ExecInfo struct {
+	// Workers is the requested worker count.
+	Workers int
+	// CacheHit marks a result served from the snapshot's result cache.
+	CacheHit bool
+	// Parallel marks morsel-parallel execution; Tasks is the number of
+	// independent pipelines the plan decomposed into.
+	Parallel bool
+	Tasks    int
+	// SerialReason names why execution stayed serial (empty when Parallel
+	// or CacheHit).
+	SerialReason string
+}
+
+// Summary renders the one-line execution summary the CLI prints.
+func (i ExecInfo) Summary() string {
+	switch {
+	case i.CacheHit:
+		return "result cache hit (snapshot epochs unchanged)"
+	case i.Parallel:
+		return fmt.Sprintf("parallel: %d worker(s) over %d task(s)", i.Workers, i.Tasks)
+	default:
+		return "serial: " + i.SerialReason
 	}
-	return Eval(g, q)
+}
+
+// Exec parses and evaluates a query against g in one call, through the
+// epoch-keyed result cache (see cache.go).
+func Exec(g *rdf.Graph, query string, base *rdf.Namespaces) (*Result, error) {
+	res, _, err := ExecParallelInfo(g, query, base, 1)
+	return res, err
 }
 
 // ExecParallel is Exec with a morsel-parallel executor: the leading
-// triple-pattern scan is partitioned across a pool of `workers` goroutines
-// (see EvalParallel). workers <= 1 is the serial path.
+// operator's domain is partitioned across a pool of `workers` goroutines
+// (see EvalParallel). workers <= 1 is the serial path. Results go through
+// the epoch-keyed cache like Exec's.
 func ExecParallel(g *rdf.Graph, query string, base *rdf.Namespaces, workers int) (*Result, error) {
-	q, err := Parse(query, base)
-	if err != nil {
-		return nil, err
-	}
-	return EvalParallel(g, q, workers)
+	res, _, err := ExecParallelInfo(g, query, base, workers)
+	return res, err
 }
 
 // Eval evaluates a parsed query against a graph.
@@ -83,27 +109,43 @@ func EvalOn(src Source, q *Query) (*Result, error) {
 }
 
 // EvalParallel evaluates a parsed query with the morsel-driven parallel
-// executor: the plan's leading triple-pattern scan is split into morsels
-// over a snapshot's adjacency lists and fanned out to `workers` goroutines,
-// each joining its morsel's rows through the rest of the plan with its own
-// register arena. Results are merged back into serial row order, so the
-// output is identical — row for row — to Eval. workers <= 1, plans the
-// morsel scan cannot cover (leading property path, top-level UNION), and
-// scans too small to be worth fanning out all fall back to the serial
-// executor.
+// executor: the plan decomposes into independent pipeline tasks (a leading
+// scan partitioned into morsels; a leading UNION flattened into
+// per-alternative tasks; a leading property path morselized over its start
+// domain) fanned out to `workers` goroutines, each running the identical
+// operator pipeline with its own register arena. The finish path's
+// multiset contract makes the output byte-identical to Eval. workers <= 1,
+// empty plans, dead leading constants, and domains below the parallel
+// threshold stay serial (decideParallel names the reason).
 func EvalParallel(g *rdf.Graph, q *Query, workers int) (*Result, error) {
 	snap := g.Snapshot()
-	return runPlanParallel(snap, Compile(snap, q), workers)
+	res, _, err := runPlanParallelInfo(snap, Compile(snap, q), workers)
+	return res, err
 }
 
 // Explain parses the query and returns the planner's EXPLAIN rendering —
-// the chosen join order with cardinality estimates — without executing it.
+// the operator pipeline with cardinality estimates — without executing it.
 func Explain(g *rdf.Graph, query string, base *rdf.Namespaces) (string, error) {
+	return ExplainWorkers(g, query, base, 1)
+}
+
+// ExplainWorkers is Explain plus the parallel-decomposition verdict for a
+// worker count: the number of independent tasks and the morsel domain when
+// the plan parallelizes, or the named reason it stays serial.
+func ExplainWorkers(g *rdf.Graph, query string, base *rdf.Namespaces, workers int) (string, error) {
 	q, err := Parse(query, base)
 	if err != nil {
 		return "", err
 	}
-	return Compile(g.Snapshot(), q).String(), nil
+	snap := g.Snapshot()
+	p := Compile(snap, q)
+	dec := decideParallel(snap, p, workers)
+	s := p.String()
+	if dec.reason != "" {
+		return s + fmt.Sprintf("parallel: serial (%s)\n", dec.reason), nil
+	}
+	return s + fmt.Sprintf("parallel: %d task(s) over a domain of %d with %d worker(s)\n",
+		len(dec.tasks), dec.domain, workers), nil
 }
 
 func orderKeysFor(vars []string) []OrderKey {
@@ -154,7 +196,11 @@ func projectedVars(q *Query) []string {
 }
 
 // compareTerms orders terms: numerics numerically when both are numeric,
-// otherwise by kind then string form.
+// otherwise by string form. It is a total order on distinct terms —
+// numerically equal but lexically different terms (e.g. "1"^^xsd:integer vs
+// "1.0"^^xsd:double) fall through to the lexical comparison instead of
+// tying. A total order is what makes the finish sort's output a pure
+// function of the solution multiset (see finishSortKeys).
 func compareTerms(a, b rdf.Term) int {
 	if av, aok := numericValue(a); aok {
 		if bv, bok := numericValue(b); bok {
@@ -163,9 +209,8 @@ func compareTerms(a, b rdf.Term) int {
 				return -1
 			case av > bv:
 				return 1
-			default:
-				return 0
 			}
+			// equal numerics: fall through to the lexical tie-break
 		}
 	}
 	as, bs := a.String(), b.String()
@@ -184,11 +229,125 @@ func numericValue(t rdf.Term) (float64, bool) {
 		return 0, false
 	}
 	switch t.Datatype {
-	case rdf.XSDInteger, rdf.XSDDouble, rdf.XSDLong:
+	case rdf.XSDInteger, rdf.XSDDouble, rdf.XSDLong, rdf.XSDDecimal:
 		v, err := strconv.ParseFloat(t.Value, 64)
 		return v, err == nil
 	}
 	return 0, false
+}
+
+// finishSortKeys returns the deterministic finish-path sort keys for a
+// query: the explicit ORDER BY keys followed by every projected output name
+// as a tie-breaker. With the total-order comparators this pins the output
+// byte-for-byte to the solution multiset, which is the contract that lets
+// the serial, morsel-parallel, and legacy engines produce identical results
+// regardless of the order each one generates rows in. Under DISTINCT the
+// ORDER BY keys are restricted to projected variables (as the SPARQL
+// grammar requires): a non-projected sort key would make the output depend
+// on which duplicate DISTINCT kept.
+func finishSortKeys(q *Query, project []string) []OrderKey {
+	keys := make([]OrderKey, 0, len(q.OrderBy)+len(project))
+	if q.Distinct {
+		proj := make(map[string]bool, len(project))
+		for _, v := range project {
+			proj[v] = true
+		}
+		for _, k := range q.OrderBy {
+			if proj[k.Var] {
+				keys = append(keys, k)
+			}
+		}
+	} else {
+		keys = append(keys, q.OrderBy...)
+	}
+	return append(keys, orderKeysFor(project)...)
+}
+
+// ---- aggregate arithmetic (shared by the ID-space and legacy engines) ----
+
+// aggNumeric classifies a term for SUM/AVG accumulation: integer datatypes
+// parse exactly to int64, other numeric datatypes to float64.
+func aggNumeric(t rdf.Term) (i int64, f float64, isInt, ok bool) {
+	if !t.IsLiteral() {
+		return 0, 0, false, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDLong:
+		v, err := strconv.ParseInt(t.Value, 10, 64)
+		if err != nil {
+			return 0, 0, false, false
+		}
+		return v, float64(v), true, true
+	case rdf.XSDDouble, rdf.XSDDecimal:
+		v, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return 0, 0, false, false
+		}
+		return 0, v, false, true
+	}
+	return 0, 0, false, false
+}
+
+// foldNumeric folds a multiset of terms for SUM or AVG. The values are
+// summed in compareTerms order — float addition is not associative, so a
+// canonical summation order is required for the engines (which produce rows
+// in different orders) to agree bit-for-bit. An all-integer SUM yields
+// xsd:integer, anything else xsd:decimal; AVG always yields xsd:decimal.
+// The empty sequence yields 0 (per the SPARQL definitions of Sum/Avg);
+// any non-numeric value makes the aggregate error out — ok=false, an
+// unbound output column.
+func foldNumeric(fn AggFunc, vals []rdf.Term) (rdf.Term, bool) {
+	if len(vals) == 0 {
+		return rdf.Integer(0), true
+	}
+	sort.SliceStable(vals, func(i, j int) bool { return compareTerms(vals[i], vals[j]) < 0 })
+	var sumI int64
+	var sumF float64
+	allInt := true
+	for _, t := range vals {
+		i64, f, isInt, ok := aggNumeric(t)
+		if !ok {
+			return rdf.Term{}, false
+		}
+		if isInt {
+			sumI += i64
+		} else {
+			allInt = false
+		}
+		sumF += f
+	}
+	if fn == AggAvg {
+		if allInt {
+			return rdf.Decimal(float64(sumI) / float64(len(vals))), true
+		}
+		return rdf.Decimal(sumF / float64(len(vals))), true
+	}
+	if allInt {
+		return rdf.Integer(sumI), true
+	}
+	return rdf.Decimal(sumF), true
+}
+
+// finishTermRows runs the shared term-space finish tail on materialized
+// output rows: DISTINCT, the deterministic sort, OFFSET/LIMIT. Both the
+// ID-space aggregate finisher and the legacy evaluator end here, so their
+// tails cannot diverge.
+func finishTermRows(q *Query, project []string, rows []Binding) *Result {
+	if q.Distinct {
+		rows = dedupeRows(project, rows)
+	}
+	sortRows(rows, finishSortKeys(q, project))
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return &Result{Vars: project, Rows: rows}
 }
 
 // ---- FILTER expression evaluation ----

@@ -9,11 +9,19 @@ import (
 // The executor runs a compiled Plan entirely in dictionary-ID space: a
 // solution row is a fixed-width []rdf.ID register file indexed by the
 // plan's var→slot table (rdf.NoID = unbound), graph probes go through
-// ForEachMatchIDs, and DISTINCT/ORDER BY/COUNT compare raw IDs. Terms are
-// rehydrated — through a per-query cache — only for FILTER expressions,
-// ORDER BY comparisons between distinct IDs, and final Result
-// materialization. Fixed-width ID keys also close the separator-collision
-// hazard of the legacy evaluator's string rowKey.
+// ForEachMatchIDs, and DISTINCT/ORDER BY/aggregation compare raw IDs. Terms
+// are rehydrated — through a per-query cache — only for FILTER expressions,
+// ORDER BY comparisons between distinct IDs, aggregate arithmetic, and final
+// Result materialization. Fixed-width ID keys also close the
+// separator-collision hazard of the legacy evaluator's string rowKey.
+//
+// Every operator of the pipeline is implemented exactly once, as a physOp
+// run method on this executor; the morsel-parallel path (parallel.go) runs
+// the same methods over partitioned inputs. The output contract that makes
+// that sound: the finish path sorts with the ORDER BY keys plus every
+// projected variable as tie-breakers, under a total-order comparator, so the
+// final bytes depend only on the solution multiset — never on the order rows
+// were produced in.
 //
 // Rows are immutable once appended to a result set: every extension copies.
 // That lets OPTIONAL/UNION share row storage without the deep clones the
@@ -42,6 +50,13 @@ type executor struct {
 	sortHook func(rows []idRow, keys []OrderKey, slots []int)
 }
 
+// newExecutor is the one construction site for executors: serial run,
+// per-worker, and merge executors all go through it, so the arena and
+// term-cache setup cannot drift between paths.
+func newExecutor(g Source, p *Plan) *executor {
+	return &executor{g: g, plan: p, width: len(p.vars), cache: make(map[rdf.ID]rdf.Term)}
+}
+
 // arenaRows is the slab size of the row arena, in rows.
 const arenaRows = 512
 
@@ -60,76 +75,58 @@ func (e *executor) newRow(src idRow) idRow {
 	return r
 }
 
-// runPlan executes a compiled plan and materializes the Result.
-func runPlan(g Source, p *Plan) (*Result, error) {
-	e := &executor{g: g, plan: p, width: len(p.vars), cache: make(map[rdf.ID]rdf.Term)}
-	seed := make(idRow, e.width)
+// seedRow returns the all-unbound input row of a pipeline.
+func seedRow(width int) idRow {
+	seed := make(idRow, width)
 	for i := range seed {
 		seed[i] = rdf.NoID
 	}
-	rows, err := e.execGroup(p.root, []idRow{seed})
+	return seed
+}
+
+// runPlan executes a compiled plan serially and materializes the Result.
+func runPlan(g Source, p *Plan) (*Result, error) {
+	e := newExecutor(g, p)
+	rows, err := e.runOps(p.ops, []idRow{seedRow(e.width)})
 	if err != nil {
 		return nil, err
 	}
 	return e.finish(rows)
 }
 
-// finish applies the solution modifiers — COUNT collapse, DISTINCT, sort,
+// runOps pushes the input rows through a pipeline of operators.
+func (e *executor) runOps(ops []physOp, in []idRow) ([]idRow, error) {
+	cur := in
+	for _, op := range ops {
+		if len(cur) == 0 {
+			return nil, nil
+		}
+		var err error
+		cur, err = op.run(e, cur)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// finish applies the solution modifiers — aggregation, DISTINCT, sort,
 // OFFSET/LIMIT — and materializes the Result. It is shared by the serial and
-// morsel-parallel paths: the parallel executor concatenates its per-morsel
-// buckets into serial row order and hands them here, so everything
-// order-sensitive happens identically on both paths.
+// morsel-parallel paths; because the sort keys extend ORDER BY with every
+// projected variable (see finishSortKeys), the result depends only on the
+// row multiset, which both paths produce identically.
 func (e *executor) finish(rows []idRow) (*Result, error) {
 	p, q := e.plan, e.plan.q
 
-	// COUNT projection collapses the solution sequence to a single row.
-	if q.CountAs != "" {
-		n := 0
-		if q.CountAll {
-			n = len(rows)
-		} else if slot, ok := p.slots[q.Count]; ok {
-			if q.Distinct {
-				seen := make(map[rdf.ID]struct{})
-				for _, r := range rows {
-					if r[slot] != rdf.NoID {
-						seen[r[slot]] = struct{}{}
-					}
-				}
-				n = len(seen)
-			} else {
-				for _, r := range rows {
-					if r[slot] != rdf.NoID {
-						n++
-					}
-				}
-			}
-		}
-		return &Result{
-			Vars: []string{q.CountAs},
-			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
-		}, nil
+	if q.isAggregate() {
+		return e.finishAggregate(rows)
 	}
 
 	if q.Distinct {
 		rows = e.dedupe(rows)
 	}
-	if len(q.OrderBy) > 0 {
-		e.sortRows(rows, q.OrderBy)
-	} else {
-		// Deterministic output even without ORDER BY: sort by projected
-		// values (same contract as the legacy evaluator).
-		e.sortRows(rows, orderKeysFor(p.project))
-	}
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
-	}
+	e.sortRows(rows, finishSortKeys(q, p.project))
+	rows = clipIDRows(q, rows)
 
 	res := &Result{Vars: p.project, Rows: make([]Binding, 0, len(rows))}
 	for _, r := range rows {
@@ -144,6 +141,21 @@ func (e *executor) finish(rows []idRow) (*Result, error) {
 	return res, nil
 }
 
+// clipIDRows applies OFFSET/LIMIT to ID rows.
+func clipIDRows(q *Query, rows []idRow) []idRow {
+	if q.Offset > 0 {
+		if q.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(rows) {
+		rows = rows[:q.Limit]
+	}
+	return rows
+}
+
 // term rehydrates an ID through the per-query cache.
 func (e *executor) term(id rdf.ID) rdf.Term {
 	if t, ok := e.cache[id]; ok {
@@ -154,36 +166,148 @@ func (e *executor) term(id rdf.ID) rdf.Term {
 	return t
 }
 
-// ---- group execution ----
+// ---- aggregation ----
 
-func (e *executor) execGroup(grp *planGroup, in []idRow) ([]idRow, error) {
-	cur := in
-	for _, st := range grp.steps {
-		var err error
-		switch st := st.(type) {
-		case *bgpStep:
-			for _, cp := range st.patterns {
-				if len(cur) == 0 {
-					break
-				}
-				cur = e.extend(cp, cur)
-			}
-		case *filterStep:
-			cur, err = e.applyFilter(st.expr, cur)
-		case *optionalStep:
-			cur, err = e.applyOptional(st.group, cur)
-		case *unionStep:
-			cur, err = e.applyUnion(st.alts, cur)
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count int64
+	seen  map[rdf.ID]struct{} // distinct values (COUNT/SUM/AVG DISTINCT)
+	vals  []rdf.ID            // collected values (SUM/AVG)
+	best  rdf.ID              // running MIN/MAX
+	has   bool
+}
+
+// groupAcc is one GROUP BY group: a representative row for the group-key
+// columns plus one accumulator per aggregate.
+type groupAcc struct {
+	rep  idRow
+	aggs []aggState
+}
+
+// finishAggregate groups the solution rows by the GROUP BY registers and
+// folds each aggregate, then renders one output row per group. Output rows
+// are materialized into term space and finished with the legacy helpers
+// (dedupeRows/sortRows), so the ID-space and term-space engines share the
+// exact same tail.
+func (e *executor) finishAggregate(rows []idRow) (*Result, error) {
+	p, q := e.plan, e.plan.q
+
+	groups := make(map[string]*groupAcc)
+	var order []*groupAcc
+	keyBuf := make([]byte, 0, 4*len(p.groupSlots))
+	for _, r := range rows {
+		keyBuf = keyBuf[:0]
+		for _, s := range p.groupSlots {
+			id := slotVal(r, s)
+			keyBuf = append(keyBuf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
 		}
-		if err != nil {
-			return nil, err
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &groupAcc{rep: r, aggs: make([]aggState, len(p.aggSpecs))}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
 		}
-		if len(cur) == 0 {
-			return nil, nil
+		for i := range p.aggSpecs {
+			e.accumulate(&p.aggSpecs[i], &g.aggs[i], r)
 		}
 	}
-	return cur, nil
+	// Ungrouped aggregation over zero solutions still yields one row
+	// (COUNT=0, SUM=0); GROUP BY over zero solutions yields zero groups.
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		order = append(order, &groupAcc{aggs: make([]aggState, len(p.aggSpecs))})
+	}
+
+	out := make([]Binding, 0, len(order))
+	for _, g := range order {
+		row := make(Binding, len(p.project))
+		for i, v := range p.project {
+			col := p.aggCols[i]
+			if col.agg >= 0 {
+				if t, ok := e.aggValue(&p.aggSpecs[col.agg], &g.aggs[col.agg]); ok {
+					row[v] = t
+				}
+				continue
+			}
+			if col.slot >= 0 && g.rep != nil && g.rep[col.slot] != rdf.NoID {
+				row[v] = e.term(g.rep[col.slot])
+			}
+		}
+		out = append(out, row)
+	}
+	return finishTermRows(q, p.project, out), nil
 }
+
+// slotVal reads a register, treating absent slots as unbound.
+func slotVal(r idRow, slot int) rdf.ID {
+	if slot < 0 {
+		return rdf.NoID
+	}
+	return r[slot]
+}
+
+// accumulate folds one row into one aggregate's state.
+func (e *executor) accumulate(spec *aggSpec, st *aggState, r idRow) {
+	if spec.fn == AggCount && spec.star {
+		st.count++
+		return
+	}
+	id := slotVal(r, spec.slot)
+	if id == rdf.NoID {
+		return // unbound values are skipped by every aggregate
+	}
+	if spec.distinct {
+		if st.seen == nil {
+			st.seen = make(map[rdf.ID]struct{})
+		}
+		if _, dup := st.seen[id]; dup {
+			return
+		}
+		st.seen[id] = struct{}{}
+	}
+	switch spec.fn {
+	case AggCount:
+		st.count++
+	case AggSum, AggAvg:
+		st.vals = append(st.vals, id)
+	case AggMin:
+		if !st.has || e.compareIDs(id, st.best) < 0 {
+			st.best = id
+		}
+		st.has = true
+	case AggMax:
+		if !st.has || e.compareIDs(id, st.best) > 0 {
+			st.best = id
+		}
+		st.has = true
+	}
+}
+
+// aggValue renders one aggregate's final value; ok=false leaves the output
+// column unbound (MIN/MAX of an empty group, SUM/AVG over non-numerics).
+func (e *executor) aggValue(spec *aggSpec, st *aggState) (rdf.Term, bool) {
+	switch spec.fn {
+	case AggCount:
+		n := st.count
+		if spec.distinct {
+			n = int64(len(st.seen))
+		}
+		return rdf.Integer(n), true
+	case AggSum, AggAvg:
+		vals := make([]rdf.Term, len(st.vals))
+		for i, id := range st.vals {
+			vals[i] = e.term(id)
+		}
+		return foldNumeric(spec.fn, vals)
+	case AggMin, AggMax:
+		if !st.has {
+			return rdf.Term{}, false
+		}
+		return e.term(st.best), true
+	}
+	return rdf.Term{}, false
+}
+
+// ---- group execution: physical operators ----
 
 // resolveRef resolves a compiled position against a row: the constant's ID,
 // the register value for a bound variable, or the NoID wildcard for an
@@ -213,20 +337,17 @@ func trySet(r idRow, slot int, id rdf.ID) bool {
 	return true
 }
 
-// extend joins one compiled pattern against every input row.
-func (e *executor) extend(cp compiledPattern, in []idRow) []idRow {
+// run joins the scan's pattern against every input row.
+func (o *scanOp) run(e *executor, in []idRow) ([]idRow, error) {
+	cp := o.cp
 	var out []idRow
 	for _, r := range in {
 		s, dead := resolveRef(cp.s, r)
 		if dead {
 			continue
 		}
-		o, dead := resolveRef(cp.o, r)
+		oo, dead := resolveRef(cp.o, r)
 		if dead {
-			continue
-		}
-		if cp.p.isPath() {
-			out = e.extendPath(cp, r, s, o, out)
 			continue
 		}
 		var p rdf.ID
@@ -238,7 +359,7 @@ func (e *executor) extend(cp compiledPattern, in []idRow) []idRow {
 			}
 			p = cp.p.id
 		}
-		e.g.ForEachMatchIDs(s, p, o, func(si, pi, oi rdf.ID) bool {
+		e.g.ForEachMatchIDs(s, p, oo, func(si, pi, oi rdf.ID) bool {
 			nr := e.newRow(r)
 			if trySet(nr, cp.s.slot, si) && trySet(nr, cp.p.slot, pi) && trySet(nr, cp.o.slot, oi) {
 				out = append(out, nr)
@@ -246,46 +367,84 @@ func (e *executor) extend(cp compiledPattern, in []idRow) []idRow {
 			return true
 		})
 	}
-	return out
+	return out, nil
 }
 
-// extendPath evaluates a property-path pattern for one row, in ID space.
-func (e *executor) extendPath(cp compiledPattern, r idRow, s, o rdf.ID, out []idRow) []idRow {
-	starts := map[rdf.ID]struct{}{}
-	if s != rdf.NoID {
-		starts[s] = struct{}{}
-	} else {
-		// Candidate starts: subjects of the first step (objects if the
-		// first step is inverted) — same enumeration as the legacy
-		// evaluator, which keeps unanchored closures tractable.
-		first := cp.p.steps[0]
-		if firstID := cp.p.stepIDs[0]; firstID != rdf.NoID {
-			e.g.ForEachMatchIDs(rdf.NoID, firstID, rdf.NoID, func(si, _, oi rdf.ID) bool {
-				if first.Inverse {
-					starts[oi] = struct{}{}
-				} else {
-					starts[si] = struct{}{}
-				}
-				return true
-			})
+// run evaluates the property-path pattern for every input row.
+func (o *pathOp) run(e *executor, in []idRow) ([]idRow, error) {
+	cp := o.cp
+	var out []idRow
+	for _, r := range in {
+		s, dead := resolveRef(cp.s, r)
+		if dead {
+			continue
+		}
+		oo, dead := resolveRef(cp.o, r)
+		if dead {
+			continue
+		}
+		for _, start := range pathStarts(e.g, cp, s) {
+			out = e.extendPathFrom(cp, r, start, oo, out)
 		}
 	}
-	for start := range starts {
-		ends := map[rdf.ID]struct{}{start: {}}
-		for i, step := range cp.p.steps {
-			ends = e.walkStep(step, cp.p.stepIDs[i], ends)
-			if len(ends) == 0 {
-				break
-			}
+	return out, nil
+}
+
+// pathStarts returns the deterministic start-node domain of a path pattern
+// for subject value s (rdf.NoID = unbound). An unbound subject enumerates
+// the subjects of the first step (objects if inverted) in first-seen scan
+// order — the same enumeration as the legacy evaluator, which keeps
+// unanchored closures tractable. The parallel executor morselizes over this
+// same list.
+func pathStarts(g Source, cp compiledPattern, s rdf.ID) []rdf.ID {
+	if s != rdf.NoID {
+		return []rdf.ID{s}
+	}
+	firstID := cp.p.stepIDs[0]
+	if firstID == rdf.NoID {
+		return nil
+	}
+	first := cp.p.steps[0]
+	var starts []rdf.ID
+	seen := map[rdf.ID]struct{}{}
+	g.ForEachMatchIDs(rdf.NoID, firstID, rdf.NoID, func(si, _, oi rdf.ID) bool {
+		n := si
+		if first.Inverse {
+			n = oi
 		}
-		for end := range ends {
-			if o != rdf.NoID && o != end {
-				continue
-			}
-			nr := e.newRow(r)
-			if trySet(nr, cp.s.slot, start) && trySet(nr, cp.o.slot, end) {
-				out = append(out, nr)
-			}
+		if _, dup := seen[n]; !dup {
+			seen[n] = struct{}{}
+			starts = append(starts, n)
+		}
+		return true
+	})
+	return starts
+}
+
+// extendPathFrom walks the path closure from one start node and appends the
+// resulting rows. Reached ends are emitted in ascending ID order so the row
+// order is a pure function of (input row, start), independent of map
+// iteration.
+func (e *executor) extendPathFrom(cp compiledPattern, r idRow, start, o rdf.ID, out []idRow) []idRow {
+	ends := map[rdf.ID]struct{}{start: {}}
+	for i, step := range cp.p.steps {
+		ends = e.walkStep(step, cp.p.stepIDs[i], ends)
+		if len(ends) == 0 {
+			break
+		}
+	}
+	sorted := make([]rdf.ID, 0, len(ends))
+	for end := range ends {
+		if o != rdf.NoID && o != end {
+			continue
+		}
+		sorted = append(sorted, end)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, end := range sorted {
+		nr := e.newRow(r)
+		if trySet(nr, cp.s.slot, start) && trySet(nr, cp.o.slot, end) {
+			out = append(out, nr)
 		}
 	}
 	return out
@@ -377,10 +536,11 @@ func (re rowEnv) lookupVar(name string) (rdf.Term, bool) {
 	return re.e.term(id), true
 }
 
-func (e *executor) applyFilter(expr Expr, in []idRow) ([]idRow, error) {
+// run keeps the rows satisfying the filter, compacting in place.
+func (o *filterOp) run(e *executor, in []idRow) ([]idRow, error) {
 	out := in[:0]
 	for _, r := range in {
-		ok, err := evalBool(expr, rowEnv{e: e, r: r})
+		ok, err := evalBool(o.expr, rowEnv{e: e, r: r})
 		if err != nil {
 			return nil, err
 		}
@@ -391,10 +551,12 @@ func (e *executor) applyFilter(expr Expr, in []idRow) ([]idRow, error) {
 	return out, nil
 }
 
-func (e *executor) applyOptional(sub *planGroup, in []idRow) ([]idRow, error) {
+// run left-joins the nested pipeline per input row: rows the sub-pipeline
+// matches are replaced by the extended rows, unmatched rows pass through.
+func (o *optionalOp) run(e *executor, in []idRow) ([]idRow, error) {
 	var out []idRow
 	for _, r := range in {
-		matched, err := e.execGroup(sub, []idRow{r})
+		matched, err := e.runOps(o.ops, []idRow{r})
 		if err != nil {
 			return nil, err
 		}
@@ -407,17 +569,20 @@ func (e *executor) applyOptional(sub *planGroup, in []idRow) ([]idRow, error) {
 	return out, nil
 }
 
-func (e *executor) applyUnion(alts []*planGroup, in []idRow) ([]idRow, error) {
+// run evaluates every alternative per input row (row-major). The finish
+// path's multiset contract makes row-major and alternative-major outputs
+// byte-identical, and row-major is what lets the parallel executor flatten
+// a leading UNION into independent per-alternative tasks.
+func (o *unionOp) run(e *executor, in []idRow) ([]idRow, error) {
 	var out []idRow
-	for _, alt := range alts {
-		// Rows are immutable, but a FILTER inside an alternative compacts
-		// its input slice in place — give each alternative its own slice.
-		cp := append([]idRow(nil), in...)
-		matched, err := e.execGroup(alt, cp)
-		if err != nil {
-			return nil, err
+	for _, r := range in {
+		for _, alt := range o.alts {
+			matched, err := e.runOps(alt, []idRow{r})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, matched...)
 		}
-		out = append(out, matched...)
 	}
 	return out, nil
 }
@@ -458,7 +623,9 @@ func (e *executor) dedupe(rows []idRow) []idRow {
 }
 
 // compareIDs orders two distinct term IDs with compareTerms semantics,
-// memoizing the rendered string forms.
+// memoizing the rendered string forms. Like compareTerms it is a total
+// order: numerically equal but lexically different terms fall through to
+// the string comparison instead of tying.
 func (e *executor) compareIDs(a, b rdf.ID) int {
 	ta, tb := e.term(a), e.term(b)
 	if av, aok := numericValue(ta); aok {
@@ -468,9 +635,8 @@ func (e *executor) compareIDs(a, b rdf.ID) int {
 				return -1
 			case av > bv:
 				return 1
-			default:
-				return 0
 			}
+			// equal numerics: fall through to the lexical tie-break
 		}
 	}
 	as, bs := e.termStr(a, ta), e.termStr(b, tb)

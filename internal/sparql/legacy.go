@@ -38,30 +38,12 @@ func evalLegacy(g *rdf.Graph, q *Query, reorder bool) (*Result, error) {
 		return nil, err
 	}
 
-	// COUNT projection collapses the solution sequence to a single row.
-	if q.CountAs != "" {
-		n := 0
-		if q.CountAll {
-			n = len(bindings)
-		} else {
-			seen := make(map[rdf.Term]struct{})
-			for _, b := range bindings {
-				if t, ok := b[q.Count]; ok {
-					if q.Distinct {
-						seen[t] = struct{}{}
-					} else {
-						n++
-					}
-				}
-			}
-			if q.Distinct {
-				n = len(seen)
-			}
-		}
-		return &Result{
-			Vars: []string{q.CountAs},
-			Rows: []Binding{{q.CountAs: rdf.Integer(int64(n))}},
-		}, nil
+	// GROUP BY / aggregate projections collapse the solution sequence to one
+	// row per group through the shared aggregate arithmetic (foldNumeric,
+	// compareTerms), so this oracle stays bit-identical to the ID-space
+	// engines.
+	if q.isAggregate() {
+		return legacyAggregate(q, bindings), nil
 	}
 
 	vars := projectedVars(q)
@@ -76,29 +58,136 @@ func evalLegacy(g *rdf.Graph, q *Query, reorder bool) (*Result, error) {
 		}
 		rows = append(rows, row)
 	}
+	// The finish tail (DISTINCT, total-order sort, OFFSET/LIMIT) is shared
+	// with the ID-space executor so the two cannot diverge.
+	return finishTermRows(q, vars, rows), nil
+}
 
-	if q.Distinct {
-		rows = dedupeRows(vars, rows)
-	}
-	if len(q.OrderBy) > 0 {
-		sortRows(rows, q.OrderBy)
-	} else {
-		// Deterministic output even without ORDER BY: sort by projected
-		// values. SPARQL leaves this unspecified; determinism helps tests
-		// and reproducible experiment output.
-		sortRows(rows, orderKeysFor(vars))
-	}
-	if q.Offset > 0 {
-		if q.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[q.Offset:]
+// legacyAggState accumulates one aggregate over one group in term space.
+type legacyAggState struct {
+	count int64
+	seen  map[string]struct{} // DISTINCT filter, keyed by term string
+	vals  []rdf.Term          // SUM/AVG operands, folded at the end
+	best  rdf.Term            // MIN/MAX running extreme
+	has   bool
+}
+
+// legacyAggGroup is one GROUP BY bucket: a representative binding for the
+// grouping columns plus per-aggregate state.
+type legacyAggGroup struct {
+	rep  Binding
+	aggs []legacyAggState
+}
+
+// legacyAggregate is the term-space mirror of the executor's aggregate
+// finisher. The group key concatenates grouping-term strings with a \x00
+// separator (same collision caveat as rowKey — acceptable for the oracle;
+// the ID-space engines key on fixed-width IDs).
+func legacyAggregate(q *Query, bindings []Binding) *Result {
+	groups := make(map[string]*legacyAggGroup)
+	var order []string
+	for _, b := range bindings {
+		var kb strings.Builder
+		for _, v := range q.GroupBy {
+			if t, ok := b[v]; ok {
+				kb.WriteString(t.String())
+			}
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &legacyAggGroup{rep: b, aggs: make([]legacyAggState, len(q.Aggs))}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i, a := range q.Aggs {
+			legacyAccumulate(&grp.aggs[i], q, a, b)
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(rows) {
-		rows = rows[:q.Limit]
+	// No grouping keys and no rows: one group over the empty sequence
+	// (COUNT()=0, SUM()=0, MIN/MAX unbound), per the SPARQL algebra.
+	if len(order) == 0 && len(q.GroupBy) == 0 {
+		groups[""] = &legacyAggGroup{rep: Binding{}, aggs: make([]legacyAggState, len(q.Aggs))}
+		order = append(order, "")
 	}
-	return &Result{Vars: vars, Rows: rows}, nil
+
+	aliases := q.aggAliases()
+	rows := make([]Binding, 0, len(order))
+	for _, key := range order {
+		grp := groups[key]
+		row := make(Binding, len(q.Vars))
+		for _, v := range q.Vars {
+			if aliases[v] {
+				continue
+			}
+			if t, ok := grp.rep[v]; ok {
+				row[v] = t
+			}
+		}
+		for i, a := range q.Aggs {
+			if t, ok := legacyAggValue(a, &grp.aggs[i]); ok {
+				row[a.As] = t
+			}
+		}
+		rows = append(rows, row)
+	}
+	return finishTermRows(q, q.Vars, rows)
+}
+
+// legacyAccumulate feeds one solution into one aggregate's state, applying
+// the same effective-DISTINCT rule as the ID-space executor.
+func legacyAccumulate(st *legacyAggState, q *Query, a Aggregate, b Binding) {
+	if a.Star {
+		st.count++
+		return
+	}
+	t, bound := b[a.Var]
+	if !bound {
+		return
+	}
+	distinct := a.Distinct || (q.Distinct && a.Func == AggCount && !a.Star)
+	if distinct {
+		if st.seen == nil {
+			st.seen = make(map[string]struct{})
+		}
+		key := t.String()
+		if _, dup := st.seen[key]; dup {
+			return
+		}
+		st.seen[key] = struct{}{}
+	}
+	switch a.Func {
+	case AggCount:
+		st.count++
+	case AggSum, AggAvg:
+		st.vals = append(st.vals, t)
+	case AggMin:
+		if !st.has || compareTerms(t, st.best) < 0 {
+			st.best, st.has = t, true
+		}
+	case AggMax:
+		if !st.has || compareTerms(t, st.best) > 0 {
+			st.best, st.has = t, true
+		}
+	}
+}
+
+// legacyAggValue renders one aggregate's final value; ok=false leaves the
+// output column unbound (MIN/MAX over the empty sequence, SUM over
+// non-numerics).
+func legacyAggValue(a Aggregate, st *legacyAggState) (rdf.Term, bool) {
+	switch a.Func {
+	case AggCount:
+		return rdf.Integer(st.count), true
+	case AggSum, AggAvg:
+		return foldNumeric(a.Func, st.vals)
+	default: // MIN/MAX
+		if !st.has {
+			return rdf.Term{}, false
+		}
+		return st.best, true
+	}
 }
 
 func dedupeRows(vars []string, rows []Binding) []Binding {

@@ -25,6 +25,7 @@ var keywords = map[string]bool{
 	"LIMIT": true, "OFFSET": true, "REGEX": true, "COUNT": true, "AS": true,
 	"OPTIONAL": true, "UNION": true, "BOUND": true, "STR": true,
 	"TRUE": true, "FALSE": true, "NOT": true, "EXISTS": true,
+	"GROUP": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
 }
 
 type lexer struct {

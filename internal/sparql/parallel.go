@@ -1,6 +1,7 @@
 package sparql
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -8,26 +9,37 @@ import (
 	"github.com/hpc-io/prov-io/internal/rdf"
 )
 
-// Morsel-driven parallel execution (the Leis et al. model): the plan's
-// leading triple-pattern scan — the largest enumeration of the query, by the
-// planner's own join ordering — is partitioned into fixed-size morsels along
-// the snapshot's adjacency lists, and a bounded pool of workers claims
-// morsels off an atomic counter. Each worker owns a full executor (register
-// slab arena, term cache) and joins its morsel's seed rows through the whole
-// remaining plan, so the only shared state during execution is the immutable
-// snapshot and the per-morsel result buckets.
+// Morsel-driven parallel execution (the Leis et al. model) over the unified
+// operator pipeline. decideParallel flattens the plan's leading operator
+// into a list of independent tasks:
 //
-// Determinism: Snapshot.ScanRange enumerates a pattern in a fixed order and
-// partitions exactly, so concatenating the per-morsel buckets in morsel
-// index order reproduces the serial executor's row order bit for bit. Every
-// order-sensitive modifier (DISTINCT first-occurrence choice, stable sort
-// tie-breaks, OFFSET/LIMIT) then runs on identical input, which is how
-// EvalParallel guarantees results identical to Eval rather than merely
-// multiset-equal.
+//   - a leading scan becomes one task morselized over the snapshot's exact
+//     scan domain (ScanLen/ScanRange);
+//   - a leading UNION flattens recursively into one task per alternative,
+//     each alternative's pipeline concatenated with the remainder of the
+//     plan — UNION plans no longer fall back to serial;
+//   - a leading property path becomes a task morselized over its
+//     deterministic start-node domain (pathStarts) — path plans no longer
+//     fall back to serial;
+//   - an alternative that cannot be partitioned (leading FILTER/OPTIONAL,
+//     dead constant) becomes a single-morsel task running its whole
+//     pipeline serially inside one claim.
+//
+// A bounded pool of workers claims (task, morsel) pairs off one atomic
+// counter. Each worker owns a full executor (register slab arena, term
+// cache) and runs the identical operator pipeline the serial executor runs,
+// so the only shared state during execution is the immutable snapshot and
+// the per-morsel result buckets.
+//
+// Correctness does not depend on bucket order: the shared finish path sorts
+// with ORDER BY plus every projected variable under a total-order comparator
+// (finishSortKeys), so the output bytes are a function of the row multiset
+// alone — any task decomposition that preserves the multiset is
+// byte-identical to serial execution.
 
 const (
-	// minParallelScan is the smallest leading-scan domain worth fanning out;
-	// below it, goroutine + merge overhead exceeds the scan.
+	// minParallelScan is the smallest combined task domain worth fanning
+	// out; below it, goroutine + merge overhead exceeds the scan.
 	minParallelScan = 128
 	// minMorsel/maxMorsel bound the morsel size: large enough to amortize
 	// the claim, small enough to keep workers load-balanced when morsel
@@ -38,53 +50,205 @@ const (
 	minParallelSort = 4096
 )
 
+// parTask is one independent pipeline of a decomposed plan. Exactly one of
+// (scan, path, whole) is set.
+type parTask struct {
+	scan  *scanOp  // lead scan, morselized over the snapshot domain
+	path  *pathOp  // lead path, morselized over starts
+	whole []physOp // unpartitionable pipeline, run in a single morsel
+	// rest is the pipeline after the lead (scan/path tasks).
+	rest []physOp
+	// s0/p0/o0 are the scan-domain IDs of a scan task (rdf.NoID wildcards).
+	s0, p0, o0 rdf.ID
+	// starts is the start-node domain of a path task.
+	starts []rdf.ID
+	// n is the domain size (1 for whole tasks).
+	n int
+}
+
+// decision is the outcome of parallel planning: the task list, the combined
+// morsel domain, and — when execution stays serial — the named reason.
+type decision struct {
+	tasks  []parTask
+	domain int
+	reason string
+}
+
+// decideParallel decomposes a plan for `workers` goroutines, or names the
+// reason it stays serial. The remaining serial cases are intrinsic, not
+// unsupported operators: nothing to partition, a dead leading constant
+// (the result is empty), a non-scannable leading operator, or a domain too
+// small to pay for the fan-out.
+func decideParallel(snap *rdf.Snapshot, p *Plan, workers int) decision {
+	if workers <= 1 {
+		return decision{reason: "workers <= 1 (parallel execution not requested)"}
+	}
+	if len(p.ops) == 0 {
+		return decision{reason: "empty WHERE clause: nothing to partition"}
+	}
+	switch op := p.ops[0].(type) {
+	case *filterOp:
+		return decision{reason: "plan starts with FILTER: no leading scan to partition"}
+	case *optionalOp:
+		return decision{reason: "plan starts with OPTIONAL: no leading scan to partition"}
+	case *scanOp:
+		if scanDead(op.cp) {
+			return decision{reason: "leading pattern matches nothing (dead constant): the serial executor returns the empty result directly"}
+		}
+	case *pathOp:
+		if pathDead(op.cp) {
+			return decision{reason: "leading pattern matches nothing (dead constant): the serial executor returns the empty result directly"}
+		}
+	}
+	var dec decision
+	flattenTasks(snap, p, p.ops, &dec.tasks)
+	for _, t := range dec.tasks {
+		dec.domain += t.n
+	}
+	if dec.domain < minParallelScan {
+		return decision{reason: fmt.Sprintf("scan domain %d below parallel threshold %d: fan-out costs more than the scan", dec.domain, minParallelScan)}
+	}
+	return dec
+}
+
+// scanDead reports a scan whose constant position is absent from the graph.
+func scanDead(cp compiledPattern) bool {
+	if !cp.s.isVar() && cp.s.id == rdf.NoID {
+		return true
+	}
+	if !cp.o.isVar() && cp.o.id == rdf.NoID {
+		return true
+	}
+	return !cp.p.isVar() && cp.p.simple && cp.p.id == rdf.NoID
+}
+
+// pathDead reports a path whose constant endpoint is absent from the graph.
+func pathDead(cp compiledPattern) bool {
+	if !cp.s.isVar() && cp.s.id == rdf.NoID {
+		return true
+	}
+	return !cp.o.isVar() && cp.o.id == rdf.NoID
+}
+
+// flattenTasks appends the tasks of one pipeline. Leading UNIONs recurse
+// (each alternative's pipeline concatenated with the tail); anything that
+// cannot expose a scan domain becomes a whole-pipeline single-morsel task,
+// which keeps every alternative of a mixed UNION parallelizable instead of
+// serializing the whole query.
+func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
+	if len(ops) == 0 {
+		return
+	}
+	switch op := ops[0].(type) {
+	case *scanOp:
+		cp := op.cp
+		if scanDead(cp) {
+			*tasks = append(*tasks, parTask{whole: ops, n: 1})
+			return
+		}
+		s0, p0, o0 := rdf.NoID, rdf.NoID, rdf.NoID
+		if !cp.s.isVar() {
+			s0 = cp.s.id
+		}
+		if !cp.o.isVar() {
+			o0 = cp.o.id
+		}
+		if !cp.p.isVar() {
+			p0 = cp.p.id
+		}
+		*tasks = append(*tasks, parTask{
+			scan: op, rest: ops[1:],
+			s0: s0, p0: p0, o0: o0,
+			n: snap.ScanLen(s0, p0, o0),
+		})
+	case *pathOp:
+		cp := op.cp
+		if pathDead(cp) {
+			*tasks = append(*tasks, parTask{whole: ops, n: 1})
+			return
+		}
+		s := rdf.NoID
+		if !cp.s.isVar() {
+			s = cp.s.id
+		}
+		starts := pathStarts(snap, cp, s)
+		*tasks = append(*tasks, parTask{
+			path: op, rest: ops[1:],
+			starts: starts, n: len(starts),
+		})
+	case *unionOp:
+		for _, alt := range op.alts {
+			pipeline := make([]physOp, 0, len(alt)+len(ops)-1)
+			pipeline = append(pipeline, alt...)
+			pipeline = append(pipeline, ops[1:]...)
+			flattenTasks(snap, p, pipeline, tasks)
+		}
+	default:
+		*tasks = append(*tasks, parTask{whole: ops, n: 1})
+	}
+}
+
+// morselRef is one claimable unit of work: task index plus domain range.
+type morselRef struct{ task, lo, hi int }
+
 // runPlanParallel executes a compiled plan with `workers` goroutines over a
-// snapshot, falling back to the serial executor whenever the plan or the
-// data cannot be morsel-partitioned profitably.
+// snapshot, falling back to the serial executor when decideParallel says so.
 func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) {
-	lead, rest, s0, p0, o0, ok := splitParallel(p)
-	if !ok || workers <= 1 {
-		return runPlan(snap, p)
-	}
-	n := snap.ScanLen(s0, p0, o0)
-	if n < minParallelScan {
-		return runPlan(snap, p)
+	res, _, err := runPlanParallelInfo(snap, p, workers)
+	return res, err
+}
+
+// runPlanParallelInfo is runPlanParallel plus the execution report the CLI
+// and cache layer surface.
+func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, ExecInfo, error) {
+	dec := decideParallel(snap, p, workers)
+	if dec.reason != "" {
+		res, err := runPlan(snap, p)
+		return res, ExecInfo{Workers: workers, SerialReason: dec.reason}, err
 	}
 
-	morsel := n / (workers * 4)
-	if morsel < minMorsel {
-		morsel = minMorsel
+	msize := dec.domain / (workers * 4)
+	if msize < minMorsel {
+		msize = minMorsel
 	}
-	if morsel > maxMorsel {
-		morsel = maxMorsel
+	if msize > maxMorsel {
+		msize = maxMorsel
 	}
-	numMorsels := (n + morsel - 1) / morsel
-	if workers > numMorsels {
-		workers = numMorsels
+	var morsels []morselRef
+	for ti, t := range dec.tasks {
+		if t.whole != nil {
+			morsels = append(morsels, morselRef{task: ti, lo: 0, hi: 1})
+			continue
+		}
+		for lo := 0; lo < t.n; lo += msize {
+			hi := lo + msize
+			if hi > t.n {
+				hi = t.n
+			}
+			morsels = append(morsels, morselRef{task: ti, lo: lo, hi: hi})
+		}
+	}
+	if workers > len(morsels) {
+		workers = len(morsels)
 	}
 
-	width := len(p.vars)
-	seed := make(idRow, width)
-	for i := range seed {
-		seed[i] = rdf.NoID
-	}
+	seed := seedRow(len(p.vars))
 	// Per-worker DISTINCT thinning drops rows whose projected key was
-	// already seen by this worker. It only ever removes rows the final
-	// serial dedupe would have removed anyway (a worker's morsels arrive in
-	// increasing index order, so the kept occurrence always precedes the
-	// dropped one in serial order), shrinking the merge instead of changing
-	// it.
-	distinctThin := p.q.Distinct && p.q.CountAs == ""
+	// already seen by this worker. Representative choice is invisible in the
+	// output (rows equal on every projected slot render identically, and
+	// under DISTINCT the sort keys are all projected), so thinning only
+	// shrinks the merge. Aggregate queries must keep every row.
+	distinctThin := p.q.Distinct && !p.q.isAggregate()
 
-	buckets := make([][]idRow, numMorsels)
-	errs := make([]error, numMorsels)
+	buckets := make([][]idRow, len(morsels))
+	errs := make([]error, len(morsels))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := &executor{g: snap, plan: p, width: width, cache: make(map[rdf.ID]rdf.Term)}
+			e := newExecutor(snap, p)
 			var seen map[string]struct{}
 			var keyBuf []byte
 			if distinctThin {
@@ -93,23 +257,10 @@ func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) 
 			}
 			for {
 				m := int(next.Add(1)) - 1
-				if m >= numMorsels {
+				if m >= len(morsels) {
 					return
 				}
-				lo := m * morsel
-				hi := lo + morsel
-				if hi > n {
-					hi = n
-				}
-				var cur []idRow
-				snap.ScanRange(s0, p0, o0, lo, hi, func(si, pi, oi rdf.ID) bool {
-					nr := e.newRow(seed)
-					if trySet(nr, lead.s.slot, si) && trySet(nr, lead.p.slot, pi) && trySet(nr, lead.o.slot, oi) {
-						cur = append(cur, nr)
-					}
-					return true
-				})
-				rows, err := e.execGroup(rest, cur)
+				rows, err := runMorsel(e, snap, dec.tasks[morsels[m].task], morsels[m], seed)
 				if err != nil {
 					errs[m] = err
 					continue
@@ -132,11 +283,11 @@ func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) 
 	}
 	wg.Wait()
 
-	// Lowest-morsel error wins: the first error the serial executor would
-	// have hit.
+	// Lowest-morsel error wins: a deterministic choice among the errors the
+	// serial executor could have hit.
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, ExecInfo{Workers: workers, Parallel: true, Tasks: len(dec.tasks)}, err
 		}
 	}
 
@@ -149,70 +300,43 @@ func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) 
 		rows = append(rows, b...)
 	}
 
-	// The merge executor runs the shared finish path — COUNT, final
-	// DISTINCT, sort, OFFSET/LIMIT, materialization — on the serial-ordered
-	// rows, with the chunked parallel sorter installed.
-	me := &executor{g: snap, plan: p, width: width, cache: make(map[rdf.ID]rdf.Term)}
+	// The merge executor runs the shared finish path — aggregation, final
+	// DISTINCT, sort, OFFSET/LIMIT, materialization — with the chunked
+	// parallel sorter installed.
+	me := newExecutor(snap, p)
 	me.sortHook = func(rs []idRow, keys []OrderKey, slots []int) {
 		parallelSort(snap, p, workers, rs, keys, slots)
 	}
-	return me.finish(rows)
+	res, err := me.finish(rows)
+	return res, ExecInfo{Workers: workers, Parallel: true, Tasks: len(dec.tasks)}, err
 }
 
-// splitParallel decides whether the plan is morsel-partitionable and, if so,
-// returns the leading pattern, the remainder of the plan as a group (the
-// lead BGP's tail patterns followed by every later root step), and the
-// pattern's scan-domain IDs (rdf.NoID for variable positions, which are all
-// unbound at the leading pattern).
-//
-// Not partitionable: an empty plan, a leading property path (its closure
-// walk has no flat scan domain), a dead leading constant (serial handles
-// the empty result for free), or a top-level UNION anywhere in the root
-// group — UNION concatenates alternative-major over all accumulated rows,
-// which morsel-major merging cannot reproduce in order.
-func splitParallel(p *Plan) (lead compiledPattern, rest *planGroup, s0, p0, o0 rdf.ID, ok bool) {
-	if len(p.root.steps) == 0 {
-		return lead, nil, 0, 0, 0, false
-	}
-	for _, st := range p.root.steps {
-		if _, isUnion := st.(*unionStep); isUnion {
-			return lead, nil, 0, 0, 0, false
+// runMorsel executes one claimed morsel: the task's leading operator over
+// [lo, hi) of its domain, then the remainder pipeline.
+func runMorsel(e *executor, snap *rdf.Snapshot, t parTask, m morselRef, seed idRow) ([]idRow, error) {
+	switch {
+	case t.whole != nil:
+		return e.runOps(t.whole, []idRow{e.newRow(seed)})
+	case t.path != nil:
+		cp := t.path.cp
+		o, _ := resolveRef(cp.o, seed) // dead endpoints became whole tasks
+		var cur []idRow
+		for _, start := range t.starts[m.lo:m.hi] {
+			cur = e.extendPathFrom(cp, seed, start, o, cur)
 		}
+		return e.runOps(t.rest, cur)
+	default:
+		cp := t.scan.cp
+		var cur []idRow
+		snap.ScanRange(t.s0, t.p0, t.o0, m.lo, m.hi, func(si, pi, oi rdf.ID) bool {
+			nr := e.newRow(seed)
+			if trySet(nr, cp.s.slot, si) && trySet(nr, cp.p.slot, pi) && trySet(nr, cp.o.slot, oi) {
+				cur = append(cur, nr)
+			}
+			return true
+		})
+		return e.runOps(t.rest, cur)
 	}
-	bgp, isBGP := p.root.steps[0].(*bgpStep)
-	if !isBGP || len(bgp.patterns) == 0 {
-		return lead, nil, 0, 0, 0, false
-	}
-	lead = bgp.patterns[0]
-	if lead.p.isPath() {
-		return lead, nil, 0, 0, 0, false
-	}
-	s0, p0, o0 = rdf.NoID, rdf.NoID, rdf.NoID
-	if !lead.s.isVar() {
-		if lead.s.id == rdf.NoID {
-			return lead, nil, 0, 0, 0, false
-		}
-		s0 = lead.s.id
-	}
-	if !lead.o.isVar() {
-		if lead.o.id == rdf.NoID {
-			return lead, nil, 0, 0, 0, false
-		}
-		o0 = lead.o.id
-	}
-	if !lead.p.isVar() {
-		if lead.p.id == rdf.NoID {
-			return lead, nil, 0, 0, 0, false
-		}
-		p0 = lead.p.id
-	}
-
-	var steps []planStep
-	if len(bgp.patterns) > 1 {
-		steps = append(steps, &bgpStep{patterns: bgp.patterns[1:]})
-	}
-	steps = append(steps, p.root.steps[1:]...)
-	return lead, &planGroup{steps: steps}, s0, p0, o0, true
 }
 
 // parallelSort orders rows exactly as sort.SliceStable with the executor
@@ -225,7 +349,7 @@ func splitParallel(p *Plan) (lead compiledPattern, rest *planGroup, s0, p0, o0 r
 func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys []OrderKey, slots []int) {
 	n := len(rows)
 	if n < minParallelSort || workers <= 1 {
-		e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+		e := newExecutor(snap, p)
 		sort.SliceStable(rows, func(i, j int) bool { return e.rowLess(rows[i], rows[j], keys, slots) })
 		return
 	}
@@ -242,7 +366,7 @@ func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys [
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+			e := newExecutor(snap, p)
 			part := rows[lo:hi]
 			sort.SliceStable(part, func(i, j int) bool { return e.rowLess(part[i], part[j], keys, slots) })
 		}(bounds[i], bounds[i+1])
@@ -259,7 +383,7 @@ func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys [
 			mwg.Add(1)
 			go func(lo, mid, hi int) {
 				defer mwg.Done()
-				e := &executor{g: snap, plan: p, cache: make(map[rdf.ID]rdf.Term)}
+				e := newExecutor(snap, p)
 				mergeRuns(e, rows, buf, lo, mid, hi, keys, slots)
 			}(bounds[i], bounds[i+1], bounds[i+2])
 			nb = append(nb, bounds[i+2])

@@ -96,30 +96,38 @@ func TestParallelParityRandomBGP(t *testing.T) {
 }
 
 // TestParallelParityStructured covers the specially-compiled forms: FILTER,
-// OPTIONAL, UNION (serial fallback), property paths (serial fallback),
-// ORDER BY/LIMIT/OFFSET, DISTINCT, COUNT.
+// OPTIONAL, UNION and property paths (both task-decomposed, no serial
+// fallback), ORDER BY/LIMIT/OFFSET, DISTINCT, and GROUP BY/aggregates.
 func TestParallelParityStructured(t *testing.T) {
 	g := lineageGraph()
-	// Pad the graph so leading scans cross the parallel threshold for the
-	// patterns that can take it.
+	// Pad the graph so leading scans, paths, and UNION alternatives cross
+	// the parallel threshold.
+	derived := rdf.IRI("http://www.w3.org/ns/prov#wasDerivedFrom")
+	attr := rdf.IRI("http://www.w3.org/ns/prov#wasAttributedTo")
 	for i := 0; i < 300; i++ {
-		g.Add(rdf.Triple{
-			S: rdf.IRI(fmt.Sprintf("http://example.org/pad%d", i)),
-			P: rdf.IRI("http://example.org/size"),
-			O: rdf.Integer(int64(i % 97)),
-		})
+		s := rdf.IRI(fmt.Sprintf("http://example.org/pad%d", i))
+		g.Add(rdf.Triple{S: s, P: rdf.IRI("http://example.org/size"), O: rdf.Integer(int64(i % 97))})
+		g.Add(rdf.Triple{S: s, P: derived, O: rdf.IRI(fmt.Sprintf("http://example.org/pad%d", i/2))})
+		g.Add(rdf.Triple{S: s, P: attr, O: rdf.IRI(fmt.Sprintf("http://example.org/prog%d", i%2))})
 	}
 	queries := []string{
 		`SELECT ?e ?s WHERE { ?e ex:size ?s . FILTER(?s > 100) }`,
 		`SELECT ?e ?s WHERE { ?e ex:size ?s . FILTER(?s > 40 && ?s < 90) }`,
 		`SELECT ?e ?p WHERE { ?e ex:size ?s . OPTIONAL { ?e prov:wasAttributedTo ?p } }`,
-		`SELECT ?x WHERE { { ?x prov:wasAttributedTo ex:decimate } UNION { ?x prov:wasAttributedTo ex:tdms2h5 } }`,
+		`SELECT ?x WHERE { { ?x prov:wasAttributedTo ex:prog0 } UNION { ?x prov:wasAttributedTo ex:prog1 } }`,
+		`SELECT ?x ?s WHERE { { ?x prov:wasAttributedTo ex:prog0 } UNION { ?x prov:wasDerivedFrom+ ?s } }`,
 		`SELECT ?src WHERE { ex:decimate.h5 prov:wasDerivedFrom+ ?src . }`,
+		`SELECT ?s ?anc WHERE { ?s prov:wasDerivedFrom+ ?anc . }`,
+		`SELECT ?s ?anc WHERE { ?s prov:wasDerivedFrom/prov:wasDerivedFrom ?anc . }`,
 		`SELECT ?e ?s WHERE { ?e ex:size ?s . } ORDER BY DESC(?s) LIMIT 2`,
 		`SELECT ?e ?s WHERE { ?e ex:size ?s . } ORDER BY ?s OFFSET 5 LIMIT 10`,
 		`SELECT DISTINCT ?p WHERE { ?e ?p ?o . }`,
 		`SELECT DISTINCT ?s WHERE { ?e ex:size ?s . }`,
 		`SELECT (COUNT(?e) AS ?n) WHERE { ?e ex:size ?s . }`,
+		`SELECT ?p (COUNT(?e) AS ?n) WHERE { ?e ?p ?o . } GROUP BY ?p ORDER BY ?p`,
+		`SELECT (SUM(?s) AS ?total) (AVG(?s) AS ?mean) (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) WHERE { ?e ex:size ?s . }`,
+		`SELECT ?prog (COUNT(*) AS ?n) WHERE { { ?x prov:wasAttributedTo ?prog } UNION { ?x prov:wasDerivedFrom ?prog } } GROUP BY ?prog`,
+		`SELECT ?anc (COUNT(?s) AS ?n) WHERE { ?s prov:wasDerivedFrom+ ?anc . } GROUP BY ?anc`,
 		`SELECT ?s ?p ?o WHERE { ?s ?p ?o . }`,
 	}
 	for _, query := range queries {

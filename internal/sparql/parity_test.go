@@ -165,6 +165,10 @@ func TestPlannerParityStructured(t *testing.T) {
 		`SELECT ?e ?s WHERE { ?e ex:size ?s . } ORDER BY DESC(?s) LIMIT 2`,
 		`SELECT DISTINCT ?p WHERE { ?e ?p ?o . }`,
 		`SELECT (COUNT(?e) AS ?n) WHERE { ?e ex:size ?s . }`,
+		`SELECT ?p (COUNT(?e) AS ?n) WHERE { ?e ?p ?o . } GROUP BY ?p`,
+		`SELECT (SUM(?s) AS ?total) (AVG(?s) AS ?mean) WHERE { ?e ex:size ?s . }`,
+		`SELECT (MIN(?s) AS ?lo) (MAX(?s) AS ?hi) (COUNT(DISTINCT ?e) AS ?n) WHERE { ?e ex:size ?s . }`,
+		`SELECT ?anc (COUNT(?s) AS ?n) WHERE { ?s prov:wasDerivedFrom+ ?anc . } GROUP BY ?anc`,
 	}
 	for _, query := range queries {
 		q, err := Parse(query, testNS())

@@ -90,6 +90,36 @@ func (p *parser) parseQuery() error {
 	if p.cur().kind != tokEOF {
 		return p.errf("unexpected trailing token %q", p.cur().text)
 	}
+	return p.validateAggregates()
+}
+
+// validateAggregates enforces the SPARQL grouping rules our subset supports:
+// with aggregates or GROUP BY present, every plain projected variable must be
+// a GROUP BY variable, aggregate aliases must be unique and must not shadow a
+// plain projection, and SELECT * cannot be grouped.
+func (p *parser) validateAggregates() error {
+	q := p.q
+	if !q.isAggregate() {
+		return nil
+	}
+	if len(q.Vars) == 0 {
+		return p.errf("SELECT * cannot be combined with GROUP BY or aggregates")
+	}
+	grouped := make(map[string]bool, len(q.GroupBy))
+	for _, v := range q.GroupBy {
+		grouped[v] = true
+	}
+	aliases := q.aggAliases()
+	seen := make(map[string]bool, len(q.Vars))
+	for _, v := range q.Vars {
+		if seen[v] {
+			return p.errf("duplicate projection of ?%s in an aggregate query", v)
+		}
+		seen[v] = true
+		if !aliases[v] && !grouped[v] {
+			return p.errf("variable ?%s is projected but neither aggregated nor in GROUP BY", v)
+		}
+	}
 	return nil
 }
 
@@ -119,35 +149,64 @@ func (p *parser) parseProjection() error {
 		p.pos++
 		return nil
 	}
-	if p.cur().kind == tokLParen {
-		return p.parseCountProjection()
-	}
-	for p.cur().kind == tokVar {
-		p.q.Vars = append(p.q.Vars, p.next().text)
+	for {
+		switch p.cur().kind {
+		case tokVar:
+			p.q.Vars = append(p.q.Vars, p.next().text)
+			continue
+		case tokLParen:
+			if err := p.parseAggProjection(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
 	}
 	if len(p.q.Vars) == 0 {
-		return p.errf("SELECT needs '*', variables, or (COUNT(...) AS ?v)")
+		return p.errf("SELECT needs '*', variables, or (FUNC(...) AS ?v)")
 	}
 	return nil
 }
 
-// parseCountProjection parses (COUNT(?v) AS ?n) or (COUNT(*) AS ?n).
-func (p *parser) parseCountProjection() error {
+// aggFuncs maps projection keywords to aggregate functions.
+var aggFuncs = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+// parseAggProjection parses one (FUNC(DISTINCT? ?v) AS ?n) projection;
+// COUNT also accepts '*'.
+func (p *parser) parseAggProjection() error {
 	p.pos++ // '('
-	if err := p.expectKeyword("COUNT"); err != nil {
-		return err
+	t := p.cur()
+	fn, ok := AggFunc(0), false
+	if t.kind == tokKeyword {
+		fn, ok = aggFuncs[t.text]
 	}
+	if !ok {
+		return p.errf("expected aggregate function (COUNT/SUM/MIN/MAX/AVG), got %q", t.text)
+	}
+	p.pos++
+	agg := Aggregate{Func: fn}
 	if _, err := p.expectKind(tokLParen, "'('"); err != nil {
 		return err
 	}
+	if p.acceptKeyword("DISTINCT") {
+		agg.Distinct = true
+	}
 	switch p.cur().kind {
 	case tokStar:
+		if fn != AggCount {
+			return p.errf("%s needs a variable, not '*'", fn)
+		}
+		if agg.Distinct {
+			return p.errf("COUNT(DISTINCT *) is not supported")
+		}
 		p.pos++
-		p.q.CountAll = true
+		agg.Star = true
 	case tokVar:
-		p.q.Count = p.next().text
+		agg.Var = p.next().text
 	default:
-		return p.errf("COUNT needs '*' or a variable")
+		return p.errf("%s needs a variable", fn)
 	}
 	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
 		return err
@@ -159,9 +218,13 @@ func (p *parser) parseCountProjection() error {
 	if err != nil {
 		return err
 	}
-	p.q.CountAs = v.text
-	_, err = p.expectKind(tokRParen, "')'")
-	return err
+	agg.As = v.text
+	if _, err := p.expectKind(tokRParen, "')'"); err != nil {
+		return err
+	}
+	p.q.Aggs = append(p.q.Aggs, agg)
+	p.q.Vars = append(p.q.Vars, agg.As)
+	return nil
 }
 
 func (p *parser) parseGroup() (*Group, error) {
@@ -371,6 +434,16 @@ func (p *parser) parsePathStep() (PathStep, error) {
 func (p *parser) parseSolutionModifiers() error {
 	for {
 		switch {
+		case p.acceptKeyword("GROUP"):
+			if err := p.expectKeyword("BY"); err != nil {
+				return err
+			}
+			for p.cur().kind == tokVar {
+				p.q.GroupBy = append(p.q.GroupBy, p.next().text)
+			}
+			if len(p.q.GroupBy) == 0 {
+				return p.errf("GROUP BY needs at least one variable")
+			}
 		case p.acceptKeyword("ORDER"):
 			if err := p.expectKeyword("BY"); err != nil {
 				return err

@@ -14,11 +14,14 @@ import (
 // slot), and each basic graph pattern is join-ordered by index-cardinality
 // estimates read from the source's maintained statistics (CountMatchIDs /
 // PredStats / IndexStats).
-// This replaces the static boundness heuristic the term-space evaluator
-// used: "how many triples will this probe actually touch" beats "how many
-// positions are constant" whenever predicates differ wildly in frequency,
-// which provenance graphs — few relation predicates carrying most triples,
-// many annotation predicates carrying few — guarantee.
+//
+// The compiled form is a single pipeline of physical operators (scan, path,
+// filter, optional, union); OPTIONAL and UNION hold nested pipelines. Both
+// the serial executor (exec.go) and the morsel-parallel executor
+// (parallel.go) run this one tree — the parallel executor merely partitions
+// the leading operator's domain into morsels and runs the identical
+// remainder pipeline per morsel, so there is exactly one implementation of
+// every operator.
 //
 // A Plan is tied to the source it was compiled against (the estimates and
 // term IDs are source-specific) and is valid as long as no triples are
@@ -32,49 +35,63 @@ type Plan struct {
 	// variable name to its register index in the executor's rows.
 	vars  []string
 	slots map[string]int
-	// project lists the output variable names in order.
+	// project lists the output column names in order (aggregate aliases
+	// included).
 	project []string
-	// projSlots are the register slots of project (-1 when the variable
-	// never occurs in the WHERE clause and is therefore always unbound).
+	// projSlots are the register slots of project (-1 when the name never
+	// occurs in the WHERE clause — always unbound — or is an aggregate
+	// alias).
 	projSlots []int
-	// root is the compiled WHERE group.
-	root *planGroup
+	// ops is the compiled WHERE pipeline.
+	ops []physOp
+	// Aggregate metadata; aggCols is nil for plain queries. aggCols[i]
+	// describes output column i, groupSlots are the GROUP BY registers, and
+	// aggSpecs the compiled aggregate projections.
+	aggCols    []aggCol
+	groupSlots []int
+	aggSpecs   []aggSpec
 	// graphLen records the graph size at compile time (shown by EXPLAIN).
 	graphLen int
 }
 
-// planGroup is a compiled group graph pattern.
-type planGroup struct {
-	steps []planStep
+// physOp is one physical operator of a compiled pipeline. run consumes the
+// input rows and produces the operator's output rows (see exec.go for the
+// implementations shared by the serial and parallel executors).
+type physOp interface {
+	run(e *executor, in []idRow) ([]idRow, error)
 }
 
-// planStep is one executable step of a group.
-type planStep interface{ planStep() }
+// scanOp joins one index-backed triple pattern against every input row.
+type scanOp struct{ cp compiledPattern }
 
-// bgpStep is a basic graph pattern whose patterns run in planned order.
-type bgpStep struct {
-	patterns []compiledPattern
+// pathOp evaluates a property-path pattern (closure walk) per input row.
+type pathOp struct{ cp compiledPattern }
+
+// filterOp applies a FILTER constraint.
+type filterOp struct{ expr Expr }
+
+// optionalOp left-joins a nested pipeline per input row.
+type optionalOp struct{ ops []physOp }
+
+// unionOp concatenates the outputs of alternative pipelines per input row.
+type unionOp struct{ alts [][]physOp }
+
+// aggCol describes one output column of an aggregate query: a GROUP BY
+// variable register (slot >= 0) or an aggregate (agg indexes aggSpecs).
+type aggCol struct {
+	slot int
+	agg  int
 }
 
-// filterStep applies a FILTER constraint.
-type filterStep struct {
-	expr Expr
+// aggSpec is one compiled aggregate projection. distinct is the effective
+// flag: an explicit FUNC(DISTINCT ?v), or the legacy SELECT DISTINCT
+// (COUNT(?v) AS ?n) form, which counts distinct bound values.
+type aggSpec struct {
+	fn       AggFunc
+	slot     int // register of the aggregated variable (-1 for '*' or absent)
+	star     bool
+	distinct bool
 }
-
-// optionalStep is a compiled OPTIONAL group.
-type optionalStep struct {
-	group *planGroup
-}
-
-// unionStep is a compiled UNION of alternatives.
-type unionStep struct {
-	alts []*planGroup
-}
-
-func (*bgpStep) planStep()      {}
-func (*filterStep) planStep()   {}
-func (*optionalStep) planStep() {}
-func (*unionStep) planStep()    {}
 
 // posRef is a compiled subject/object position: a register slot for a
 // variable, or a constant resolved to its dictionary ID (rdf.NoID when the
@@ -143,19 +160,75 @@ func Compile(g Source, q *Query) *Plan {
 			p.projSlots[i] = -1
 		}
 	}
+	p.compileAggregates()
 	bound := map[int]bool{}
-	p.root = compileGroup(g, q.Where, slots, bound)
+	p.ops = compileGroup(g, q.Where, slots, bound)
 	return p
 }
 
-func compileGroup(g Source, grp *Group, slots map[string]int, bound map[int]bool) *planGroup {
-	out := &planGroup{}
+// compileAggregates resolves the aggregate metadata: the GROUP BY registers,
+// one aggSpec per aggregate, and the per-output-column routing table.
+func (p *Plan) compileAggregates() {
+	q := p.q
+	if !q.isAggregate() {
+		return
+	}
+	p.groupSlots = make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		if s, ok := p.slots[v]; ok {
+			p.groupSlots[i] = s
+		} else {
+			p.groupSlots[i] = -1
+		}
+	}
+	p.aggSpecs = make([]aggSpec, len(q.Aggs))
+	aliasIdx := make(map[string]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		slot := -1
+		if !a.Star {
+			if s, ok := p.slots[a.Var]; ok {
+				slot = s
+			}
+		}
+		p.aggSpecs[i] = aggSpec{
+			fn:       a.Func,
+			slot:     slot,
+			star:     a.Star,
+			distinct: a.Distinct || (q.Distinct && a.Func == AggCount && !a.Star),
+		}
+		if _, dup := aliasIdx[a.As]; !dup {
+			aliasIdx[a.As] = i
+		}
+	}
+	p.aggCols = make([]aggCol, len(p.project))
+	for i, v := range p.project {
+		if j, ok := aliasIdx[v]; ok {
+			p.aggCols[i] = aggCol{slot: -1, agg: j}
+		} else {
+			p.aggCols[i] = aggCol{slot: p.projSlots[i], agg: -1}
+		}
+	}
+}
+
+// compileGroup compiles one group graph pattern into a pipeline. Consecutive
+// triple patterns form a basic graph pattern: they are join-order
+// independent, so the batch is cardinality-ordered before each pattern
+// becomes its own scan (or path) operator.
+func compileGroup(g Source, grp *Group, slots map[string]int, bound map[int]bool) []physOp {
+	var ops []physOp
 	var bgp []compiledPattern
 	flush := func() {
-		if len(bgp) > 0 {
-			out.steps = append(out.steps, &bgpStep{patterns: orderBGP(g, bgp, bound)})
-			bgp = nil
+		if len(bgp) == 0 {
+			return
 		}
+		for _, cp := range orderBGP(g, bgp, bound) {
+			if cp.p.isPath() {
+				ops = append(ops, &pathOp{cp: cp})
+			} else {
+				ops = append(ops, &scanOp{cp: cp})
+			}
+		}
+		bgp = nil
 	}
 	for _, e := range grp.Elems {
 		switch e := e.(type) {
@@ -163,24 +236,24 @@ func compileGroup(g Source, grp *Group, slots map[string]int, bound map[int]bool
 			bgp = append(bgp, compilePattern(g, e, slots))
 		case FilterElem:
 			flush()
-			out.steps = append(out.steps, &filterStep{expr: e.Expr})
+			ops = append(ops, &filterOp{expr: e.Expr})
 		case OptionalElem:
 			flush()
 			// Optional vars stay out of the outer bound set: at runtime
 			// they may be unbound, so later estimates cannot rely on them.
 			sub := compileGroup(g, e.Group, slots, copyBoundSet(bound))
-			out.steps = append(out.steps, &optionalStep{group: sub})
+			ops = append(ops, &optionalOp{ops: sub})
 		case UnionElem:
 			flush()
-			us := &unionStep{}
+			u := &unionOp{}
 			for _, alt := range e.Alternatives {
-				us.alts = append(us.alts, compileGroup(g, alt, slots, copyBoundSet(bound)))
+				u.alts = append(u.alts, compileGroup(g, alt, slots, copyBoundSet(bound)))
 			}
-			out.steps = append(out.steps, us)
+			ops = append(ops, u)
 		}
 	}
 	flush()
-	return out
+	return ops
 }
 
 func copyBoundSet(b map[int]bool) map[int]bool {
@@ -383,9 +456,9 @@ func estimatePattern(g Source, cp compiledPattern, bound map[int]bool) (est int,
 
 // ---- EXPLAIN rendering ----
 
-// String renders the plan in EXPLAIN form: the slot table, each group step,
-// and for basic graph patterns the chosen join order with per-pattern
-// cardinality estimates and probe indexes.
+// String renders the plan in EXPLAIN form: the slot table, the operator
+// pipeline with per-pattern cardinality estimates and probe indexes, and the
+// projection/modifier tail.
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "QUERY PLAN (graph: %d triples)\n", p.graphLen)
@@ -396,20 +469,23 @@ func (p *Plan) String() string {
 		}
 		b.WriteByte('\n')
 	}
-	p.writeGroup(&b, p.root, 0)
+	p.writeOps(&b, p.ops, 0)
 	b.WriteString("project:")
-	if p.q.CountAs != "" {
-		what := "*"
-		if !p.q.CountAll {
-			what = "?" + p.q.Count
-		}
-		fmt.Fprintf(&b, " COUNT(%s) AS ?%s", what, p.q.CountAs)
-	} else {
-		for _, v := range p.project {
+	for i, v := range p.project {
+		if p.aggCols != nil && p.aggCols[i].agg >= 0 {
+			b.WriteString(" (" + p.aggString(p.q.Aggs[p.aggCols[i].agg]) + ")")
+		} else {
 			b.WriteString(" ?" + v)
 		}
 	}
 	b.WriteByte('\n')
+	if len(p.q.GroupBy) > 0 {
+		b.WriteString("group by:")
+		for _, v := range p.q.GroupBy {
+			b.WriteString(" ?" + v)
+		}
+		b.WriteByte('\n')
+	}
 	var mods []string
 	if p.q.Distinct {
 		mods = append(mods, "DISTINCT")
@@ -433,30 +509,45 @@ func (p *Plan) String() string {
 	return b.String()
 }
 
-func (p *Plan) writeGroup(b *strings.Builder, grp *planGroup, depth int) {
+func (p *Plan) aggString(a Aggregate) string {
+	what := "?" + a.Var
+	if a.Star {
+		what = "*"
+	}
+	if a.Distinct {
+		what = "DISTINCT " + what
+	}
+	return fmt.Sprintf("%s(%s) AS ?%s", a.Func, what, a.As)
+}
+
+func (p *Plan) writeOps(b *strings.Builder, ops []physOp, depth int) {
 	ind := strings.Repeat("  ", depth)
-	for _, st := range grp.steps {
-		switch st := st.(type) {
-		case *bgpStep:
-			fmt.Fprintf(b, "%sBGP (%d pattern(s), cardinality join order):\n", ind, len(st.patterns))
-			for i, cp := range st.patterns {
-				rel := "="
-				if cp.approx {
-					rel = "~"
-				}
-				fmt.Fprintf(b, "%s  %d. %-44s est%s%-8d via %s\n",
-					ind, i+1, p.patternString(cp.src), rel, cp.est, cp.idx)
+	for _, op := range ops {
+		switch op := op.(type) {
+		case *scanOp:
+			rel := "="
+			if op.cp.approx {
+				rel = "~"
 			}
-		case *filterStep:
-			fmt.Fprintf(b, "%sFILTER %s\n", ind, exprString(st.expr))
-		case *optionalStep:
+			fmt.Fprintf(b, "%sSCAN %-44s est%s%-8d via %s\n",
+				ind, p.patternString(op.cp.src), rel, op.cp.est, op.cp.idx)
+		case *pathOp:
+			rel := "="
+			if op.cp.approx {
+				rel = "~"
+			}
+			fmt.Fprintf(b, "%sPATH %-44s est%s%-8d via %s\n",
+				ind, p.patternString(op.cp.src), rel, op.cp.est, op.cp.idx)
+		case *filterOp:
+			fmt.Fprintf(b, "%sFILTER %s\n", ind, exprString(op.expr))
+		case *optionalOp:
 			fmt.Fprintf(b, "%sOPTIONAL:\n", ind)
-			p.writeGroup(b, st.group, depth+1)
-		case *unionStep:
-			fmt.Fprintf(b, "%sUNION (%d alternatives):\n", ind, len(st.alts))
-			for i, alt := range st.alts {
+			p.writeOps(b, op.ops, depth+1)
+		case *unionOp:
+			fmt.Fprintf(b, "%sUNION (%d alternatives):\n", ind, len(op.alts))
+			for i, alt := range op.alts {
 				fmt.Fprintf(b, "%s  alt %d:\n", ind, i+1)
-				p.writeGroup(b, alt, depth+2)
+				p.writeOps(b, alt, depth+2)
 			}
 		}
 	}
