@@ -270,6 +270,72 @@ func PrunerForQuery(q *sparql.Query) *SegmentPruner {
 // (cross-run provenance).
 func MergeStores(stores ...*Store) (*Graph, error) { return core.MergeStores(stores...) }
 
+// ---- Out-of-core execution: lazy views & the decoded-unit cache ----
+
+// CacheConfig bounds a LazyView's decoded-unit cache (MaxBytes <= 0 is
+// unbounded).
+type CacheConfig = core.CacheConfig
+
+// CacheStats is a point-in-time report of a lazy view's cache counters.
+type CacheStats = core.CacheStats
+
+// LazyView is the out-of-core read handle of a store (Store.OpenLazy): the
+// layout pinned at open time plus a byte-budgeted cache of decoded units.
+type LazyView = core.LazyView
+
+// LazySource federates a lazy view's per-unit snapshots behind the query
+// engine's source interface for one query (LazyView.Source).
+type LazySource = core.LazySource
+
+// LevelResidency is one level's disk/decoded/resident byte breakdown of a
+// lazy view (LazyView.LevelResidency) — the sizing input for -cache-bytes.
+type LevelResidency = core.LevelResidency
+
+// ErrStaleView classifies a lazy read that found the store layout changed
+// under an open view (a concurrent Compact or PackSegments); reopen with
+// Store.OpenLazy.
+var ErrStaleView = core.ErrStaleView
+
+// The federated lazy source must satisfy the morsel-parallel scan surface —
+// this is the contract that lets Eval/EvalParallel run unchanged over a
+// store larger than the cache budget.
+var _ sparql.ScanSource = (*core.LazySource)(nil)
+
+// QueryLazyParallelInfo evaluates a SPARQL SELECT query against a lazy
+// source with the morsel-driven parallel executor. Results are
+// byte-identical to QueryParallelInfo over the eagerly merged store; only
+// the resident memory differs. The source's sticky view error (a concurrent
+// compaction, a corrupted unit) is surfaced here, since the engine's source
+// interface cannot carry errors.
+func QueryLazyParallelInfo(src *LazySource, query string, workers int) (*QueryResult, QueryInfo, error) {
+	q, err := sparql.Parse(query, model.Namespaces())
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	res, info, err := sparql.EvalParallelOnInfo(src, q, workers)
+	if err != nil {
+		return nil, info, err
+	}
+	if serr := src.Err(); serr != nil {
+		return nil, info, serr
+	}
+	return res, info, nil
+}
+
+// ExplainQueryWorkersLazy is ExplainQueryWorkers against a lazy source: the
+// plan, compiled from the units' statistics instead of exact graph
+// cardinalities, plus the parallel-execution decision.
+func ExplainQueryWorkersLazy(src *LazySource, query string, workers int) (string, error) {
+	out, err := sparql.ExplainWorkersOn(src, query, model.Namespaces(), workers)
+	if err != nil {
+		return "", err
+	}
+	if serr := src.Err(); serr != nil {
+		return "", serr
+	}
+	return out, nil
+}
+
 // ---- Integrity: verification, hash chains, crash harness ----
 
 // VerifyReport is the result of auditing a store end-to-end (Store.Verify,

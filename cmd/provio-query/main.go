@@ -26,6 +26,13 @@
 // zone maps, predicate lists, and Bloom filters prove the query's patterns
 // cannot match are never decoded. Results are identical to an exhaustive
 // merge; -no-prune forces the exhaustive path.
+//
+// -lazy switches to out-of-core execution: instead of merging the store up
+// front, the query runs over a lazy view that decodes segments and pack
+// members on demand into a cache bounded by -cache-bytes (0 = unbounded), so
+// peak resident memory tracks the budget rather than the store size. Results
+// are byte-identical to the eager path; the stderr scan line additionally
+// reports the decoded-unit cache's hit ratio and residency.
 package main
 
 import (
@@ -48,6 +55,8 @@ func main() {
 	plan := flag.Bool("plan", false, "print the pushdown report and query plan (EXPLAIN) instead of executing")
 	noPrune := flag.Bool("no-prune", false, "disable segment-statistics pushdown (decode every segment)")
 	workers := flag.Int("workers", 1, "parallel query workers (1 = serial executor)")
+	lazy := flag.Bool("lazy", false, "out-of-core execution: decode segments on demand instead of merging up front")
+	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-unit cache budget in bytes for -lazy (0 = unbounded)")
 	repeat := flag.Int("repeat", 1, "run the query this many times in-process (cache demo)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap pprof profile to this file")
@@ -80,38 +89,83 @@ func main() {
 	if err != nil {
 		fatalf("open store: %v", err)
 	}
-	g, scan, err := store.MergePruned(pruner, *workers)
-	if err != nil {
-		fatalf("merge: %v", err)
-	}
-	if *plan {
-		fmt.Printf("pushdown: %s\n", scan)
-		out, err := provio.ExplainQueryWorkers(g, query, *workers)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Print(out)
-		return
-	}
-
-	stopCPU := startCPUProfile(*cpuprofile)
-	var res *provio.QueryResult
-	var info provio.QueryInfo
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	for i := 1; i <= *repeat; i++ {
-		res, info, err = provio.QueryParallelInfo(g, query, *workers)
+
+	var (
+		res      *provio.QueryResult
+		info     provio.QueryInfo
+		scanLine string // pushdown/cache report for the closing stderr line
+		triples  int
+	)
+	if *lazy {
+		view, err := store.OpenLazy(provio.CacheConfig{MaxBytes: *cacheBytes})
 		if err != nil {
-			break
+			fatalf("open lazy view: %v", err)
 		}
-		if *repeat > 1 {
-			fmt.Fprintf(os.Stderr, "run %d/%d: %d solution(s); %s\n", i, *repeat, len(res.Rows), info.Summary())
+		src := view.Source(pruner)
+		if *plan {
+			st := src.Stats()
+			budget := "unbounded"
+			if *cacheBytes > 0 {
+				budget = fmt.Sprintf("%d bytes", *cacheBytes)
+			}
+			fmt.Printf("pushdown: %d/%d unit(s) admitted (lazy view, cache %s)\n", src.Admitted(), st.Units, budget)
+			out, err := provio.ExplainQueryWorkersLazy(src, query, *workers)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Print(out)
+			return
 		}
-	}
-	stopCPU()
-	if err != nil {
-		fatalf("%v", err)
+		stopCPU := startCPUProfile(*cpuprofile)
+		for i := 1; i <= *repeat; i++ {
+			res, info, err = provio.QueryLazyParallelInfo(src, query, *workers)
+			if err != nil {
+				break
+			}
+			if *repeat > 1 {
+				fmt.Fprintf(os.Stderr, "run %d/%d: %d solution(s); %s\n", i, *repeat, len(res.Rows), info.Summary())
+			}
+		}
+		stopCPU()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		st := src.Stats()
+		scanLine = st.String()
+		triples = src.Len() // statistics estimate; the store is never merged
+	} else {
+		g, scan, err := store.MergePruned(pruner, *workers)
+		if err != nil {
+			fatalf("merge: %v", err)
+		}
+		if *plan {
+			fmt.Printf("pushdown: %s\n", scan)
+			out, err := provio.ExplainQueryWorkers(g, query, *workers)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Print(out)
+			return
+		}
+		stopCPU := startCPUProfile(*cpuprofile)
+		for i := 1; i <= *repeat; i++ {
+			res, info, err = provio.QueryParallelInfo(g, query, *workers)
+			if err != nil {
+				break
+			}
+			if *repeat > 1 {
+				fmt.Fprintf(os.Stderr, "run %d/%d: %d solution(s); %s\n", i, *repeat, len(res.Rows), info.Summary())
+			}
+		}
+		stopCPU()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		scanLine = scan.String()
+		triples = g.Len()
 	}
 	writeMemProfile(*memprofile)
 
@@ -135,7 +189,7 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples; %s; %s\n", len(res.Rows), g.Len(), info.Summary(), scan)
+	fmt.Fprintf(os.Stderr, "%d solution(s) over %d triples; %s; %s\n", len(res.Rows), triples, info.Summary(), scanLine)
 }
 
 func renderTerm(t provio.Term, ns *provio.Namespaces) string {

@@ -11,6 +11,12 @@
 // The report opens with the store's physical layout: per-level file/unit/byte
 // counts (L0 = loose flush segments, L1+ = compacted packs) and the scan line
 // of the merge that fed the statistics (segments decoded vs skipped).
+//
+// -lazy feeds the statistics through an out-of-core view instead of an eager
+// merge: units are decoded through a cache bounded by -cache-bytes (0 =
+// unbounded), and each layout line gains the view's decoded/resident byte
+// breakdown — the sizing input for picking a provio-query -cache-bytes
+// budget. The scan line then also carries the cache's hit ratio.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	provio "github.com/hpc-io/prov-io"
 	"github.com/hpc-io/prov-io/internal/cli"
 	"github.com/hpc-io/prov-io/internal/stats"
 )
@@ -25,6 +32,8 @@ import (
 func main() {
 	storeSpec := flag.String("store", "", cli.StoreUsage+" (required)")
 	formatFlag := flag.String("format", "auto", cli.FormatUsage)
+	lazy := flag.Bool("lazy", false, "derive statistics through an out-of-core lazy view")
+	cacheBytes := flag.Int64("cache-bytes", 0, "decoded-unit cache budget in bytes for -lazy (0 = unbounded)")
 	flag.Parse()
 	store, err := cli.OpenStore(*storeSpec, *formatFlag)
 	if err != nil {
@@ -36,18 +45,45 @@ func main() {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)
 	}
-	g, scan, err := store.MergePruned(nil, 1)
+
+	var (
+		g         *provio.Graph
+		scan      *provio.ScanStats
+		residency map[int]provio.LevelResidency
+	)
+	if *lazy {
+		view, verr := store.OpenLazy(provio.CacheConfig{MaxBytes: *cacheBytes})
+		if verr != nil {
+			fmt.Fprintf(os.Stderr, "provio-stats: open lazy view: %v\n", verr)
+			os.Exit(1)
+		}
+		g, scan, err = view.MaterializeGraph(2)
+		if err == nil {
+			residency = make(map[int]provio.LevelResidency)
+			for _, lr := range view.LevelResidency() {
+				residency[lr.Level] = lr
+			}
+		}
+	} else {
+		g, scan, err = store.MergePruned(nil, 1)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "provio-stats: %v\n", err)
 		os.Exit(1)
 	}
+
 	fmt.Println("store layout")
 	for _, li := range levels {
 		kind := "pack(s)"
 		if li.Level == 0 {
 			kind = "file(s)"
 		}
-		fmt.Printf("  L%d: %d %s, %d unit(s), %d bytes\n", li.Level, li.Files, kind, li.Units, li.Bytes)
+		fmt.Printf("  L%d: %d %s, %d unit(s), %d bytes", li.Level, li.Files, kind, li.Units, li.Bytes)
+		if lr, ok := residency[li.Level]; ok {
+			fmt.Printf(" | decoded %d bytes, resident %d/%d unit(s) (%d bytes)",
+				lr.DecodedBytes, lr.ResidentUnits, lr.Units, lr.ResidentBytes)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("  scan: %s\n\n", scan)
 	if err := stats.Compute(g).WriteWithAgents(os.Stdout, g); err != nil {

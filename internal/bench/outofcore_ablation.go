@@ -1,0 +1,384 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/hpc-io/prov-io/internal/core"
+	"github.com/hpc-io/prov-io/internal/model"
+	"github.com/hpc-io/prov-io/internal/rdf"
+	"github.com/hpc-io/prov-io/internal/sparql"
+)
+
+// requireReferenceArtifact asserts that a reference copy of the named bench
+// artifact is checked in at the repository root — the recorded run later
+// sessions (and the README's acceptance notes) compare against. Ablations
+// whose artifacts carry acceptance gates call this first, so a clone that
+// lost its reference fails loudly instead of silently benchmarking against
+// nothing. Outside a source checkout (no go.mod above the working
+// directory) the check is skipped: an installed binary has no repository to
+// hold references.
+func requireReferenceArtifact(name string) error {
+	dir, err := os.Getwd()
+	if err != nil {
+		return nil
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+				return fmt.Errorf("bench: reference artifact %s missing from repository root %s: %w (run the ablation and commit its artifact)", name, dir, err)
+			}
+			return nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return nil // not in a source checkout
+		}
+		dir = parent
+	}
+}
+
+// AblationOutOfCore measures the out-of-core query path (DESIGN.md
+// "Out-of-core execution"): lazy segment loading behind the byte-budgeted
+// decoded-unit cache, against the eager merge it replaces. The store's total
+// decoded footprint is measured first; the bounded runs then get a cache
+// budget of a quarter of it, so the store is 4x the budget by construction.
+//
+// Phases, all on the same leveled store (packed + loose, disjoint per-process
+// populations):
+//
+//   - eager baseline: MergePruned + query, the whole store resident.
+//   - lazy cold: fresh bounded view, selective query — pages in only the
+//     units the query's pruner admits.
+//   - lazy warm: the same query repeated on the same view — served from the
+//     cache, no decoding.
+//   - lazy full sweep: a match-all query on a fresh bounded view — touches
+//     every unit, forcing eviction, with peak residency still under budget.
+//
+// Gates enforced inline: byte parity with the eager path for the query, the
+// materialized graph, and the pruned lineage reduction; peak resident bytes
+// <= budget on every bounded view (counter-verified); the full sweep evicts;
+// and the warm repeat is >= 2x faster than the cold run.
+func AblationOutOfCore(s Scale) (*Report, error) {
+	if err := requireReferenceArtifact("BENCH_outofcore.json"); err != nil {
+		return nil, err
+	}
+	nPids, recordsPer := 12, 24
+	if s == ScalePaper {
+		nPids, recordsPer = 32, 96
+	}
+
+	tmp, err := os.MkdirTemp("", "provio-abloutofcore-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	spec := "dir:" + filepath.Join(tmp, "store")
+
+	r := &Report{
+		ID:      "abl-outofcore",
+		Title:   "Ablation: out-of-core queries — lazy segment loading behind a bounded decoded-unit cache",
+		Columns: []string{"phase", "decoded/units", "cache hit/miss", "peak/budget", "wall(ms)", "parity"},
+		Notes: []string{
+			fmt.Sprintf("%d periodic processes x %d records (disjoint entities per process), FlushEvery=8, last 2 canonical; PackSegments(1)", nPids, recordsPer),
+			"budget = total decoded footprint / 4, so the store is 4x the cache by construction",
+			"cold = OpenLazy + first selective query on a bounded view; warm = the same query repeated on that view",
+			"gates enforced by this runner: byte parity with the eager path, peak resident <= budget, full sweep evicts, warm >= 2x faster than cold",
+		},
+		ArtifactName: "BENCH_outofcore.json",
+	}
+
+	// Workload: the leveled layout of abl-lsm — periodic trackers leave
+	// sealed delta segments with disjoint entity populations, the first wave
+	// is packed, the last two processes stay canonical L0.
+	var probe rdf.Term
+	build, err := core.OpenStore(spec, core.FormatBinary)
+	if err != nil {
+		return nil, err
+	}
+	for pid := 0; pid < nPids; pid++ {
+		cfg := core.DefaultConfig()
+		canonical := pid >= nPids-2
+		if !canonical {
+			cfg.Mode = core.ModePeriodic
+			cfg.FlushEvery = 8
+		}
+		tr := core.NewTracker(cfg, build, pid)
+		user := tr.RegisterUser(fmt.Sprintf("user-p%02d", pid))
+		prog := tr.RegisterProgram(fmt.Sprintf("program-p%02d", pid), user)
+		for i := 0; i < recordsPer; i++ {
+			obj := tr.TrackDataObject(model.File, fmt.Sprintf("/exp/p%02d/f%03d", pid, i), "", rdf.Term{}, rdf.Term{})
+			if pid == 0 && i == 0 {
+				probe = obj
+			}
+			tr.TrackIO(model.Write, "write", obj, prog, time.Duration(i)*time.Microsecond, 0)
+		}
+		if canonical {
+			if err := tr.Close(); err != nil {
+				return nil, err
+			}
+		} else if err := tr.Drain(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := build.PackSegments(1); err != nil {
+		return nil, fmt.Errorf("bench: PackSegments: %w", err)
+	}
+
+	coldStore := func() (*core.Store, error) { return core.OpenStore(spec, core.FormatBinary) }
+	const workers = 2
+
+	// Eager baseline: the whole store merged and resident.
+	st, err := coldStore()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	full, eagerScan, err := st.MergePruned(nil, workers)
+	if err != nil {
+		return nil, err
+	}
+	query := fmt.Sprintf("SELECT ?p ?o WHERE { <%s> ?p ?o }", probe.Value)
+	q, err := sparql.Parse(query, nil)
+	if err != nil {
+		return nil, err
+	}
+	wantRes, err := resultBytes(full, q)
+	if err != nil {
+		return nil, err
+	}
+	eagerWall := time.Since(start)
+	wantGraph, err := graphBytes(full)
+	if err != nil {
+		return nil, err
+	}
+	wantLineage, err := graphBytes(core.ReduceLineage(full, []rdf.Term{probe}, 2))
+	if err != nil {
+		return nil, err
+	}
+
+	// Total decoded footprint -> the bounded runs' budget.
+	st, err = coldStore()
+	if err != nil {
+		return nil, err
+	}
+	vAll, err := st.OpenLazy(core.CacheConfig{})
+	if err != nil {
+		return nil, err
+	}
+	gAll, _, err := vAll.MaterializeGraph(workers)
+	if err != nil {
+		return nil, err
+	}
+	gotGraph, err := graphBytes(gAll)
+	if err != nil {
+		return nil, err
+	}
+	graphParity := bytes.Equal(wantGraph, gotGraph)
+	total := vAll.Stats().ResidentBytes
+	budget := total / 4
+	if budget <= 0 {
+		return nil, fmt.Errorf("bench: degenerate decoded footprint %d", total)
+	}
+
+	pruner := prunerFor(q)
+	if pruner == nil {
+		return nil, fmt.Errorf("bench: query unexpectedly refused a pruning hint")
+	}
+
+	// Lazy cold: fresh bounded view, first selective query.
+	st, err = coldStore()
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	view, err := st.OpenLazy(core.CacheConfig{MaxBytes: budget})
+	if err != nil {
+		return nil, err
+	}
+	src := view.Source(pruner)
+	gotCold, err := lazyResultBytes(src, q, workers)
+	if err != nil {
+		return nil, err
+	}
+	coldWall := time.Since(start)
+	coldScan := src.Stats()
+	coldParity := bytes.Equal(wantRes, gotCold)
+
+	// Lazy warm: the same query on the same view, decoded units resident.
+	warmWall := time.Duration(1 << 62)
+	warmParity := true
+	for round := 0; round < 3; round++ {
+		start = time.Now()
+		gotWarm, err := lazyResultBytes(src, q, workers)
+		if err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); d < warmWall {
+			warmWall = d
+		}
+		warmParity = warmParity && bytes.Equal(wantRes, gotWarm)
+	}
+	warmScan := src.Stats()
+
+	// Pruned lineage through the same bounded view.
+	lg, _, err := view.ReduceLineagePruned([]rdf.Term{probe}, 2, workers)
+	if err != nil {
+		return nil, err
+	}
+	gotLineage, err := graphBytes(lg)
+	if err != nil {
+		return nil, err
+	}
+	lineageParity := bytes.Equal(wantLineage, gotLineage)
+	viewStats := view.Stats()
+
+	// Full sweep on a fresh bounded view: every unit decoded through a cache
+	// a quarter of the store — eviction must do the bounding.
+	st, err = coldStore()
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := st.OpenLazy(core.CacheConfig{MaxBytes: budget})
+	if err != nil {
+		return nil, err
+	}
+	allQ, err := sparql.Parse("SELECT ?s ?p ?o WHERE { ?s ?p ?o }", nil)
+	if err != nil {
+		return nil, err
+	}
+	wantAll, err := resultBytes(full, allQ)
+	if err != nil {
+		return nil, err
+	}
+	sweepSrc := sweep.Source(nil)
+	start = time.Now()
+	gotAll, err := lazyResultBytes(sweepSrc, allQ, workers)
+	if err != nil {
+		return nil, err
+	}
+	sweepWall := time.Since(start)
+	sweepScan := sweepSrc.Stats()
+	sweepParity := bytes.Equal(wantAll, gotAll)
+
+	cacheCell := func(sc *core.ScanStats) string {
+		return fmt.Sprintf("%d/%d", sc.CacheHits, sc.CacheMisses)
+	}
+	peakCell := func(sc *core.ScanStats) string {
+		return fmt.Sprintf("%d/%d", sc.CachePeakBytes, sc.CacheBudgetBytes)
+	}
+	r.AddRow("eager merge + query", fmt.Sprintf("%d/%d", eagerScan.Decoded, eagerScan.Units),
+		"-", fmt.Sprintf("%d/-", total), ms(eagerWall), "true")
+	r.AddRow("lazy cold (selective)", fmt.Sprintf("%d/%d", coldScan.Decoded, coldScan.Units),
+		cacheCell(coldScan), peakCell(coldScan), ms(coldWall), fmt.Sprintf("%v", coldParity))
+	r.AddRow("lazy warm (repeat)", fmt.Sprintf("%d/%d", warmScan.Decoded, warmScan.Units),
+		cacheCell(warmScan), peakCell(warmScan), ms(warmWall), fmt.Sprintf("%v", warmParity))
+	r.AddRow("lazy full sweep", fmt.Sprintf("%d/%d", sweepScan.Decoded, sweepScan.Units),
+		cacheCell(sweepScan), peakCell(sweepScan), ms(sweepWall), fmt.Sprintf("%v", sweepParity))
+
+	speedup := float64(coldWall) / float64(warmWall)
+	var gateErrs []error
+	if !coldParity || !warmParity || !sweepParity {
+		gateErrs = append(gateErrs, fmt.Errorf("lazy query results diverge from eager"))
+	}
+	if !graphParity {
+		gateErrs = append(gateErrs, fmt.Errorf("lazy materialized graph diverges from eager merge"))
+	}
+	if !lineageParity {
+		gateErrs = append(gateErrs, fmt.Errorf("lazy lineage diverges from eager"))
+	}
+	if viewStats.PeakBytes > budget {
+		gateErrs = append(gateErrs, fmt.Errorf("bounded view peaked at %d bytes (> budget %d)", viewStats.PeakBytes, budget))
+	}
+	if sw := sweep.Stats(); sw.PeakBytes > budget {
+		gateErrs = append(gateErrs, fmt.Errorf("sweep view peaked at %d bytes (> budget %d)", sw.PeakBytes, budget))
+	} else if sw.Evictions == 0 {
+		gateErrs = append(gateErrs, fmt.Errorf("full sweep over a 4x store never evicted (cache not exercised)"))
+	}
+	if speedup < 2 {
+		gateErrs = append(gateErrs, fmt.Errorf("warm repeat only %.2fx faster than cold (gate: >= 2x)", speedup))
+	}
+	if len(gateErrs) > 0 {
+		return nil, fmt.Errorf("bench: out-of-core gates failed: %w", errors.Join(gateErrs...))
+	}
+
+	doc := struct {
+		Experiment string            `json:"experiment"`
+		Workload   map[string]int    `json:"workload"`
+		TotalBytes int64             `json:"total_decoded_bytes"`
+		Budget     int64             `json:"cache_budget_bytes"`
+		Eager      *core.ScanStats   `json:"eager_scan"`
+		Cold       *core.ScanStats   `json:"lazy_cold_scan"`
+		Warm       *core.ScanStats   `json:"lazy_warm_scan"`
+		Sweep      *core.ScanStats   `json:"lazy_sweep_scan"`
+		Walls      map[string]string `json:"wall_ms"`
+		Gates      map[string]any    `json:"gates"`
+	}{
+		Experiment: "abl-outofcore: lazy segment loading behind a bounded decoded-unit cache",
+		Workload: map[string]int{
+			"processes": nPids, "records_per_process": recordsPer, "flush_every": 8,
+		},
+		TotalBytes: total,
+		Budget:     budget,
+		Eager:      eagerScan,
+		Cold:       coldScan,
+		Warm:       warmScan,
+		Sweep:      sweepScan,
+		Walls: map[string]string{
+			"eager": ms(eagerWall), "lazy_cold": ms(coldWall), "lazy_warm": ms(warmWall), "lazy_sweep": ms(sweepWall),
+		},
+		Gates: map[string]any{
+			"store_over_budget_factor": 4,
+			"query_results_byte_equal": coldParity && warmParity && sweepParity,
+			"graph_byte_equal":         graphParity,
+			"lineage_byte_equal":       lineageParity,
+			"peak_within_budget":       viewStats.PeakBytes <= budget,
+			"sweep_evictions":          sweep.Stats().Evictions,
+			"warm_over_cold_speedup":   fmt.Sprintf("%.2f", speedup),
+			"warm_speedup_gate":        2,
+			"cold_hit_ratio":           fmt.Sprintf("%.2f", coldScan.CacheHitRatio()),
+			"warm_hit_ratio":           fmt.Sprintf("%.2f", warmScan.CacheHitRatio()),
+		},
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	r.Artifact = string(out) + "\n"
+	return r, nil
+}
+
+// prunerFor derives the segment pruner a query's patterns imply, or nil.
+func prunerFor(q *sparql.Query) *core.SegmentPruner {
+	pats, ok := q.PrunePatterns()
+	if !ok {
+		return nil
+	}
+	pruner := &core.SegmentPruner{}
+	for _, p := range pats {
+		pruner.Patterns = append(pruner.Patterns, core.PrunePattern{S: p[0], P: p[1], O: p[2]})
+	}
+	return pruner
+}
+
+// lazyResultBytes evaluates q over a lazy source with the parallel executor
+// and renders the W3C results JSON, surfacing the view's sticky error.
+func lazyResultBytes(src *core.LazySource, q *sparql.Query, workers int) ([]byte, error) {
+	res, _, err := sparql.EvalParallelOnInfo(src, q, workers)
+	if err != nil {
+		return nil, err
+	}
+	if serr := src.Err(); serr != nil {
+		return nil, serr
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -43,6 +43,7 @@ var registry = map[string]Runner{
 	"abl-integrity":      AblationIntegrity,
 	"abl-backend":        AblationBackend,
 	"abl-lsm":            AblationLSM,
+	"abl-outofcore":      AblationOutOfCore,
 }
 
 // order lists experiment IDs in presentation order.

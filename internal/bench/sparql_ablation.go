@@ -37,6 +37,9 @@ type sparqlRow struct {
 //
 // The report's artifact is BENCH_sparql.json.
 func AblationSPARQL(s Scale) (*Report, error) {
+	if err := requireReferenceArtifact("BENCH_sparql.json"); err != nil {
+		return nil, err
+	}
 	files := 32
 	if s == ScalePaper {
 		files = 128

@@ -239,6 +239,22 @@ func runCrashPoint(cfg CrashSweepConfig, point, torn int) (recovered bool, viola
 		return false, fmt.Sprintf("%s: merging the recovered store: %v", tag, merr)
 	}
 	merged := ntLines(g)
+	// The recovered bytes must also be reachable out-of-core: a lazy view
+	// forced to page every unit through a tiny cache (nothing stays
+	// resident, every read re-fetches and re-verifies) has to reproduce the
+	// eager merge exactly. This keeps lazy reads inside the sweep's loop at
+	// every crash point.
+	lv, lerr := rstore.OpenLazy(CacheConfig{MaxBytes: 1})
+	if lerr != nil {
+		return false, fmt.Sprintf("%s: opening lazy view over recovered store: %v", tag, lerr)
+	}
+	lg, _, lerr := lv.MaterializeGraph(2)
+	if lerr != nil {
+		return false, fmt.Sprintf("%s: lazy materialize over recovered store: %v", tag, lerr)
+	}
+	if lmerged := ntLines(lg); !subset(merged, lmerged) || !subset(lmerged, merged) {
+		return false, fmt.Sprintf("%s: lazy view and eager merge disagree after recovery", tag)
+	}
 	if !subset(acked, merged) {
 		return false, fmt.Sprintf("%s: acknowledged records lost (%d acked, %d recovered)",
 			tag, len(acked), len(merged))

@@ -192,9 +192,10 @@ type LevelInfo struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// Levels reports the store's leveled layout for tooling (provio-stats).
+// Levels reports the store's leveled layout for tooling (provio-stats). It
+// runs off the same single List+Stat pass TotalBytes uses.
 func (s *Store) Levels() ([]LevelInfo, error) {
-	files, err := s.subgraphFiles()
+	files, err := s.sizedSubgraphFiles()
 	if err != nil {
 		return nil, err
 	}
@@ -208,18 +209,14 @@ func (s *Store) Levels() ([]LevelInfo, error) {
 		return li
 	}
 	for _, f := range files {
-		size, err := s.backend.Stat(f)
-		if err != nil {
-			return nil, err
-		}
-		if filepath.Ext(f) == segcodec.Pack.Ext() {
-			h, _, err := s.readPackHeader(f)
+		if filepath.Ext(f.path) == segcodec.Pack.Ext() {
+			h, _, err := s.readPackHeader(f.path)
 			if err != nil {
 				return nil, err
 			}
 			li := at(h.Level)
 			li.Files++
-			li.Bytes += size
+			li.Bytes += f.size
 			for _, m := range h.Members {
 				if isCodecFile(m.Name) {
 					li.Units++
@@ -230,7 +227,7 @@ func (s *Store) Levels() ([]LevelInfo, error) {
 		li := at(0)
 		li.Files++
 		li.Units++
-		li.Bytes += size
+		li.Bytes += f.size
 	}
 	out := make([]LevelInfo, 0, len(byLevel))
 	for _, li := range byLevel {

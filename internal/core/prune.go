@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -71,6 +72,24 @@ type ScanStats struct {
 	Decoded      int                `json:"decoded"`
 	Skipped      int                `json:"skipped"`
 	PerLevel     map[int]*LevelScan `json:"per_level,omitempty"`
+
+	// Decoded-unit cache counters, populated only by the out-of-core read
+	// path (LazySource.Stats, LazyView reads); zero on eager reads.
+	CacheHits          uint64 `json:"cache_hits,omitempty"`
+	CacheMisses        uint64 `json:"cache_misses,omitempty"`
+	CacheEvictions     uint64 `json:"cache_evictions,omitempty"`
+	CacheResidentBytes int64  `json:"cache_resident_bytes,omitempty"`
+	CachePeakBytes     int64  `json:"cache_peak_bytes,omitempty"`
+	CacheBudgetBytes   int64  `json:"cache_budget_bytes,omitempty"`
+}
+
+// CacheHitRatio returns the cache hit fraction, or -1 when no lazy read ran.
+func (st *ScanStats) CacheHitRatio() float64 {
+	total := st.CacheHits + st.CacheMisses
+	if total == 0 {
+		return -1
+	}
+	return float64(st.CacheHits) / float64(total)
 }
 
 func (st *ScanStats) level(l int) *LevelScan {
@@ -109,6 +128,13 @@ func (st *ScanStats) String() string {
 			fmt.Fprintf(&b, "L%d %d/%d", l, ls.Decoded, ls.Units)
 		}
 		b.WriteString("]")
+	}
+	if st.CacheHits+st.CacheMisses > 0 {
+		fmt.Fprintf(&b, "; cache %d hit / %d miss (%.0f%%), %d evicted, %d bytes resident",
+			st.CacheHits, st.CacheMisses, 100*st.CacheHitRatio(), st.CacheEvictions, st.CacheResidentBytes)
+		if st.CacheBudgetBytes > 0 {
+			fmt.Fprintf(&b, " of %d budget", st.CacheBudgetBytes)
+		}
 	}
 	return b.String()
 }
@@ -194,11 +220,21 @@ func (u *scanUnit) fetch(s *Store) ([]byte, error) {
 		return u.data, nil
 	}
 	if u.member == "" {
-		return s.backend.ReadFile(u.path)
+		data, err := s.backend.ReadFile(u.path)
+		if err != nil && errors.Is(err, fs.ErrNotExist) {
+			// The file was listed but is gone by decode time: a concurrent
+			// Compact/PackSegments moved the layout under this scan. Classify
+			// so racing readers can distinguish maintenance from damage.
+			return nil, fmt.Errorf("core: %s vanished during scan: %w (%v)", u.path, ErrStaleView, err)
+		}
+		return data, err
 	}
 	if rr := rangeReadable(s.backend); rr != nil {
 		data, err := rr.ReadFileRange(u.path, u.off, u.size)
 		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("core: pack %s vanished during scan: %w (%v)", u.path, ErrStaleView, err)
+			}
 			return nil, err
 		}
 		if int64(len(data)) != u.size {
@@ -208,6 +244,9 @@ func (u *scanUnit) fetch(s *Store) ([]byte, error) {
 	}
 	data, err := s.backend.ReadFile(u.path)
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("core: pack %s vanished during scan: %w (%v)", u.path, ErrStaleView, err)
+		}
 		return nil, err
 	}
 	if int64(len(data)) < u.off+u.size {

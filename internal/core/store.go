@@ -77,6 +77,28 @@ func (b VFSBackend) WriteFile(path string, data []byte) error { return b.View.Wr
 // ReadFile implements StoreBackend.
 func (b VFSBackend) ReadFile(path string) ([]byte, error) { return b.View.ReadFile(path) }
 
+// ReadFileRange reads [off, off+n) of a file, clamped to its size — the
+// partial-read capability pruned and lazy pack reads probe for, so stores on
+// the simulated PFS exercise the same range-read path as dir/mem/file
+// backends. The vfs keeps whole files in memory, so the range is a slice.
+func (b VFSBackend) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	data, err := b.View.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(data))
+	if off < 0 {
+		off = 0
+	}
+	if off > size {
+		off = size
+	}
+	if n < 0 || off+n > size {
+		n = size - off
+	}
+	return data[off : off+n], nil
+}
+
 // Remove implements StoreBackend.
 func (b VFSBackend) Remove(path string) error { return b.View.Remove(path) }
 
@@ -641,20 +663,42 @@ func (s *Store) WriteMergedParallel(workers int) (*rdf.Graph, error) {
 	return g, nil
 }
 
+// sizedFile is one provenance file with its size, from a single List+Stat
+// pass shared by TotalBytes and Levels (one round of backend metadata
+// traffic instead of one per consumer — visible on mount:/file: backends
+// where List re-reads the archive journal).
+type sizedFile struct {
+	path string
+	size int64
+}
+
+// sizedSubgraphFiles lists the store's provenance files with their sizes.
+func (s *Store) sizedSubgraphFiles() ([]sizedFile, error) {
+	files, err := s.subgraphFiles()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sizedFile, len(files))
+	for i, f := range files {
+		n, err := s.backend.Stat(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sizedFile{path: f, size: n}
+	}
+	return out, nil
+}
+
 // TotalBytes returns the summed size of all per-process provenance files —
 // the storage metric of the paper's Figure 7.
 func (s *Store) TotalBytes() (int64, error) {
-	files, err := s.subgraphFiles()
+	files, err := s.sizedSubgraphFiles()
 	if err != nil {
 		return 0, err
 	}
 	var total int64
 	for _, f := range files {
-		n, err := s.backend.Stat(f)
-		if err != nil {
-			return 0, err
-		}
-		total += n
+		total += f.size
 	}
 	return total, nil
 }

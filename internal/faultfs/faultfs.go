@@ -267,6 +267,45 @@ func (f *FS) ReadFile(path string) ([]byte, error) {
 	return f.inner.ReadFile(path)
 }
 
+// ReadFileRange reads [off, off+n) of a file, clamped to its size — the
+// partial-read capability the store's lazy/pruned pack reads probe for. The
+// injected failure modes are ReadFile's: a range read is a read. When the
+// inner backend lacks the method the range is sliced out of a whole-file
+// read, so decorating a range-less backend does not advertise a capability
+// it cannot honor cheaply but stays correct.
+func (f *FS) ReadFileRange(path string, off, n int64) ([]byte, error) {
+	f.mu.Lock()
+	f.recordLocked(OpRead, path, 0)
+	crashed, fail := f.crashed, f.failReads
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	if fail {
+		return nil, ErrInjected
+	}
+	if rr, ok := f.inner.(interface {
+		ReadFileRange(path string, off, n int64) ([]byte, error)
+	}); ok {
+		return rr.ReadFileRange(path, off, n)
+	}
+	data, err := f.inner.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(len(data))
+	if off < 0 {
+		off = 0
+	}
+	if off > size {
+		off = size
+	}
+	if n < 0 || off+n > size {
+		n = size - off
+	}
+	return data[off : off+n], nil
+}
+
 // List implements Backend.
 func (f *FS) List(dir string) ([]string, error) {
 	f.mu.Lock()

@@ -123,6 +123,17 @@ func EvalParallel(g *rdf.Graph, q *Query, workers int) (*Result, error) {
 	return res, err
 }
 
+// EvalParallelOnInfo evaluates a parsed query with the morsel-driven
+// parallel executor against an explicit ScanSource — a pinned
+// *rdf.Snapshot or a federated out-of-core source such as core's
+// LazySource — returning the execution info alongside the result. The
+// same finish-path multiset contract applies: output bytes depend only on
+// the solution multiset, so any conforming ScanSource yields output
+// byte-identical to the eager snapshot path.
+func EvalParallelOnInfo(src ScanSource, q *Query, workers int) (*Result, ExecInfo, error) {
+	return runPlanParallelInfo(src, Compile(src, q), workers)
+}
+
 // Explain parses the query and returns the planner's EXPLAIN rendering —
 // the operator pipeline with cardinality estimates — without executing it.
 func Explain(g *rdf.Graph, query string, base *rdf.Namespaces) (string, error) {
@@ -133,13 +144,19 @@ func Explain(g *rdf.Graph, query string, base *rdf.Namespaces) (string, error) {
 // worker count: the number of independent tasks and the morsel domain when
 // the plan parallelizes, or the named reason it stays serial.
 func ExplainWorkers(g *rdf.Graph, query string, base *rdf.Namespaces, workers int) (string, error) {
+	return ExplainWorkersOn(g.Snapshot(), query, base, workers)
+}
+
+// ExplainWorkersOn is ExplainWorkers against an explicit ScanSource, so
+// plans can be explained over a federated out-of-core source as well as a
+// pinned snapshot.
+func ExplainWorkersOn(src ScanSource, query string, base *rdf.Namespaces, workers int) (string, error) {
 	q, err := Parse(query, base)
 	if err != nil {
 		return "", err
 	}
-	snap := g.Snapshot()
-	p := Compile(snap, q)
-	dec := decideParallel(snap, p, workers)
+	p := Compile(src, q)
+	dec := decideParallel(src, p, workers)
 	s := p.String()
 	if dec.reason != "" {
 		return s + fmt.Sprintf("parallel: serial (%s)\n", dec.reason), nil

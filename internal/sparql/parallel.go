@@ -13,7 +13,7 @@ import (
 // operator pipeline. decideParallel flattens the plan's leading operator
 // into a list of independent tasks:
 //
-//   - a leading scan becomes one task morselized over the snapshot's exact
+//   - a leading scan becomes one task morselized over the source's exact
 //     scan domain (ScanLen/ScanRange);
 //   - a leading UNION flattens recursively into one task per alternative,
 //     each alternative's pipeline concatenated with the remainder of the
@@ -28,7 +28,7 @@ import (
 // A bounded pool of workers claims (task, morsel) pairs off one atomic
 // counter. Each worker owns a full executor (register slab arena, term
 // cache) and runs the identical operator pipeline the serial executor runs,
-// so the only shared state during execution is the immutable snapshot and
+// so the only shared state during execution is the immutable scan source and
 // the per-morsel result buckets.
 //
 // Correctness does not depend on bucket order: the shared finish path sorts
@@ -53,7 +53,7 @@ const (
 // parTask is one independent pipeline of a decomposed plan. Exactly one of
 // (scan, path, whole) is set.
 type parTask struct {
-	scan  *scanOp  // lead scan, morselized over the snapshot domain
+	scan  *scanOp  // lead scan, morselized over the source domain
 	path  *pathOp  // lead path, morselized over starts
 	whole []physOp // unpartitionable pipeline, run in a single morsel
 	// rest is the pipeline after the lead (scan/path tasks).
@@ -79,7 +79,7 @@ type decision struct {
 // unsupported operators: nothing to partition, a dead leading constant
 // (the result is empty), a non-scannable leading operator, or a domain too
 // small to pay for the fan-out.
-func decideParallel(snap *rdf.Snapshot, p *Plan, workers int) decision {
+func decideParallel(src ScanSource, p *Plan, workers int) decision {
 	if workers <= 1 {
 		return decision{reason: "workers <= 1 (parallel execution not requested)"}
 	}
@@ -101,7 +101,7 @@ func decideParallel(snap *rdf.Snapshot, p *Plan, workers int) decision {
 		}
 	}
 	var dec decision
-	flattenTasks(snap, p, p.ops, &dec.tasks)
+	flattenTasks(src, p, p.ops, &dec.tasks)
 	for _, t := range dec.tasks {
 		dec.domain += t.n
 	}
@@ -135,7 +135,7 @@ func pathDead(cp compiledPattern) bool {
 // cannot expose a scan domain becomes a whole-pipeline single-morsel task,
 // which keeps every alternative of a mixed UNION parallelizable instead of
 // serializing the whole query.
-func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
+func flattenTasks(src ScanSource, p *Plan, ops []physOp, tasks *[]parTask) {
 	if len(ops) == 0 {
 		return
 	}
@@ -159,7 +159,7 @@ func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
 		*tasks = append(*tasks, parTask{
 			scan: op, rest: ops[1:],
 			s0: s0, p0: p0, o0: o0,
-			n: snap.ScanLen(s0, p0, o0),
+			n: src.ScanLen(s0, p0, o0),
 		})
 	case *pathOp:
 		cp := op.cp
@@ -171,7 +171,7 @@ func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
 		if !cp.s.isVar() {
 			s = cp.s.id
 		}
-		starts := pathStarts(snap, cp, s)
+		starts := pathStarts(src, cp, s)
 		*tasks = append(*tasks, parTask{
 			path: op, rest: ops[1:],
 			starts: starts, n: len(starts),
@@ -181,7 +181,7 @@ func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
 			pipeline := make([]physOp, 0, len(alt)+len(ops)-1)
 			pipeline = append(pipeline, alt...)
 			pipeline = append(pipeline, ops[1:]...)
-			flattenTasks(snap, p, pipeline, tasks)
+			flattenTasks(src, p, pipeline, tasks)
 		}
 	default:
 		*tasks = append(*tasks, parTask{whole: ops, n: 1})
@@ -192,18 +192,19 @@ func flattenTasks(snap *rdf.Snapshot, p *Plan, ops []physOp, tasks *[]parTask) {
 type morselRef struct{ task, lo, hi int }
 
 // runPlanParallel executes a compiled plan with `workers` goroutines over a
-// snapshot, falling back to the serial executor when decideParallel says so.
-func runPlanParallel(snap *rdf.Snapshot, p *Plan, workers int) (*Result, error) {
-	res, _, err := runPlanParallelInfo(snap, p, workers)
+// scan source, falling back to the serial executor when decideParallel says
+// so.
+func runPlanParallel(src ScanSource, p *Plan, workers int) (*Result, error) {
+	res, _, err := runPlanParallelInfo(src, p, workers)
 	return res, err
 }
 
 // runPlanParallelInfo is runPlanParallel plus the execution report the CLI
 // and cache layer surface.
-func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, ExecInfo, error) {
-	dec := decideParallel(snap, p, workers)
+func runPlanParallelInfo(src ScanSource, p *Plan, workers int) (*Result, ExecInfo, error) {
+	dec := decideParallel(src, p, workers)
 	if dec.reason != "" {
-		res, err := runPlan(snap, p)
+		res, err := runPlan(src, p)
 		return res, ExecInfo{Workers: workers, SerialReason: dec.reason}, err
 	}
 
@@ -248,7 +249,7 @@ func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, Exe
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := newExecutor(snap, p)
+			e := newExecutor(src, p)
 			var seen map[string]struct{}
 			var keyBuf []byte
 			if distinctThin {
@@ -260,7 +261,7 @@ func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, Exe
 				if m >= len(morsels) {
 					return
 				}
-				rows, err := runMorsel(e, snap, dec.tasks[morsels[m].task], morsels[m], seed)
+				rows, err := runMorsel(e, src, dec.tasks[morsels[m].task], morsels[m], seed)
 				if err != nil {
 					errs[m] = err
 					continue
@@ -303,9 +304,9 @@ func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, Exe
 	// The merge executor runs the shared finish path — aggregation, final
 	// DISTINCT, sort, OFFSET/LIMIT, materialization — with the chunked
 	// parallel sorter installed.
-	me := newExecutor(snap, p)
+	me := newExecutor(src, p)
 	me.sortHook = func(rs []idRow, keys []OrderKey, slots []int) {
-		parallelSort(snap, p, workers, rs, keys, slots)
+		parallelSort(src, p, workers, rs, keys, slots)
 	}
 	res, err := me.finish(rows)
 	return res, ExecInfo{Workers: workers, Parallel: true, Tasks: len(dec.tasks)}, err
@@ -313,7 +314,7 @@ func runPlanParallelInfo(snap *rdf.Snapshot, p *Plan, workers int) (*Result, Exe
 
 // runMorsel executes one claimed morsel: the task's leading operator over
 // [lo, hi) of its domain, then the remainder pipeline.
-func runMorsel(e *executor, snap *rdf.Snapshot, t parTask, m morselRef, seed idRow) ([]idRow, error) {
+func runMorsel(e *executor, src ScanSource, t parTask, m morselRef, seed idRow) ([]idRow, error) {
 	switch {
 	case t.whole != nil:
 		return e.runOps(t.whole, []idRow{e.newRow(seed)})
@@ -328,7 +329,7 @@ func runMorsel(e *executor, snap *rdf.Snapshot, t parTask, m morselRef, seed idR
 	default:
 		cp := t.scan.cp
 		var cur []idRow
-		snap.ScanRange(t.s0, t.p0, t.o0, m.lo, m.hi, func(si, pi, oi rdf.ID) bool {
+		src.ScanRange(t.s0, t.p0, t.o0, m.lo, m.hi, func(si, pi, oi rdf.ID) bool {
 			nr := e.newRow(seed)
 			if trySet(nr, cp.s.slot, si) && trySet(nr, cp.p.slot, pi) && trySet(nr, cp.o.slot, oi) {
 				cur = append(cur, nr)
@@ -346,10 +347,10 @@ func runMorsel(e *executor, snap *rdf.Snapshot, t parTask, m morselRef, seed idR
 // stably merged pairwise, left side winning ties. A stable sort order is
 // unique for a fixed comparator and input order, so the result is
 // bit-identical to the serial sort.
-func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys []OrderKey, slots []int) {
+func parallelSort(src ScanSource, p *Plan, workers int, rows []idRow, keys []OrderKey, slots []int) {
 	n := len(rows)
 	if n < minParallelSort || workers <= 1 {
-		e := newExecutor(snap, p)
+		e := newExecutor(src, p)
 		sort.SliceStable(rows, func(i, j int) bool { return e.rowLess(rows[i], rows[j], keys, slots) })
 		return
 	}
@@ -366,7 +367,7 @@ func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys [
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			e := newExecutor(snap, p)
+			e := newExecutor(src, p)
 			part := rows[lo:hi]
 			sort.SliceStable(part, func(i, j int) bool { return e.rowLess(part[i], part[j], keys, slots) })
 		}(bounds[i], bounds[i+1])
@@ -383,7 +384,7 @@ func parallelSort(snap *rdf.Snapshot, p *Plan, workers int, rows []idRow, keys [
 			mwg.Add(1)
 			go func(lo, mid, hi int) {
 				defer mwg.Done()
-				e := newExecutor(snap, p)
+				e := newExecutor(src, p)
 				mergeRuns(e, rows, buf, lo, mid, hi, keys, slots)
 			}(bounds[i], bounds[i+1], bounds[i+2])
 			nb = append(nb, bounds[i+2])

@@ -30,7 +30,30 @@ type Source interface {
 	Len() int
 }
 
+// ScanSource is a Source whose pattern scans expose an exact, partitionable
+// morsel domain — the surface the morsel-parallel executor fans out over.
+// The contract (inherited from rdf.Snapshot, the reference implementation):
+//
+//   - ScanLen(s, p, o) is the number of base index items a full enumeration
+//     of the pattern walks, each item emitting at most one triple;
+//   - ScanRange(s, p, o, lo, hi, fn) enumerates [lo, hi) of that domain, and
+//     concatenating adjacent ranges reproduces the full scan exactly (items
+//     failing a residual filter emit nothing);
+//   - both are safe for concurrent use and deterministic for the source's
+//     lifetime — ScanLen must not change between the partitioning call and
+//     the per-morsel ScanRange calls.
+//
+// core's out-of-core LazySource federates many per-unit snapshots behind
+// this interface, which is how a store larger than RAM runs the unchanged
+// parallel executor.
+type ScanSource interface {
+	Source
+	ScanLen(s, p, o rdf.ID) int
+	ScanRange(s, p, o rdf.ID, lo, hi int, fn func(s, p, o rdf.ID) bool) bool
+}
+
 var (
-	_ Source = (*rdf.Graph)(nil)
-	_ Source = (*rdf.Snapshot)(nil)
+	_ Source     = (*rdf.Graph)(nil)
+	_ Source     = (*rdf.Snapshot)(nil)
+	_ ScanSource = (*rdf.Snapshot)(nil)
 )
